@@ -1,0 +1,51 @@
+//! The exact full-scan "estimator".
+//!
+//! Not a practical estimator (it keeps the whole table and scans it per
+//! query), but useful as the perfect-accuracy reference in tests and as the
+//! "Full Joint" end of the accuracy/storage spectrum sketched in Figure 1.
+
+use naru_data::Table;
+use naru_query::{true_selectivity, Query, SelectivityEstimator};
+
+/// Scans the full table for every estimate; always exact.
+pub struct ExactScanEstimator {
+    table: Table,
+}
+
+impl ExactScanEstimator {
+    /// Keeps a copy of the table.
+    pub fn build(table: &Table) -> Self {
+        Self { table: table.clone() }
+    }
+}
+
+impl SelectivityEstimator for ExactScanEstimator {
+    fn name(&self) -> String {
+        "ExactScan".to_string()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        true_selectivity(&self.table, query)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.table.num_rows() * self.table.num_columns() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_data::synthetic::correlated_pair;
+    use naru_query::Predicate;
+
+    #[test]
+    fn exact_scan_is_exact() {
+        let t = correlated_pair(1000, 5, 0.8, 1);
+        let est = ExactScanEstimator::build(&t);
+        let q = Query::new(vec![Predicate::eq(0, 0), Predicate::le(1, 2)]);
+        assert_eq!(est.estimate(&q), true_selectivity(&t, &q));
+        assert_eq!(est.name(), "ExactScan");
+        assert_eq!(est.size_bytes(), 1000 * 2 * 4);
+    }
+}

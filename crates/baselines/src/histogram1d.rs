@@ -1,0 +1,345 @@
+//! Real-system-style 1D statistics: "Postgres" and "DBMS-1" stand-ins.
+//!
+//! Both estimators in the paper's Table 2 that represent real systems build
+//! *per-column* statistics and combine them under independence and
+//! within-bucket uniformity assumptions:
+//!
+//! * [`PostgresEstimator`] models `pg_stats`: a most-common-values (MCV)
+//!   list with exact frequencies plus an equi-depth histogram over the
+//!   remaining values, per column.
+//! * [`Dbms1Estimator`] adds what the paper describes as "inter-column
+//!   unique value counts": for the most correlated column pairs it stores
+//!   the number of distinct value *pairs*, and scales the independence
+//!   product by `(d_a · d_b) / d_ab` — the classic distinct-count
+//!   correlation correction used by commercial optimizers.
+
+use naru_data::Table;
+use naru_query::{ColumnConstraint, Query, SelectivityEstimator};
+
+/// Per-column statistics: MCV list + equi-depth histogram on the rest.
+#[derive(Debug, Clone)]
+struct ColumnStats {
+    /// (id, frequency) pairs for the most common values.
+    mcv: Vec<(u32, f64)>,
+    /// Total frequency captured by the MCV list.
+    mcv_total: f64,
+    /// Equi-depth bucket boundaries (inclusive upper bounds, by id) over the
+    /// non-MCV values.
+    bucket_bounds: Vec<u32>,
+    /// Frequency mass per bucket (uniform within the bucket).
+    bucket_mass: f64,
+    /// Number of distinct non-MCV values (for equality estimates).
+    other_distinct: usize,
+    /// Frequency mass not captured by the MCVs.
+    other_total: f64,
+}
+
+impl ColumnStats {
+    fn build(counts: &[u64], num_rows: usize, num_mcv: usize, num_buckets: usize) -> Self {
+        let n = num_rows.max(1) as f64;
+        // MCVs: the `num_mcv` most frequent values.
+        let mut by_freq: Vec<(u32, u64)> =
+            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(id, &c)| (id as u32, c)).collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mcv: Vec<(u32, f64)> = by_freq.iter().take(num_mcv).map(|&(id, c)| (id, c as f64 / n)).collect();
+        let mcv_total: f64 = mcv.iter().map(|&(_, f)| f).sum();
+        let mcv_ids: std::collections::HashSet<u32> = mcv.iter().map(|&(id, _)| id).collect();
+
+        // Remaining values go into an equi-depth histogram over ids.
+        let mut rest: Vec<(u32, u64)> = by_freq.iter().copied().filter(|(id, _)| !mcv_ids.contains(id)).collect();
+        rest.sort_by_key(|&(id, _)| id);
+        let other_count: u64 = rest.iter().map(|&(_, c)| c).sum();
+        let other_total = other_count as f64 / n;
+        let other_distinct = rest.len();
+
+        let buckets = num_buckets.max(1).min(rest.len().max(1));
+        let per_bucket = (other_count as f64 / buckets as f64).max(1.0);
+        let mut bucket_bounds = Vec::with_capacity(buckets);
+        let mut acc = 0u64;
+        for &(id, c) in &rest {
+            acc += c;
+            if acc as f64 >= per_bucket * (bucket_bounds.len() + 1) as f64 {
+                bucket_bounds.push(id);
+            }
+        }
+        if let Some(&(last_id, _)) = rest.last() {
+            if bucket_bounds.last() != Some(&last_id) {
+                bucket_bounds.push(last_id);
+            }
+        }
+        let bucket_mass = if bucket_bounds.is_empty() { 0.0 } else { other_total / bucket_bounds.len() as f64 };
+
+        Self { mcv, mcv_total, bucket_bounds, bucket_mass, other_distinct, other_total }
+    }
+
+    /// Estimated fraction of rows whose id satisfies the constraint,
+    /// assuming uniformity inside histogram buckets.
+    fn selectivity(&self, constraint: &ColumnConstraint) -> f64 {
+        match constraint {
+            ColumnConstraint::Any => 1.0,
+            ColumnConstraint::Empty => 0.0,
+            _ => {
+                // Exact contribution from the MCV list.
+                let mcv_part: f64 =
+                    self.mcv.iter().filter(|(id, _)| constraint.matches(*id)).map(|&(_, f)| f).sum();
+                // Histogram contribution: fraction of each bucket's id range
+                // that intersects the constraint, times the bucket mass.
+                let mut hist_part = 0.0;
+                let mut lo = 0u32;
+                for &hi in &self.bucket_bounds {
+                    let width = (hi.saturating_sub(lo)) as f64 + 1.0;
+                    let overlap = match constraint {
+                        ColumnConstraint::Range { lo: c_lo, hi: c_hi } => {
+                            let o_lo = (*c_lo).max(lo);
+                            let o_hi = (*c_hi).min(hi);
+                            if o_lo > o_hi {
+                                0.0
+                            } else {
+                                (o_hi - o_lo) as f64 + 1.0
+                            }
+                        }
+                        ColumnConstraint::Set(ids) => {
+                            ids.iter().filter(|&&id| id >= lo && id <= hi).count() as f64
+                        }
+                        ColumnConstraint::Exclude(v) => {
+                            if *v >= lo && *v <= hi {
+                                width - 1.0
+                            } else {
+                                width
+                            }
+                        }
+                        _ => 0.0,
+                    };
+                    hist_part += self.bucket_mass * (overlap / width).clamp(0.0, 1.0);
+                    lo = hi.saturating_add(1);
+                }
+                // Equality predicates on non-MCV values: uniform spread over
+                // the remaining distinct values is the classic assumption.
+                let point_refinement = match constraint {
+                    ColumnConstraint::Range { lo, hi } if lo == hi => {
+                        let in_mcv = self.mcv.iter().any(|&(id, _)| id == *lo);
+                        if in_mcv {
+                            None
+                        } else if self.other_distinct > 0 {
+                            Some(self.other_total / self.other_distinct as f64)
+                        } else {
+                            Some(0.0)
+                        }
+                    }
+                    _ => None,
+                };
+                let estimate = match point_refinement {
+                    Some(point) => mcv_part + point,
+                    None => mcv_part + hist_part,
+                };
+                estimate.clamp(0.0, self.mcv_total + self.other_total)
+            }
+        }
+    }
+}
+
+/// How many MCVs and buckets each column gets.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram1dConfig {
+    /// Most-common-value list length per column (Postgres default is 100;
+    /// the paper tunes `statistics_target` up to 10 000).
+    pub num_mcv: usize,
+    /// Equi-depth bucket count per column.
+    pub num_buckets: usize,
+}
+
+impl Default for Histogram1dConfig {
+    fn default() -> Self {
+        Self { num_mcv: 100, num_buckets: 100 }
+    }
+}
+
+/// Postgres-style estimator: per-column MCV + equi-depth histogram combined
+/// under independence.
+pub struct PostgresEstimator {
+    stats: Vec<ColumnStats>,
+}
+
+impl PostgresEstimator {
+    /// Builds statistics for every column.
+    pub fn build(table: &Table, config: &Histogram1dConfig) -> Self {
+        let stats = table
+            .columns()
+            .iter()
+            .map(|c| ColumnStats::build(&c.value_counts(), table.num_rows(), config.num_mcv, config.num_buckets))
+            .collect();
+        Self { stats }
+    }
+}
+
+impl SelectivityEstimator for PostgresEstimator {
+    fn name(&self) -> String {
+        "Postgres".to_string()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        let constraints = query.constraints(self.stats.len());
+        constraints
+            .iter()
+            .enumerate()
+            .map(|(col, c)| self.stats[col].selectivity(c))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.stats
+            .iter()
+            .map(|s| (s.mcv.len() * 12) + (s.bucket_bounds.len() * 4) + 32)
+            .sum()
+    }
+}
+
+/// DBMS-1-style estimator: Postgres statistics plus pairwise distinct-count
+/// correlation corrections.
+pub struct Dbms1Estimator {
+    base: PostgresEstimator,
+    /// Per-column distinct counts.
+    distinct: Vec<f64>,
+    /// For selected column pairs `(a, b)`: distinct count of the value pair.
+    pair_distinct: Vec<(usize, usize, f64)>,
+}
+
+impl Dbms1Estimator {
+    /// Builds statistics; `max_pairs` bounds how many column pairs get a
+    /// joint distinct count (commercial systems only keep a few).
+    pub fn build(table: &Table, config: &Histogram1dConfig, max_pairs: usize) -> Self {
+        let base = PostgresEstimator::build(table, config);
+        let distinct: Vec<f64> = table
+            .columns()
+            .iter()
+            .map(|c| c.value_counts().iter().filter(|&&cnt| cnt > 0).count() as f64)
+            .collect();
+
+        // Score pairs by the strength of the correction and keep the top ones.
+        let n_cols = table.num_columns();
+        let mut pairs = Vec::new();
+        for a in 0..n_cols {
+            for b in (a + 1)..n_cols {
+                let mut seen = std::collections::HashSet::new();
+                for row in 0..table.num_rows() {
+                    seen.insert((table.column(a).id_at(row), table.column(b).id_at(row)));
+                }
+                let d_ab = seen.len() as f64;
+                let correction = (distinct[a] * distinct[b]) / d_ab.max(1.0);
+                pairs.push((a, b, d_ab, correction));
+            }
+        }
+        pairs.sort_by(|x, y| y.3.partial_cmp(&x.3).unwrap_or(std::cmp::Ordering::Equal));
+        let pair_distinct = pairs.into_iter().take(max_pairs).map(|(a, b, d, _)| (a, b, d)).collect();
+        Self { base, distinct, pair_distinct }
+    }
+}
+
+impl SelectivityEstimator for Dbms1Estimator {
+    fn name(&self) -> String {
+        "DBMS-1".to_string()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        let constraints = query.constraints(self.base.stats.len());
+        let mut estimate: f64 = constraints
+            .iter()
+            .enumerate()
+            .map(|(col, c)| self.base.stats[col].selectivity(c))
+            .product();
+        // Apply the distinct-count correction for every tracked pair whose
+        // two columns are both filtered: the independence product is too low
+        // by roughly (d_a * d_b) / d_ab for correlated pairs.
+        let filtered: Vec<bool> = constraints.iter().map(|c| !matches!(c, ColumnConstraint::Any)).collect();
+        for &(a, b, d_ab) in &self.pair_distinct {
+            if filtered[a] && filtered[b] {
+                let correction = (self.distinct[a] * self.distinct[b]) / d_ab.max(1.0);
+                estimate *= correction.max(1.0);
+            }
+        }
+        estimate.clamp(0.0, 1.0)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.base.size_bytes() + self.distinct.len() * 8 + self.pair_distinct.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_data::synthetic::{correlated_pair, dmv_like, independent_table};
+    use naru_query::{q_error_from_selectivity, true_selectivity, Predicate};
+
+    #[test]
+    fn postgres_is_accurate_on_single_column_mcv_values() {
+        let t = dmv_like(5000, 1);
+        let est = PostgresEstimator::build(&t, &Histogram1dConfig::default());
+        // record_type has 4 values, all MCVs: single-column equality should
+        // be near-exact.
+        let q = Query::new(vec![Predicate::eq(0, 0)]);
+        let truth = true_selectivity(&t, &q);
+        assert!((est.estimate(&q) - truth).abs() < 0.02, "{} vs {truth}", est.estimate(&q));
+    }
+
+    #[test]
+    fn postgres_range_estimates_are_reasonable_on_one_column() {
+        let t = dmv_like(5000, 2);
+        let est = PostgresEstimator::build(&t, &Histogram1dConfig::default());
+        let q = Query::new(vec![Predicate::le(6, 1000)]); // valid_date range
+        let truth = true_selectivity(&t, &q);
+        let err = q_error_from_selectivity(est.estimate(&q), truth, t.num_rows());
+        assert!(err < 3.0, "q-error {err}");
+    }
+
+    #[test]
+    fn postgres_underestimates_correlated_conjunctions() {
+        let t = correlated_pair(5000, 30, 0.95, 3);
+        let est = PostgresEstimator::build(&t, &Histogram1dConfig::default());
+        let q = Query::new(vec![Predicate::eq(0, 0), Predicate::eq(1, 0)]);
+        let truth = true_selectivity(&t, &q);
+        assert!(est.estimate(&q) < truth * 0.8);
+    }
+
+    #[test]
+    fn dbms1_correction_improves_on_postgres_for_correlated_pairs() {
+        let t = correlated_pair(5000, 30, 0.95, 4);
+        let pg = PostgresEstimator::build(&t, &Histogram1dConfig::default());
+        let dbms1 = Dbms1Estimator::build(&t, &Histogram1dConfig::default(), 4);
+        let q = Query::new(vec![Predicate::eq(0, 0), Predicate::eq(1, 0)]);
+        let truth = true_selectivity(&t, &q);
+        let pg_err = q_error_from_selectivity(pg.estimate(&q), truth, t.num_rows());
+        let dbms1_err = q_error_from_selectivity(dbms1.estimate(&q), truth, t.num_rows());
+        assert!(dbms1_err <= pg_err, "dbms1 {dbms1_err} should beat postgres {pg_err}");
+    }
+
+    #[test]
+    fn estimates_are_probabilities_on_independent_data() {
+        let t = independent_table(2000, &[5, 17, 120], 5);
+        let pg = PostgresEstimator::build(&t, &Histogram1dConfig::default());
+        let dbms1 = Dbms1Estimator::build(&t, &Histogram1dConfig::default(), 2);
+        let queries = vec![
+            Query::new(vec![Predicate::le(2, 50)]),
+            Query::new(vec![Predicate::eq(0, 1), Predicate::ge(1, 3), Predicate::le(2, 80)]),
+            Query::all(),
+        ];
+        for q in &queries {
+            for est in [&pg as &dyn SelectivityEstimator, &dbms1] {
+                let s = est.estimate(q);
+                assert!((0.0..=1.0).contains(&s), "{} returned {s}", est.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_and_names() {
+        let t = independent_table(500, &[5, 7], 6);
+        let pg = PostgresEstimator::build(&t, &Histogram1dConfig { num_mcv: 4, num_buckets: 8 });
+        let dbms1 = Dbms1Estimator::build(&t, &Histogram1dConfig::default(), 1);
+        assert!(pg.size_bytes() > 0);
+        assert!(dbms1.size_bytes() > pg.size_bytes() / 2);
+        assert_eq!(pg.name(), "Postgres");
+        assert_eq!(dbms1.name(), "DBMS-1");
+    }
+}

@@ -1,0 +1,109 @@
+//! The independence-assumption baseline ("Indep" in Table 2).
+//!
+//! Indep keeps the *exact* per-column value frequencies and combines them by
+//! multiplication. Its errors therefore measure the inaccuracy attributable
+//! purely to the column-independence assumption — per-column estimates are
+//! perfect by construction.
+
+use naru_data::Table;
+use naru_query::{ColumnConstraint, Query, SelectivityEstimator};
+
+/// Exact per-column marginals combined under independence.
+pub struct IndepEstimator {
+    /// Per-column relative frequencies, indexed by dictionary id.
+    marginals: Vec<Vec<f64>>,
+}
+
+impl IndepEstimator {
+    /// Builds the estimator by scanning each column once.
+    pub fn build(table: &Table) -> Self {
+        let n = table.num_rows().max(1) as f64;
+        let marginals = table
+            .columns()
+            .iter()
+            .map(|c| c.value_counts().iter().map(|&cnt| cnt as f64 / n).collect())
+            .collect();
+        Self { marginals }
+    }
+
+    /// Selectivity of one column constraint under the exact marginal.
+    fn column_selectivity(&self, col: usize, constraint: &ColumnConstraint) -> f64 {
+        match constraint {
+            ColumnConstraint::Any => 1.0,
+            _ => self.marginals[col]
+                .iter()
+                .enumerate()
+                .filter(|(id, _)| constraint.matches(*id as u32))
+                .map(|(_, &p)| p)
+                .sum(),
+        }
+    }
+}
+
+impl SelectivityEstimator for IndepEstimator {
+    fn name(&self) -> String {
+        "Indep".to_string()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        let constraints = query.constraints(self.marginals.len());
+        constraints
+            .iter()
+            .enumerate()
+            .map(|(col, c)| self.column_selectivity(col, c))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.marginals.iter().map(|m| m.len() * std::mem::size_of::<f64>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_data::synthetic::{correlated_pair, independent_table};
+    use naru_data::Column;
+    use naru_query::{true_selectivity, Predicate};
+
+    #[test]
+    fn exact_on_single_column_queries() {
+        let t = Table::new("t", vec![Column::from_ids("a", vec![0, 0, 0, 1, 2, 2], 3)]);
+        let est = IndepEstimator::build(&t);
+        let q = Query::new(vec![Predicate::eq(0, 0)]);
+        assert!((est.estimate(&q) - 0.5).abs() < 1e-12);
+        let q = Query::new(vec![Predicate::ge(0, 1)]);
+        assert!((est.estimate(&q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_exact_on_independent_data() {
+        let t = independent_table(5000, &[4, 6, 3], 1);
+        let est = IndepEstimator::build(&t);
+        let q = Query::new(vec![Predicate::eq(0, 0), Predicate::le(1, 2)]);
+        let truth = true_selectivity(&t, &q);
+        assert!((est.estimate(&q) - truth).abs() < 0.03);
+    }
+
+    #[test]
+    fn badly_wrong_on_correlated_data() {
+        // b == a with high probability; P(a=0, b=0) ≈ P(a=0) but the
+        // independence product squares it.
+        let t = correlated_pair(5000, 20, 0.95, 2);
+        let est = IndepEstimator::build(&t);
+        let q = Query::new(vec![Predicate::eq(0, 0), Predicate::eq(1, 0)]);
+        let truth = true_selectivity(&t, &q);
+        let guess = est.estimate(&q);
+        assert!(guess < truth * 0.7, "independence should underestimate: {guess} vs {truth}");
+    }
+
+    #[test]
+    fn unfiltered_query_is_one_and_size_reported() {
+        let t = independent_table(100, &[3, 3], 3);
+        let est = IndepEstimator::build(&t);
+        assert_eq!(est.estimate(&Query::all()), 1.0);
+        assert_eq!(est.size_bytes(), (3 + 3) * 8);
+        assert_eq!(est.name(), "Indep");
+    }
+}

@@ -1,0 +1,32 @@
+//! # naru-baselines
+//!
+//! The selectivity estimators the paper compares Naru against (Table 2),
+//! all implemented over the same table/query substrate and the same
+//! [`naru_query::SelectivityEstimator`] trait:
+//!
+//! | Estimator | Module | Paper row |
+//! |---|---|---|
+//! | Exact per-column marginals × independence | [`indep`] | Indep |
+//! | Per-column MCV + equi-depth histograms     | [`histogram1d`] | Postgres |
+//! | 1D stats + pairwise distinct-count correction | [`histogram1d`] | DBMS-1 |
+//! | N-dimensional equi-width histogram         | [`multidim`] | Hist |
+//! | Uniform materialized sample                | [`sample`] | Sample |
+//! | Gaussian KDE (Scott's rule / query-tuned)  | [`kde`] | KDE, KDE-superv |
+//! | Supervised deep regression + sample bitmap | [`mscn`] | MSCN-base/-0/-10K |
+//! | Exact full scan (reference only)           | [`exact`] | Full Joint |
+
+pub mod exact;
+pub mod histogram1d;
+pub mod indep;
+pub mod kde;
+pub mod mscn;
+pub mod multidim;
+pub mod sample;
+
+pub use exact::ExactScanEstimator;
+pub use histogram1d::{Dbms1Estimator, Histogram1dConfig, PostgresEstimator};
+pub use indep::IndepEstimator;
+pub use kde::{KdeEstimator, KdeSupervised};
+pub use mscn::{MscnConfig, MscnEstimator};
+pub use multidim::MultiDimHistogram;
+pub use sample::SampleEstimator;

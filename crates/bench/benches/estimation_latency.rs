@@ -1,0 +1,44 @@
+//! Estimation-latency benchmark (the Criterion counterpart of Figure 6):
+//! per-query latency of Naru's progressive sampling versus the cheap
+//! baselines, on a small DMV-like table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naru_baselines::{Histogram1dConfig, IndepEstimator, PostgresEstimator, SampleEstimator};
+use naru_core::{NaruConfig, NaruEstimator};
+use naru_data::synthetic::dmv_like;
+use naru_query::{generate_workload, SelectivityEstimator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_estimation_latency(c: &mut Criterion) {
+    let table = dmv_like(4000, 42);
+    let mut rng = StdRng::seed_from_u64(1);
+    let workload = generate_workload(&table, &WorkloadConfig::default(), 5, &mut rng);
+
+    let indep = IndepEstimator::build(&table);
+    let postgres = PostgresEstimator::build(&table, &Histogram1dConfig::default());
+    let sample = SampleEstimator::build(&table, 0.013, 1);
+    let (naru, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(200));
+
+    let mut group = c.benchmark_group("estimation_latency");
+    group.sample_size(10);
+    let mut register = |name: &str, est: &dyn SelectivityEstimator| {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for lq in &workload {
+                    acc += est.estimate(std::hint::black_box(&lq.query));
+                }
+                acc
+            })
+        });
+    };
+    register("indep", &indep);
+    register("postgres", &postgres);
+    register("sample_1.3pct", &sample);
+    register("naru_200_samples", &naru);
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation_latency);
+criterion_main!(benches);

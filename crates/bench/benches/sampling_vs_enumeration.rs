@@ -1,0 +1,41 @@
+//! Progressive sampling vs exact enumeration (the Criterion counterpart of
+//! Table 6): on a region small enough to enumerate, both produce the same
+//! answer but at very different costs; sampling's cost is flat in the region
+//! size while enumeration's grows with it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naru_core::{enumerate_exact, OracleDensity, ProgressiveSampler, SamplerConfig};
+use naru_data::synthetic::conviva_b_like;
+use naru_query::{Predicate, Query};
+
+fn bench_sampling_vs_enumeration(c: &mut Criterion) {
+    let table = conviva_b_like(2000, 6, 3);
+    let oracle = OracleDensity::new(&table);
+    let schema = table.schema();
+
+    // Queries with progressively larger regions (range filters widen).
+    let widths = [2u32, 8, 25];
+    let mut group = c.benchmark_group("sampling_vs_enumeration");
+    group.sample_size(10);
+    for &w in &widths {
+        let query = Query::new(vec![
+            Predicate::le(2, w.min(schema.domain_size(2) as u32 - 1)),
+            Predicate::le(4, (w * 2).min(schema.domain_size(4) as u32 - 1)),
+            Predicate::ge(5, 1),
+        ]);
+        let constraints = query.constraints(schema.num_columns());
+        let region = query.region_size(&schema) as u64;
+
+        group.bench_with_input(BenchmarkId::new("enumeration", region), &constraints, |b, cs| {
+            b.iter(|| enumerate_exact(&oracle, std::hint::black_box(cs), u64::MAX))
+        });
+        let sampler = ProgressiveSampler::new(SamplerConfig { num_samples: 200, seed: 0 });
+        group.bench_with_input(BenchmarkId::new("progressive_200", region), &constraints, |b, cs| {
+            b.iter(|| sampler.estimate(&oracle, std::hint::black_box(cs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling_vs_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmarks for the tensor kernels that dominate training and
+//! inference time (matmul in its three orientations, softmax).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naru_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, Matrix};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.1);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.1);
+        group.bench_with_input(BenchmarkId::new("a_b", n), &n, |bench, _| {
+            bench.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt", n), &n, |bench, _| {
+            bench.iter(|| matmul_a_bt(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bench, _| {
+            bench.iter(|| matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let logits = Matrix::from_fn(256, 512, |r, col| ((r + col) % 37) as f32 * 0.05 - 1.0);
+    c.bench_function("softmax_rows_256x512", |b| {
+        b.iter(|| softmax_rows(std::hint::black_box(&logits)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Training-throughput benchmark: tuples/second of one maximum-likelihood
+//! gradient step for the two autoregressive architectures (the cost model
+//! behind Figure 5's epoch times).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use naru_core::{table_tuples, ColumnwiseConfig, ColumnwiseModel, EncodingPolicy, MadeModel, ModelConfig};
+use naru_data::synthetic::dmv_like;
+use naru_nn::optimizer::AdamConfig;
+
+fn bench_training_step(c: &mut Criterion) {
+    let table = dmv_like(4096, 7);
+    let tuples = table_tuples(&table);
+    let batch: Vec<Vec<u32>> = tuples[..256].to_vec();
+    let adam = AdamConfig::default();
+
+    let mut group = c.benchmark_group("train_step_256_tuples");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(batch.len() as u64));
+
+    let config = ModelConfig {
+        hidden_sizes: vec![64, 64],
+        encoding: EncodingPolicy::compact(16),
+        embedding_reuse: true,
+        seed: 0,
+    };
+    let mut made = MadeModel::new(table.schema().domain_sizes(), &config);
+    group.bench_function("made_64x64", |b| b.iter(|| made.train_step(std::hint::black_box(&batch), &adam)));
+
+    let mut columnwise = ColumnwiseModel::new(
+        table.schema().domain_sizes(),
+        &ColumnwiseConfig { hidden_sizes: vec![32, 32], ..Default::default() },
+    );
+    group.bench_function("columnwise_32x32", |b| {
+        b.iter(|| columnwise.train_step(std::hint::black_box(&batch), &adam))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! The accuracy-experiment runner shared by Tables 3, 4, 5 and 8.
+//!
+//! Given a labeled workload and a set of estimators, it measures every
+//! estimator on every query, records q-errors grouped by the paper's
+//! selectivity buckets, and captures per-query latency on the side (the raw
+//! data behind Figure 6).
+
+use std::time::Instant;
+
+use naru_query::{
+    q_error_from_selectivity, ErrorQuantiles, LabeledQuery, SelectivityBucket, SelectivityEstimator,
+};
+
+use crate::report::AccuracyRow;
+
+/// Per-estimator outcome of an accuracy run.
+#[derive(Debug, Clone)]
+pub struct EstimatorResult {
+    /// Estimator display name.
+    pub name: String,
+    /// Summary size in bytes.
+    pub size_bytes: usize,
+    /// One q-error per query, in workload order.
+    pub q_errors: Vec<f64>,
+    /// Bucket of each query, aligned with `q_errors`.
+    pub buckets: Vec<SelectivityBucket>,
+    /// Per-query estimation latency in milliseconds, aligned with `q_errors`.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl EstimatorResult {
+    /// q-error quantiles restricted to one selectivity bucket.
+    pub fn quantiles_for(&self, bucket: SelectivityBucket) -> Option<ErrorQuantiles> {
+        let errs: Vec<f64> = self
+            .q_errors
+            .iter()
+            .zip(self.buckets.iter())
+            .filter(|(_, &b)| b == bucket)
+            .map(|(&e, _)| e)
+            .collect();
+        ErrorQuantiles::from_errors(&errs)
+    }
+
+    /// q-error quantiles over the whole workload.
+    pub fn overall_quantiles(&self) -> Option<ErrorQuantiles> {
+        ErrorQuantiles::from_errors(&self.q_errors)
+    }
+
+    /// Latency quantiles (ms) over the whole workload.
+    pub fn latency_quantiles(&self) -> Option<ErrorQuantiles> {
+        ErrorQuantiles::from_errors(&self.latencies_ms)
+    }
+
+    /// Converts to a printable accuracy-table row.
+    pub fn to_row(&self) -> AccuracyRow {
+        AccuracyRow {
+            estimator: self.name.clone(),
+            size_bytes: self.size_bytes,
+            per_bucket: SelectivityBucket::ALL.iter().map(|&b| (b, self.quantiles_for(b))).collect(),
+            overall: self.overall_quantiles(),
+        }
+    }
+}
+
+/// Runs one estimator over the workload.
+pub fn evaluate_estimator(
+    estimator: &dyn SelectivityEstimator,
+    workload: &[LabeledQuery],
+    num_rows: usize,
+) -> EstimatorResult {
+    let mut q_errors = Vec::with_capacity(workload.len());
+    let mut buckets = Vec::with_capacity(workload.len());
+    let mut latencies_ms = Vec::with_capacity(workload.len());
+    for lq in workload {
+        let start = Instant::now();
+        let estimate = estimator.estimate(&lq.query);
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        q_errors.push(q_error_from_selectivity(estimate, lq.selectivity, num_rows));
+        buckets.push(lq.bucket());
+    }
+    EstimatorResult {
+        name: estimator.name(),
+        size_bytes: estimator.size_bytes(),
+        q_errors,
+        buckets,
+        latencies_ms,
+    }
+}
+
+/// Runs a whole estimator line-up over the workload.
+pub fn evaluate_all(
+    estimators: &[&dyn SelectivityEstimator],
+    workload: &[LabeledQuery],
+    num_rows: usize,
+) -> Vec<EstimatorResult> {
+    estimators.iter().map(|e| evaluate_estimator(*e, workload, num_rows)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_baselines::{ExactScanEstimator, IndepEstimator};
+    use naru_data::synthetic::correlated_pair;
+    use naru_query::{generate_workload, WorkloadConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_estimator_has_unit_qerrors() {
+        let t = correlated_pair(2000, 8, 0.9, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let workload = generate_workload(&t, &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() }, 25, &mut rng);
+        let exact = ExactScanEstimator::build(&t);
+        let result = evaluate_estimator(&exact, &workload, t.num_rows());
+        assert_eq!(result.q_errors.len(), 25);
+        assert!(result.q_errors.iter().all(|&e| (e - 1.0).abs() < 1e-9));
+        assert!(result.latencies_ms.iter().all(|&l| l >= 0.0));
+        let q = result.overall_quantiles().unwrap();
+        assert_eq!(q.max, 1.0);
+    }
+
+    #[test]
+    fn indep_is_worse_than_exact_on_correlated_data() {
+        let t = correlated_pair(3000, 10, 0.95, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let workload = generate_workload(&t, &WorkloadConfig { min_filters: 2, max_filters: 2, ..Default::default() }, 40, &mut rng);
+        let exact = ExactScanEstimator::build(&t);
+        let indep = IndepEstimator::build(&t);
+        let results = evaluate_all(&[&exact, &indep], &workload, t.num_rows());
+        let exact_max = results[0].overall_quantiles().unwrap().max;
+        let indep_max = results[1].overall_quantiles().unwrap().max;
+        assert!(indep_max > exact_max);
+        // Row conversion keeps all three buckets.
+        let row = results[1].to_row();
+        assert_eq!(row.per_bucket.len(), 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p naru-bench --bin experiments -- <experiment ...> [--quick|--full] [--out FILE]
+//! ```
+//!
+//! where `<experiment>` is one or more of `fig4`, `table3`, `table4`,
+//! `table5`, `fig5`, `fig6`, `table6`, `table7`, `fig7`, `fig8`, `table8`,
+//! `ablation-arch`, `ablation-sampling`, or `all`. The default scale is
+//! `--quick`; see DESIGN.md for how the scales map to the paper's setup.
+
+use std::io::Write;
+
+use naru_bench::config::{ExperimentConfig, Scale};
+use naru_bench::experiments as exp;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig4", "table3", "table4", "table5", "fig5", "fig6", "table6", "table7", "fig7", "fig8",
+    "table8", "ablation-arch", "ablation-sampling",
+];
+
+fn run_one(name: &str, cfg: &ExperimentConfig) -> Option<String> {
+    let start = std::time::Instant::now();
+    let report = match name {
+        "fig4" => exp::fig4_selectivity_distribution(cfg),
+        "table3" => exp::table3_dmv(cfg),
+        "table4" => exp::table4_conviva_a(cfg),
+        "table5" => exp::table5_ood(cfg),
+        "fig5" => exp::fig5_training_quality(cfg),
+        "fig6" => exp::fig6_latency(cfg),
+        "table6" => exp::table6_region_size(cfg),
+        "table7" => exp::table7_model_size(cfg),
+        "fig7" => exp::fig7_entropy_gap(cfg),
+        "fig8" => exp::fig8_column_scaling(cfg),
+        "table8" => exp::table8_data_shift(cfg),
+        "ablation-arch" => exp::ablation_architectures(cfg),
+        "ablation-sampling" => exp::ablation_sampling(cfg),
+        _ => return None,
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    Some(format!("{report}\n[{name} completed in {elapsed:.1}s]\n"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut selected: Vec<String> = Vec::new();
+    let mut out_file: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(s) = Scale::from_flag(arg) {
+            scale = s;
+        } else if arg == "--out" {
+            out_file = iter.next().cloned();
+        } else if arg == "all" {
+            selected.extend(EXPERIMENTS.iter().map(|s| s.to_string()));
+        } else if EXPERIMENTS.contains(&arg.as_str()) {
+            selected.push(arg.clone());
+        } else if arg == "--help" || arg == "-h" {
+            println!("usage: experiments <{}|all>... [--quick|--full] [--out FILE]", EXPERIMENTS.join("|"));
+            return;
+        } else {
+            eprintln!("unknown argument: {arg} (try --help)");
+            std::process::exit(2);
+        }
+    }
+    if selected.is_empty() {
+        println!("usage: experiments <{}|all>... [--quick|--full] [--out FILE]", EXPERIMENTS.join("|"));
+        return;
+    }
+
+    let cfg = ExperimentConfig::new(scale);
+    println!("scale: {scale:?}  (dmv rows: {}, conviva-a rows: {}, queries: {})", cfg.dmv_rows, cfg.conviva_a_rows, cfg.workload_queries);
+
+    let mut full_report = String::new();
+    for name in &selected {
+        println!("\n>>> running {name} ...");
+        match run_one(name, &cfg) {
+            Some(report) => {
+                println!("{report}");
+                full_report.push_str(&report);
+            }
+            None => eprintln!("unknown experiment {name}"),
+        }
+    }
+
+    if let Some(path) = out_file {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(full_report.as_bytes()).expect("write report");
+        println!("report written to {path}");
+    }
+}

@@ -1,0 +1,654 @@
+//! One function per table / figure of the paper's evaluation (§6).
+//!
+//! Every function prints a plain-text report whose layout mirrors the
+//! corresponding table or figure and also returns it as a `String` so the
+//! binary can tee it into EXPERIMENTS.md. See DESIGN.md §5 for the
+//! experiment-to-module index.
+
+use std::time::Instant;
+
+use naru_baselines::{
+    Dbms1Estimator, Histogram1dConfig, IndepEstimator, KdeEstimator, KdeSupervised, MscnConfig,
+    MscnEstimator, MultiDimHistogram, PostgresEstimator, SampleEstimator,
+};
+use naru_core::{
+    entropy_gap_bits, table_tuples, train_model, ColumnwiseConfig, ColumnwiseModel, MadeModel,
+    NaruConfig, NaruEstimator, NoisyOracle, OracleDensity, ProgressiveSampler, SamplerConfig,
+    SamplingEstimator, TrainConfig,
+};
+use naru_data::synthetic::{conviva_a_like, conviva_b_like, dmv_like};
+use naru_data::{shift, Table};
+use naru_query::{
+    generate_workload, q_error_from_selectivity, ErrorQuantiles, LabeledQuery,
+    SelectivityEstimator, WorkloadConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::accuracy::{evaluate_all, evaluate_estimator, EstimatorResult};
+use crate::config::ExperimentConfig;
+use crate::report::{fmt_err, fmt_size, render_accuracy_table, TextTable};
+
+/// The datasets used by the macrobenchmarks, built once per experiment.
+pub struct Datasets;
+
+impl Datasets {
+    /// DMV-like table at the configured scale.
+    pub fn dmv(cfg: &ExperimentConfig) -> Table {
+        dmv_like(cfg.dmv_rows, cfg.seed)
+    }
+
+    /// Conviva-A-like table at the configured scale.
+    pub fn conviva_a(cfg: &ExperimentConfig) -> Table {
+        conviva_a_like(cfg.conviva_a_rows, cfg.seed + 1)
+    }
+
+    /// Conviva-B-like table (100 columns) at the configured scale.
+    pub fn conviva_b(cfg: &ExperimentConfig) -> Table {
+        conviva_b_like(cfg.conviva_b_rows, 100, cfg.seed + 2)
+    }
+}
+
+fn section(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+/// Figure 4: distribution of true query selectivities produced by the
+/// workload generator, as a CDF sampled at deciles.
+pub fn fig4_selectivity_distribution(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Figure 4: query selectivity distribution");
+    let mut table = TextTable::new(&["dataset", "p10", "p25", "p50", "p75", "p90", "zero-card %"]);
+    for (name, data) in [("DMV", Datasets::dmv(cfg)), ("Conviva-A", Datasets::conviva_a(cfg))] {
+        let mut rng = StdRng::seed_from_u64(cfg.seed + 10);
+        let workload = generate_workload(&data, &WorkloadConfig::default(), cfg.workload_queries, &mut rng);
+        let sels: Vec<f64> = workload.iter().map(|q| q.selectivity).collect();
+        let zero = workload.iter().filter(|q| q.cardinality == 0).count();
+        let q = |p: f64| naru_tensor::stats::percentile(&sels, p);
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.4}", q(10.0)),
+            format!("{:.4}", q(25.0)),
+            format!("{:.4}", q(50.0)),
+            format!("{:.4}", q(75.0)),
+            format!("{:.4}", q(90.0)),
+            format!("{:.1}%", 100.0 * zero as f64 / workload.len() as f64),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Trains a single Naru model for a dataset. Different progressive-sample
+/// counts ("Naru-1000" vs "Naru-2000") reuse the same trained model through
+/// [`NaruVariant`] — exactly what the paper does.
+fn train_naru(table: &Table, base: &NaruConfig) -> NaruEstimator {
+    let (estimator, report) = NaruEstimator::train(table, base);
+    if let Some(gap) = report.final_entropy_gap_bits() {
+        println!("  [naru] trained: final entropy gap {gap:.2} bits, size {}", fmt_size(estimator.size_bytes()));
+    }
+    estimator
+}
+
+/// Wraps one trained Naru estimator as several "Naru-S" pseudo-estimators
+/// that share the same model but use different progressive-sample counts.
+struct NaruVariant<'a> {
+    inner: &'a NaruEstimator,
+    samples: usize,
+}
+
+impl SelectivityEstimator for NaruVariant<'_> {
+    fn name(&self) -> String {
+        format!("Naru-{}", self.samples)
+    }
+
+    fn estimate(&self, query: &naru_query::Query) -> f64 {
+        self.inner.estimate_with_samples(query, self.samples)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+}
+
+/// Shared runner for Tables 3 and 4: builds the baseline line-up, trains
+/// Naru, evaluates everything on a labeled workload.
+#[allow(clippy::too_many_arguments)]
+fn accuracy_experiment(
+    title: &str,
+    data: &Table,
+    naru_config: &NaruConfig,
+    cfg: &ExperimentConfig,
+    workload_config: &WorkloadConfig,
+    full_lineup: bool,
+) -> (String, Vec<EstimatorResult>) {
+    let mut out = section(title);
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 20);
+    println!("  generating workload ({} queries)...", cfg.workload_queries);
+    let workload = generate_workload(data, workload_config, cfg.workload_queries, &mut rng);
+    let training = generate_workload(data, &WorkloadConfig::default(), cfg.training_queries, &mut rng);
+
+    println!("  building baselines...");
+    let budget = (data.decoded_size_bytes() as f64 * 0.013) as usize;
+    let indep = IndepEstimator::build(data);
+    let postgres = PostgresEstimator::build(data, &Histogram1dConfig::default());
+    let dbms1 = Dbms1Estimator::build(data, &Histogram1dConfig::default(), 4);
+    let hist = MultiDimHistogram::build_within_budget(data, budget.max(64 * 1024));
+    let sample = SampleEstimator::build(data, cfg.sample_fraction, cfg.seed);
+    let kde = KdeEstimator::build(data, cfg.kde_points, cfg.seed);
+    let kde_superv = KdeSupervised::build(data, cfg.kde_points, cfg.seed, &training[..training.len().min(200)]);
+    println!("  training MSCN...");
+    let mscn_base = MscnEstimator::train(data, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
+    let mscn_zero = MscnEstimator::train(data, &training, &MscnConfig { sample_rows: 0, epochs: 30, ..Default::default() });
+
+    println!("  training Naru...");
+    let naru = train_naru(data, naru_config);
+    let naru_variants: Vec<NaruVariant> =
+        cfg.naru_sample_counts.iter().map(|&s| NaruVariant { inner: &naru, samples: s }).collect();
+
+    let mut estimators: Vec<&dyn SelectivityEstimator> = Vec::new();
+    if full_lineup {
+        estimators.push(&hist);
+        estimators.push(&indep);
+        estimators.push(&postgres);
+    }
+    estimators.push(&dbms1);
+    estimators.push(&sample);
+    estimators.push(&kde);
+    estimators.push(&kde_superv);
+    estimators.push(&mscn_base);
+    if full_lineup {
+        estimators.push(&mscn_zero);
+    }
+    for v in &naru_variants {
+        estimators.push(v);
+    }
+
+    println!("  evaluating {} estimators on {} queries...", estimators.len(), workload.len());
+    let results = evaluate_all(&estimators, &workload, data.num_rows());
+    let rows: Vec<_> = results.iter().map(EstimatorResult::to_row).collect();
+    out.push_str(&render_accuracy_table(&rows));
+    (out, results)
+}
+
+/// Table 3: estimation errors on the DMV-like dataset, full estimator
+/// line-up, grouped by selectivity bucket.
+pub fn table3_dmv(cfg: &ExperimentConfig) -> String {
+    let data = Datasets::dmv(cfg);
+    let (out, _) = accuracy_experiment(
+        "Table 3: estimation errors on DMV",
+        &data,
+        &cfg.naru_dmv(),
+        cfg,
+        &WorkloadConfig::default(),
+        true,
+    );
+    out
+}
+
+/// Table 4: estimation errors on the Conviva-A-like dataset (promising
+/// baselines only, as in the paper).
+pub fn table4_conviva_a(cfg: &ExperimentConfig) -> String {
+    let data = Datasets::conviva_a(cfg);
+    let (out, _) = accuracy_experiment(
+        "Table 4: estimation errors on Conviva-A",
+        &data,
+        &cfg.naru_conviva_a(),
+        cfg,
+        &WorkloadConfig::default(),
+        false,
+    );
+    out
+}
+
+/// Table 5: robustness to out-of-distribution queries on DMV.
+pub fn table5_ood(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Table 5: robustness to OOD queries (DMV)");
+    let data = Datasets::dmv(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 30);
+    let workload = generate_workload(&data, &WorkloadConfig::out_of_distribution(), cfg.workload_queries, &mut rng);
+    let zero = workload.iter().filter(|q| q.cardinality == 0).count();
+    out.push_str(&format!("{} of {} OOD queries have zero true cardinality\n", zero, workload.len()));
+
+    // In-distribution training queries, as in the paper (that is the point:
+    // supervised methods never saw queries like these).
+    let training = generate_workload(&data, &WorkloadConfig::default(), cfg.training_queries, &mut rng);
+    let mscn = MscnEstimator::train(&data, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
+    let kde_superv = KdeSupervised::build(&data, cfg.kde_points, cfg.seed, &training[..training.len().min(200)]);
+    let sample = SampleEstimator::build(&data, cfg.sample_fraction, cfg.seed);
+    let (naru, _) = NaruEstimator::train(&data, &cfg.naru_dmv());
+
+    let estimators: Vec<&dyn SelectivityEstimator> = vec![&mscn, &kde_superv, &sample, &naru];
+    let mut table = TextTable::new(&["Estimator", "Median", "95th", "99th", "Max"]);
+    for est in estimators {
+        let result = evaluate_estimator(est, &workload, data.num_rows());
+        let q = result.overall_quantiles().unwrap();
+        table.add_row(vec![result.name, fmt_err(q.median), fmt_err(q.p95), fmt_err(q.p99), fmt_err(q.max)]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Figure 5: training time vs estimation quality (entropy gap and max
+/// q-error after each epoch).
+pub fn fig5_training_quality(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Figure 5: training time vs quality");
+    for (name, data, naru_config) in [
+        ("DMV", Datasets::dmv(cfg), cfg.naru_dmv()),
+        ("Conviva-A", Datasets::conviva_a(cfg), cfg.naru_conviva_a()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(cfg.seed + 40);
+        let eval_queries = generate_workload(&data, &WorkloadConfig::default(), 30, &mut rng);
+        let mut model = MadeModel::new(data.schema().domain_sizes(), &naru_config.model);
+        let data_entropy = data.data_entropy_bits();
+        let tuples = table_tuples(&data);
+        let eval_tuples: Vec<Vec<u32>> = tuples.iter().take(1000).cloned().collect();
+
+        let mut table = TextTable::new(&["epoch", "seconds", "entropy gap (bits)", "max q-error"]);
+        let mut total_seconds = 0.0;
+        let epochs = naru_config.train.epochs;
+        for epoch in 1..=epochs {
+            let one = TrainConfig { epochs: 1, compute_data_entropy: false, eval_tuples: 0, seed: cfg.seed + epoch as u64, ..naru_config.train.clone() };
+            let report = train_model(&mut model, &data, &one);
+            total_seconds += report.epochs[0].seconds;
+            let gap = entropy_gap_bits(&model, &eval_tuples, data_entropy);
+            let sampler = ProgressiveSampler::new(SamplerConfig { num_samples: naru_config.num_samples, seed: 0 });
+            let max_err = eval_queries
+                .iter()
+                .map(|lq| {
+                    let est = sampler.estimate(&model, &lq.query.constraints(data.num_columns()));
+                    q_error_from_selectivity(est, lq.selectivity, data.num_rows())
+                })
+                .fold(f64::MIN, f64::max);
+            table.add_row(vec![
+                epoch.to_string(),
+                format!("{total_seconds:.1}"),
+                format!("{gap:.2}"),
+                fmt_err(max_err),
+            ]);
+        }
+        out.push_str(&format!("\n[{name}] data entropy {data_entropy:.2} bits\n"));
+        out.push_str(&table.render());
+    }
+    out
+}
+
+/// Figure 6: estimation latency per estimator (ms), as quantiles of the
+/// per-query latency distribution.
+pub fn fig6_latency(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Figure 6: estimation latency (ms)");
+    let data = Datasets::dmv(cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 50);
+    let queries = cfg.workload_queries.min(60);
+    let workload = generate_workload(&data, &WorkloadConfig::default(), queries, &mut rng);
+    let training = generate_workload(&data, &WorkloadConfig::default(), cfg.training_queries.min(200), &mut rng);
+
+    let postgres = PostgresEstimator::build(&data, &Histogram1dConfig::default());
+    let dbms1 = Dbms1Estimator::build(&data, &Histogram1dConfig::default(), 4);
+    let sample = SampleEstimator::build(&data, cfg.sample_fraction, cfg.seed);
+    let kde = KdeEstimator::build(&data, cfg.kde_points, cfg.seed);
+    let mscn = MscnEstimator::train(&data, &training, &MscnConfig { sample_rows: 1000, epochs: 15, ..Default::default() });
+    let (naru, _) = NaruEstimator::train(&data, &cfg.naru_dmv());
+    let naru_small = NaruVariant { inner: &naru, samples: cfg.naru_sample_counts[0] };
+
+    let estimators: Vec<&dyn SelectivityEstimator> = vec![&postgres, &dbms1, &sample, &kde, &mscn, &naru_small, &naru];
+    let mut table = TextTable::new(&["Estimator", "median ms", "p95 ms", "p99 ms", "max ms"]);
+    for est in estimators {
+        let result = evaluate_estimator(est, &workload, data.num_rows());
+        let q = result.latency_quantiles().unwrap();
+        table.add_row(vec![
+            result.name,
+            format!("{:.3}", q.median),
+            format!("{:.3}", q.p95),
+            format!("{:.3}", q.p99),
+            format!("{:.3}", q.max),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Table 6: query region sizes at the 99th percentile vs the estimated cost
+/// of exact enumeration vs Naru's measured progressive-sampling latency.
+pub fn table6_region_size(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Table 6: query region size vs enumeration cost");
+    let mut table = TextTable::new(&["dataset", "99%-tile region size", "enum (est.)", "Naru (measured)"]);
+    for (name, data, naru_config) in [
+        ("DMV", Datasets::dmv(cfg), cfg.naru_dmv()),
+        ("Conviva-A", Datasets::conviva_a(cfg), cfg.naru_conviva_a()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(cfg.seed + 60);
+        let workload = generate_workload(&data, &WorkloadConfig::default(), cfg.workload_queries.min(200), &mut rng);
+        let schema = data.schema();
+        let sizes: Vec<f64> = workload.iter().map(|lq| lq.query.region_size(&schema)).collect();
+        let p99 = naru_tensor::stats::percentile(&sizes, 99.0);
+
+        // Measure the model's per-point evaluation throughput on a small
+        // batch, then extrapolate to the region size (the paper's "Enum
+        // (est.)" column assumes peak throughput the same way).
+        let (naru, _) = NaruEstimator::train(&data, &naru_config);
+        let probe: Vec<Vec<u32>> = (0..256).map(|i| data.row(i % data.num_rows())).collect();
+        let start = Instant::now();
+        let _ = naru.model().log_likelihood_batch(&probe);
+        let per_point_s = start.elapsed().as_secs_f64() / probe.len() as f64;
+        let enum_hours = p99 * per_point_s / 3600.0;
+
+        // Measured progressive-sampling latency at the 99th percentile.
+        let lat_workload = &workload[..workload.len().min(40)];
+        let result = evaluate_estimator(&naru, lat_workload, data.num_rows());
+        let lat_p99 = result.latency_quantiles().unwrap().p99;
+
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.2e}", p99),
+            format!("{:.1} hr", enum_hours),
+            format!("{:.1} ms", lat_p99),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Table 7: model size vs entropy gap on Conviva-A (scaling hidden width).
+pub fn table7_model_size(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Table 7: model size vs entropy gap (Conviva-A)");
+    let data = Datasets::conviva_a(cfg);
+    let data_entropy = data.data_entropy_bits();
+    let tuples = table_tuples(&data);
+    let eval: Vec<Vec<u32>> = tuples.iter().take(1000).cloned().collect();
+
+    let widths: Vec<usize> = match cfg.scale {
+        crate::config::Scale::Quick => vec![16, 32, 64, 128],
+        crate::config::Scale::Full => vec![32, 64, 128, 256],
+    };
+    let epochs = match cfg.scale {
+        crate::config::Scale::Quick => 3,
+        crate::config::Scale::Full => 5,
+    };
+
+    let mut table = TextTable::new(&["architecture", "size", "entropy gap (bits)"]);
+    for &w in &widths {
+        let base = cfg.naru_conviva_a();
+        let model_config = naru_core::ModelConfig { hidden_sizes: vec![w; 4], ..base.model.clone() };
+        let mut model = MadeModel::new(data.schema().domain_sizes(), &model_config);
+        let train = TrainConfig { epochs, compute_data_entropy: false, eval_tuples: 0, ..base.train.clone() };
+        train_model(&mut model, &data, &train);
+        let gap = entropy_gap_bits(&model, &eval, data_entropy);
+        table.add_row(vec![
+            format!("{w}x{w}x{w}x{w}"),
+            fmt_size(model.size_bytes()),
+            format!("{gap:.2}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Figure 7: estimation accuracy as an artificial entropy gap is added to an
+/// oracle model (Conviva-B projected to its first 15 columns).
+pub fn fig7_entropy_gap(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Figure 7: accuracy vs model entropy gap (Conviva-B, 15 cols)");
+    let data = Datasets::conviva_b(cfg).project_columns(15);
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 70);
+    let num_queries = match cfg.scale {
+        crate::config::Scale::Quick => 25,
+        crate::config::Scale::Full => 50,
+    };
+    let workload = generate_workload(&data, &WorkloadConfig::default(), num_queries, &mut rng);
+    let tuples = table_tuples(&data);
+    let eval: Vec<Vec<u32>> = tuples.iter().take(300).cloned().collect();
+
+    let gaps = [0.0, 0.5, 2.0, 5.0, 10.0, 20.0];
+    let sample_counts = [50usize, 250, 1000];
+    let indep = IndepEstimator::build(&data);
+    let sample = SampleEstimator::build(&data, 0.01, cfg.seed);
+
+    let mut header: Vec<String> = vec!["gap (bits)".to_string()];
+    for &s in &sample_counts {
+        header.push(format!("Naru-{s} max"));
+    }
+    header.push("Indep max".to_string());
+    header.push("Sample(1%) max".to_string());
+    let mut table = TextTable::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let max_err = |est: &dyn SelectivityEstimator| -> f64 {
+        workload
+            .iter()
+            .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, data.num_rows()))
+            .fold(f64::MIN, f64::max)
+    };
+    let indep_max = max_err(&indep);
+    let sample_max = max_err(&sample);
+
+    for &target_gap in &gaps {
+        let eps = naru_core::calibrate_epsilon(&data, &eval, target_gap);
+        let mut cells = vec![format!("{target_gap:.1}")];
+        for &s in &sample_counts {
+            let noisy = NoisyOracle::new(OracleDensity::new(&data), eps);
+            let est = SamplingEstimator::new(noisy, s, format!("Naru-{s}"));
+            cells.push(fmt_err(max_err(&est)));
+        }
+        cells.push(fmt_err(indep_max));
+        cells.push(fmt_err(sample_max));
+        table.add_row(cells);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Figure 8: accuracy as the number of columns grows (Conviva-B, oracle
+/// model, progressive sampling with different path counts).
+pub fn fig8_column_scaling(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Figure 8: accuracy vs number of columns (Conviva-B, oracle model)");
+    let full = Datasets::conviva_b(cfg);
+    let col_counts = [5usize, 15, 30, 50, 75, 100];
+    let sample_counts: Vec<usize> = match cfg.scale {
+        crate::config::Scale::Quick => vec![100, 1000],
+        crate::config::Scale::Full => vec![100, 1000, 10_000],
+    };
+    let num_queries = match cfg.scale {
+        crate::config::Scale::Quick => 15,
+        crate::config::Scale::Full => 50,
+    };
+
+    let mut header: Vec<String> = vec!["columns".to_string(), "joint log10".to_string()];
+    for &s in &sample_counts {
+        header.push(format!("Naru-{s} max"));
+    }
+    header.push("Indep max".to_string());
+    header.push("Sample(1%) max".to_string());
+    let mut table = TextTable::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+
+    for &k in &col_counts {
+        let data = full.project_columns(k);
+        let mut rng = StdRng::seed_from_u64(cfg.seed + 80 + k as u64);
+        // The paper caps the number of predicates at 12 regardless of width.
+        let wconfig = WorkloadConfig { min_filters: 5.min(k), max_filters: 12.min(k), ..Default::default() };
+        let workload = generate_workload(&data, &wconfig, num_queries, &mut rng);
+        let max_err = |est: &dyn SelectivityEstimator| -> f64 {
+            workload
+                .iter()
+                .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, data.num_rows()))
+                .fold(f64::MIN, f64::max)
+        };
+        let mut cells = vec![k.to_string(), format!("{:.0}", data.schema().joint_size_log10())];
+        for &s in &sample_counts {
+            let est = SamplingEstimator::new(OracleDensity::new(&data), s, format!("Naru-{s}"));
+            cells.push(fmt_err(max_err(&est)));
+        }
+        let indep = IndepEstimator::build(&data);
+        let sample = SampleEstimator::build(&data, 0.01, cfg.seed);
+        cells.push(fmt_err(max_err(&indep)));
+        cells.push(fmt_err(max_err(&sample)));
+        table.add_row(cells);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Table 8: robustness to data shifts — DMV partitioned by date into five
+/// ingests; a stale model vs one fine-tuned after each ingest.
+pub fn table8_data_shift(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Table 8: robustness to data shifts (DMV, 5 ingests)");
+    let data = Datasets::dmv(cfg);
+    let date_col = data.column_index("valid_date").expect("dmv has valid_date");
+    let parts = shift::partition_by_column(&data, date_col, 5);
+
+    let naru_config = cfg.naru_dmv();
+    // Both models start from the first partition.
+    let (mut stale, _) = NaruEstimator::train(&parts[0], &naru_config);
+    let (mut refreshed, _) = NaruEstimator::train(&parts[0], &naru_config);
+    let num_queries = cfg.workload_queries.min(60);
+    let samples = 2000.min(*cfg.naru_sample_counts.last().unwrap_or(&1000) * 2);
+    stale.set_num_samples(samples);
+    refreshed.set_num_samples(samples);
+
+    let mut table = TextTable::new(&["ingested", "refreshed max", "refreshed p90", "stale max", "stale p90"]);
+    for k in 1..=parts.len() {
+        let visible = shift::ingested_prefix(&parts, k);
+        if k > 1 {
+            // Fine-tune the refreshed model on the newly ingested partition.
+            let ft = TrainConfig { epochs: 2, compute_data_entropy: false, eval_tuples: 0, ..naru_config.train.clone() };
+            naru_core::fine_tune(refreshed.model_mut(), &parts[k - 1], 2, &ft);
+        }
+        // Queries: literals drawn from the first partition, truths on all
+        // data ingested so far (the paper's protocol).
+        let mut rng = StdRng::seed_from_u64(cfg.seed + 90 + k as u64);
+        let raw = generate_workload(&parts[0], &WorkloadConfig::default(), num_queries, &mut rng);
+        let workload: Vec<LabeledQuery> = raw
+            .into_iter()
+            .map(|lq| {
+                let selectivity = naru_query::true_selectivity(&visible, &lq.query);
+                let cardinality = (selectivity * visible.num_rows() as f64).round() as u64;
+                LabeledQuery { query: lq.query, selectivity, cardinality }
+            })
+            .collect();
+
+        let summarize = |est: &NaruEstimator| -> (f64, f64) {
+            let errs: Vec<f64> = workload
+                .iter()
+                .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, visible.num_rows()))
+                .collect();
+            let q = ErrorQuantiles::from_errors(&errs).unwrap();
+            (q.max, naru_tensor::stats::percentile(&errs, 90.0))
+        };
+        let (r_max, r_p90) = summarize(&refreshed);
+        let (s_max, s_p90) = summarize(&stale);
+        table.add_row(vec![k.to_string(), fmt_err(r_max), fmt_err(r_p90), fmt_err(s_max), fmt_err(s_p90)]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// §4.3 ablation: architecture A (per-column nets) vs architecture B (masked
+/// MLP) at comparable parameter counts, compared by entropy gap.
+pub fn ablation_architectures(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Ablation: architecture A (per-column nets) vs B (masked MLP)");
+    let data = Datasets::conviva_a(cfg);
+    let data_entropy = data.data_entropy_bits();
+    let tuples = table_tuples(&data);
+    let eval: Vec<Vec<u32>> = tuples.iter().take(1000).cloned().collect();
+    let epochs = match cfg.scale {
+        crate::config::Scale::Quick => 3,
+        crate::config::Scale::Full => 8,
+    };
+
+    let base = cfg.naru_conviva_a();
+    let mut made = MadeModel::new(data.schema().domain_sizes(), &base.model);
+    let train = TrainConfig { epochs, compute_data_entropy: false, eval_tuples: 0, ..base.train.clone() };
+    train_model(&mut made, &data, &train);
+    let made_gap = entropy_gap_bits(&made, &eval, data_entropy);
+
+    let mut columnwise = ColumnwiseModel::new(
+        data.schema().domain_sizes(),
+        &ColumnwiseConfig { hidden_sizes: vec![32, 32], ..Default::default() },
+    );
+    train_model(&mut columnwise, &data, &train);
+    let col_gap = entropy_gap_bits(&columnwise, &eval, data_entropy);
+
+    let mut table = TextTable::new(&["architecture", "params", "entropy gap (bits)"]);
+    table.add_row(vec!["B: masked MLP".to_string(), made.param_count().to_string(), format!("{made_gap:.2}")]);
+    table.add_row(vec!["A: per-column nets".to_string(), columnwise.param_count().to_string(), format!("{col_gap:.2}")]);
+    out.push_str(&table.render());
+    out
+}
+
+/// Ablation: progressive sampling vs naive uniform sampling on a skewed,
+/// correlated workload (the §5.1 motivation).
+pub fn ablation_sampling(cfg: &ExperimentConfig) -> String {
+    let mut out = section("Ablation: progressive vs uniform sampling (oracle model, Conviva-B 15 cols)");
+    let data = Datasets::conviva_b(cfg).project_columns(15);
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 99);
+    let workload = generate_workload(&data, &WorkloadConfig::default(), 20, &mut rng);
+    let oracle = OracleDensity::new(&data);
+    let samples = 200;
+
+    let mut table = TextTable::new(&["sampler", "median q-error", "max q-error"]);
+    for progressive in [true, false] {
+        let errs: Vec<f64> = workload
+            .iter()
+            .map(|lq| {
+                let constraints = lq.query.constraints(data.num_columns());
+                let est = if progressive {
+                    ProgressiveSampler::new(SamplerConfig { num_samples: samples, seed: 0 }).estimate(&oracle, &constraints)
+                } else {
+                    naru_core::uniform_sampling_estimate(&oracle, &constraints, samples, 0)
+                };
+                q_error_from_selectivity(est, lq.selectivity, data.num_rows())
+            })
+            .collect();
+        let q = ErrorQuantiles::from_errors(&errs).unwrap();
+        table.add_row(vec![
+            if progressive { "progressive".to_string() } else { "uniform".to_string() },
+            fmt_err(q.median),
+            fmt_err(q.max),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    /// A miniature configuration so the experiment plumbing can be smoke
+    /// tested inside the normal test suite.
+    fn mini() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: Scale::Quick,
+            dmv_rows: 1200,
+            conviva_a_rows: 1000,
+            conviva_b_rows: 400,
+            workload_queries: 12,
+            training_queries: 40,
+            naru_sample_counts: vec![50, 100],
+            sample_fraction: 0.02,
+            kde_points: 100,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig4_runs_and_reports_both_datasets() {
+        let out = fig4_selectivity_distribution(&mini());
+        assert!(out.contains("DMV"));
+        assert!(out.contains("Conviva-A"));
+    }
+
+    #[test]
+    fn fig8_runs_on_small_scale() {
+        let mut cfg = mini();
+        cfg.conviva_b_rows = 300;
+        let out = fig8_column_scaling(&cfg);
+        assert!(out.contains("columns"));
+        assert!(out.contains("100"));
+    }
+
+    #[test]
+    fn ablation_sampling_shows_progressive_no_worse() {
+        let out = ablation_sampling(&mini());
+        assert!(out.contains("progressive"));
+        assert!(out.contains("uniform"));
+    }
+}

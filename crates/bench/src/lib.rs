@@ -1,0 +1,24 @@
+//! # naru-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§6), plus Criterion micro-benchmarks.
+//!
+//! * [`config`] — the `--quick` / `--full` experiment scales,
+//! * [`accuracy`] — the shared accuracy/latency measurement loop,
+//! * [`experiments`] — one function per table/figure (see DESIGN.md §5 for
+//!   the index),
+//! * [`report`] — plain-text table rendering matching the paper's layout.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p naru-bench --bin experiments -- all --quick
+//! ```
+
+pub mod accuracy;
+pub mod config;
+pub mod experiments;
+pub mod report;
+
+pub use accuracy::{evaluate_all, evaluate_estimator, EstimatorResult};
+pub use config::{ExperimentConfig, Scale};

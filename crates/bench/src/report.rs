@@ -1,0 +1,188 @@
+//! Plain-text report formatting.
+//!
+//! The experiment binaries print their results as aligned text tables whose
+//! rows and columns mirror the paper's tables, so a side-by-side comparison
+//! with the published numbers is a matter of reading two tables.
+
+use naru_query::{ErrorQuantiles, SelectivityBucket};
+
+/// Formats a floating-point value the way the paper prints q-errors:
+/// compact, with scientific notation for huge values.
+pub fn fmt_err(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v >= 10_000.0 {
+        format!("{:.0e}", v)
+    } else if v >= 100.0 {
+        format!("{:.0}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+/// A generic aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (cells are stringified already).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let num_cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; num_cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (num_cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One estimator's q-error quantiles per selectivity bucket — one row of an
+/// accuracy table (Tables 3 and 4).
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Estimator display name.
+    pub estimator: String,
+    /// Summary size in bytes.
+    pub size_bytes: usize,
+    /// Quantiles per bucket (None when the bucket had no queries).
+    pub per_bucket: Vec<(SelectivityBucket, Option<ErrorQuantiles>)>,
+    /// Quantiles over all queries regardless of bucket.
+    pub overall: Option<ErrorQuantiles>,
+}
+
+/// Renders a full accuracy table (the layout of Tables 3/4: one row per
+/// estimator, median/95th/99th/max per selectivity bucket).
+pub fn render_accuracy_table(rows: &[AccuracyRow]) -> String {
+    let mut header = vec!["Estimator".to_string(), "Size".to_string()];
+    for bucket in SelectivityBucket::ALL {
+        for stat in ["med", "p95", "p99", "max"] {
+            header.push(format!("{} {}", short_bucket(bucket), stat));
+        }
+    }
+    let mut table = TextTable::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for row in rows {
+        let mut cells = vec![row.estimator.clone(), fmt_size(row.size_bytes)];
+        for (_, quantiles) in &row.per_bucket {
+            match quantiles {
+                Some(q) => {
+                    cells.push(fmt_err(q.median));
+                    cells.push(fmt_err(q.p95));
+                    cells.push(fmt_err(q.p99));
+                    cells.push(fmt_err(q.max));
+                }
+                None => cells.extend(std::iter::repeat("-".to_string()).take(4)),
+            }
+        }
+        table.add_row(cells);
+    }
+    table.render()
+}
+
+fn short_bucket(bucket: SelectivityBucket) -> &'static str {
+    match bucket {
+        SelectivityBucket::High => "high",
+        SelectivityBucket::Medium => "med",
+        SelectivityBucket::Low => "low",
+    }
+}
+
+/// Human-readable byte size.
+pub fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1}MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1}KB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_err_ranges() {
+        assert_eq!(fmt_err(1.0), "1.00");
+        assert_eq!(fmt_err(99.4), "99.40");
+        assert_eq!(fmt_err(250.0), "250");
+        assert_eq!(fmt_err(2e6), "2e6");
+        assert_eq!(fmt_err(f64::NAN), "-");
+    }
+
+    #[test]
+    fn fmt_size_units() {
+        assert_eq!(fmt_size(12), "12B");
+        assert_eq!(fmt_size(2048), "2.0KB");
+        assert_eq!(fmt_size(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.add_row(vec!["a".to_string(), "1".to_string()]);
+        t.add_row(vec!["longer-name".to_string(), "12345".to_string()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn accuracy_table_renders_all_buckets() {
+        let q = ErrorQuantiles::from_errors(&[1.0, 2.0, 10.0]).unwrap();
+        let row = AccuracyRow {
+            estimator: "Naru-1000".to_string(),
+            size_bytes: 1_500_000,
+            per_bucket: SelectivityBucket::ALL.iter().map(|&b| (b, Some(q))).collect(),
+            overall: Some(q),
+        };
+        let rendered = render_accuracy_table(&[row]);
+        assert!(rendered.contains("Naru-1000"));
+        assert!(rendered.contains("1.4MB"));
+        assert!(rendered.contains("high med"));
+        assert!(rendered.contains("low max"));
+    }
+}

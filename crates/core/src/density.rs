@@ -1,0 +1,179 @@
+//! The conditional-density interface shared by neural models and oracles.
+//!
+//! Progressive sampling (§5.1) only needs one capability from the
+//! underlying density model: given values for columns `< i`, produce the
+//! conditional distribution of column `i`. The paper notes that the same
+//! sampler runs both on a trained autoregressive network and on an *oracle*
+//! distribution obtained by scanning the data (§6.7); this trait is that
+//! abstraction.
+
+use naru_tensor::Matrix;
+
+/// A factorized distribution over the rows of a table, exposed through its
+/// chain-rule conditionals.
+pub trait ConditionalDensity {
+    /// Number of columns of the modeled relation.
+    fn num_columns(&self) -> usize;
+
+    /// Domain sizes of each column.
+    fn domain_sizes(&self) -> &[usize];
+
+    /// Conditional distributions `P(X_col | prefix)` for a batch of
+    /// partially-filled tuples.
+    ///
+    /// `tuples` holds one id-encoded tuple per entry; only the first `col`
+    /// positions of each tuple are read (the autoregressive property
+    /// guarantees later positions cannot influence the result). The return
+    /// value has one row per tuple and `domain_sizes()[col]` columns, each
+    /// row summing to 1.
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix;
+
+    /// Log-likelihood (natural log) of each fully-specified tuple.
+    ///
+    /// The default implementation multiplies the chain-rule conditionals
+    /// column by column; models with a cheaper one-pass evaluation (the
+    /// MADE network) override it.
+    fn log_likelihood(&self, tuples: &[Vec<u32>]) -> Vec<f64> {
+        let n = self.num_columns();
+        let mut ll = vec![0.0f64; tuples.len()];
+        for col in 0..n {
+            let probs = self.conditionals(tuples, col);
+            for (t, tuple) in tuples.iter().enumerate() {
+                let p = probs.get(t, tuple[col] as usize) as f64;
+                ll[t] += p.max(f64::MIN_POSITIVE).ln();
+            }
+        }
+        ll
+    }
+}
+
+/// Average negative log-likelihood of `tuples` under `density`, in bits per
+/// tuple — the cross-entropy `H(P, P̂)` of Eq. 2 estimated on a sample.
+pub fn average_nll_bits<D: ConditionalDensity + ?Sized>(density: &D, tuples: &[Vec<u32>]) -> f64 {
+    if tuples.is_empty() {
+        return 0.0;
+    }
+    let ll = density.log_likelihood(tuples);
+    let nats: f64 = ll.iter().map(|&l| -l).sum::<f64>() / tuples.len() as f64;
+    nats / std::f64::consts::LN_2
+}
+
+/// The entropy gap (§3.3): `H(P, P̂) − H(P)` in bits, the KL divergence
+/// between the data distribution and the model. Non-negative in
+/// expectation; small values mean a good fit.
+pub fn entropy_gap_bits<D: ConditionalDensity + ?Sized>(
+    density: &D,
+    tuples: &[Vec<u32>],
+    data_entropy_bits: f64,
+) -> f64 {
+    average_nll_bits(density, tuples) - data_entropy_bits
+}
+
+/// A density that assumes full column independence with given marginals;
+/// used in tests as the simplest possible [`ConditionalDensity`], and by
+/// the noisy-oracle calibration.
+#[derive(Debug, Clone)]
+pub struct IndependentDensity {
+    domain_sizes: Vec<usize>,
+    /// Per-column probability vectors.
+    marginals: Vec<Vec<f32>>,
+}
+
+impl IndependentDensity {
+    /// Creates the density from per-column marginal distributions.
+    pub fn new(marginals: Vec<Vec<f32>>) -> Self {
+        let domain_sizes = marginals.iter().map(Vec::len).collect();
+        Self { domain_sizes, marginals }
+    }
+
+    /// Uniform marginals over the given domains.
+    pub fn uniform(domain_sizes: &[usize]) -> Self {
+        let marginals = domain_sizes.iter().map(|&d| vec![1.0 / d as f32; d]).collect();
+        Self { domain_sizes: domain_sizes.to_vec(), marginals }
+    }
+
+    /// Builds marginals from a table's per-column value counts.
+    pub fn from_table(table: &naru_data::Table) -> Self {
+        let marginals = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let counts = c.value_counts();
+                let n = c.len() as f32;
+                counts.iter().map(|&cnt| cnt as f32 / n).collect()
+            })
+            .collect();
+        Self::new(marginals)
+    }
+}
+
+impl ConditionalDensity for IndependentDensity {
+    fn num_columns(&self) -> usize {
+        self.domain_sizes.len()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        let marginal = &self.marginals[col];
+        let mut out = Matrix::zeros(tuples.len(), marginal.len());
+        for r in 0..tuples.len() {
+            out.row_mut(r).copy_from_slice(marginal);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_density_conditionals_are_marginals() {
+        let d = IndependentDensity::new(vec![vec![0.25, 0.75], vec![0.1, 0.2, 0.7]]);
+        let tuples = vec![vec![0, 0], vec![1, 2]];
+        let c0 = d.conditionals(&tuples, 0);
+        assert_eq!(c0.row(0), &[0.25, 0.75]);
+        let c1 = d.conditionals(&tuples, 1);
+        assert_eq!(c1.row(1), &[0.1, 0.2, 0.7]);
+    }
+
+    #[test]
+    fn log_likelihood_is_product_of_conditionals() {
+        let d = IndependentDensity::new(vec![vec![0.25, 0.75], vec![0.1, 0.2, 0.7]]);
+        let ll = d.log_likelihood(&[vec![1, 2]]);
+        assert!((ll[0] - (0.75f64 * 0.7).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_density_nll_is_log_joint_size() {
+        let d = IndependentDensity::uniform(&[4, 8]);
+        let tuples = vec![vec![0, 0], vec![3, 7]];
+        let nll = average_nll_bits(&d, &tuples);
+        assert!((nll - 5.0).abs() < 1e-5); // log2(32) = 5 bits
+    }
+
+    #[test]
+    fn entropy_gap_of_perfect_model_is_zero() {
+        // For a uniform data distribution over 32 tuples, a uniform model
+        // has zero gap.
+        let d = IndependentDensity::uniform(&[4, 8]);
+        let tuples: Vec<Vec<u32>> = (0..4).flat_map(|a| (0..8).map(move |b| vec![a, b])).collect();
+        let gap = entropy_gap_bits(&d, &tuples, 5.0);
+        assert!(gap.abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_table_matches_counts() {
+        let t = naru_data::Table::new(
+            "t",
+            vec![naru_data::Column::from_ids("a", vec![0, 0, 1, 1, 1, 1], 2)],
+        );
+        let d = IndependentDensity::from_table(&t);
+        let c = d.conditionals(&[vec![0]], 0);
+        assert!((c.get(0, 0) - 2.0 / 6.0).abs() < 1e-6);
+        assert!((c.get(0, 1) - 4.0 / 6.0).abs() < 1e-6);
+    }
+}

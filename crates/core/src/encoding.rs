@@ -1,0 +1,154 @@
+//! Per-column input encodings (§4.2 of the paper).
+//!
+//! Every column is dictionary-encoded to ids by `naru-data`; this module
+//! decides how those ids are presented to the neural network:
+//!
+//! * **one-hot** for small domains (default threshold 64), exactly as the
+//!   paper's default;
+//! * **embedding** for large domains — a learnable `|A_i| × h` table, the
+//!   paper's default for large domains (and the matrix reused for output
+//!   decoding when "embedding reuse" is enabled);
+//! * **binary** — the id's bit pattern, an `O(log |A_i|)`-width encoding
+//!   offered by the reference implementation as a compact alternative;
+//!   supported here for the encoding ablation.
+
+/// The encoding chosen for one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnEncoding {
+    /// Indicator vector of width `|A_i|`.
+    OneHot,
+    /// Bit pattern of the id, width `ceil(log2 |A_i|)`.
+    Binary,
+    /// Row lookup into a learnable `|A_i| × h` table.
+    Embedding {
+        /// Embedding width `h`.
+        dim: usize,
+    },
+}
+
+impl ColumnEncoding {
+    /// Width of the encoded representation for a domain of size `domain`.
+    pub fn width(&self, domain: usize) -> usize {
+        match self {
+            ColumnEncoding::OneHot => domain,
+            ColumnEncoding::Binary => bits_for_domain(domain),
+            ColumnEncoding::Embedding { dim } => *dim,
+        }
+    }
+}
+
+/// Number of bits needed to represent ids in `[0, domain)`.
+pub fn bits_for_domain(domain: usize) -> usize {
+    if domain <= 1 {
+        1
+    } else {
+        (usize::BITS - (domain - 1).leading_zeros()) as usize
+    }
+}
+
+/// Writes the binary encoding of `id` into `out` (length = bits, most
+/// significant bit first), as 0.0/1.0 floats.
+pub fn encode_binary(id: u32, bits: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), bits);
+    for (i, slot) in out.iter_mut().enumerate() {
+        let shift = bits - 1 - i;
+        *slot = ((id >> shift) & 1) as f32;
+    }
+}
+
+/// Policy deciding the encoding of each column from its domain size.
+#[derive(Debug, Clone)]
+pub struct EncodingPolicy {
+    /// Domains up to this size use one-hot (paper default: 64).
+    pub one_hot_threshold: usize,
+    /// Embedding width `h` for large domains (paper default: 64).
+    pub embedding_dim: usize,
+    /// If true, large domains use [`ColumnEncoding::Binary`] instead of
+    /// embeddings (a lighter-weight option for very wide tables).
+    pub prefer_binary_for_large: bool,
+}
+
+impl Default for EncodingPolicy {
+    fn default() -> Self {
+        Self { one_hot_threshold: 64, embedding_dim: 64, prefer_binary_for_large: false }
+    }
+}
+
+impl EncodingPolicy {
+    /// A policy with a smaller embedding width, used by the scaled-down
+    /// experiment configurations.
+    pub fn compact(embedding_dim: usize) -> Self {
+        Self { embedding_dim, ..Self::default() }
+    }
+
+    /// Chooses the encoding for a column with the given domain size.
+    pub fn choose(&self, domain: usize) -> ColumnEncoding {
+        if domain <= self.one_hot_threshold {
+            ColumnEncoding::OneHot
+        } else if self.prefer_binary_for_large {
+            ColumnEncoding::Binary
+        } else {
+            // An embedding wider than the domain would waste parameters.
+            ColumnEncoding::Embedding { dim: self.embedding_dim.min(domain) }
+        }
+    }
+
+    /// Chooses encodings for a whole schema.
+    pub fn choose_all(&self, domain_sizes: &[usize]) -> Vec<ColumnEncoding> {
+        domain_sizes.iter().map(|&d| self.choose(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_domain_edges() {
+        assert_eq!(bits_for_domain(1), 1);
+        assert_eq!(bits_for_domain(2), 1);
+        assert_eq!(bits_for_domain(3), 2);
+        assert_eq!(bits_for_domain(4), 2);
+        assert_eq!(bits_for_domain(5), 3);
+        assert_eq!(bits_for_domain(1024), 10);
+        assert_eq!(bits_for_domain(1025), 11);
+    }
+
+    #[test]
+    fn binary_encoding_round_trips() {
+        let bits = bits_for_domain(100);
+        let mut buf = vec![0.0; bits];
+        for id in [0u32, 1, 42, 99] {
+            encode_binary(id, bits, &mut buf);
+            let decoded: u32 = buf.iter().fold(0, |acc, &b| (acc << 1) | (b as u32));
+            assert_eq!(decoded, id);
+        }
+    }
+
+    #[test]
+    fn policy_thresholds() {
+        let policy = EncodingPolicy::default();
+        assert_eq!(policy.choose(4), ColumnEncoding::OneHot);
+        assert_eq!(policy.choose(64), ColumnEncoding::OneHot);
+        assert_eq!(policy.choose(65), ColumnEncoding::Embedding { dim: 64 });
+        assert_eq!(policy.choose(2101), ColumnEncoding::Embedding { dim: 64 });
+        let binary = EncodingPolicy { prefer_binary_for_large: true, ..Default::default() };
+        assert_eq!(binary.choose(2101), ColumnEncoding::Binary);
+    }
+
+    #[test]
+    fn widths_match_encoding() {
+        assert_eq!(ColumnEncoding::OneHot.width(7), 7);
+        assert_eq!(ColumnEncoding::Binary.width(7), 3);
+        assert_eq!(ColumnEncoding::Embedding { dim: 16 }.width(7), 16);
+    }
+
+    #[test]
+    fn choose_all_covers_schema() {
+        let policy = EncodingPolicy::compact(8);
+        let encs = policy.choose_all(&[4, 2101, 2]);
+        assert_eq!(encs.len(), 3);
+        assert_eq!(encs[0], ColumnEncoding::OneHot);
+        assert_eq!(encs[1], ColumnEncoding::Embedding { dim: 8 });
+    }
+}

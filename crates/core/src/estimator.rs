@@ -1,0 +1,251 @@
+//! The user-facing Naru estimator.
+//!
+//! [`NaruEstimator`] bundles a trained autoregressive density model with a
+//! progressive sampler behind the workspace-wide
+//! [`SelectivityEstimator`] trait, so it can be dropped into the same
+//! harness as every baseline. [`SamplingEstimator`] is the same wrapper
+//! over an arbitrary [`ConditionalDensity`] — it is how the §6.7
+//! microbenchmarks run the sampler against oracle and noisy-oracle models.
+
+use naru_data::Table;
+use naru_query::{Query, SelectivityEstimator};
+
+use crate::density::ConditionalDensity;
+use crate::model::{MadeModel, ModelConfig};
+use crate::sampler::{ProgressiveSampler, SamplerConfig};
+use crate::train::{train_model, TrainConfig, TrainReport};
+
+/// Configuration for building a Naru estimator end-to-end.
+#[derive(Debug, Clone)]
+pub struct NaruConfig {
+    /// Network architecture and encodings.
+    pub model: ModelConfig,
+    /// Training schedule.
+    pub train: TrainConfig,
+    /// Progressive-sampling paths per query.
+    pub num_samples: usize,
+}
+
+impl Default for NaruConfig {
+    fn default() -> Self {
+        Self { model: ModelConfig::default(), train: TrainConfig::default(), num_samples: 2000 }
+    }
+}
+
+impl NaruConfig {
+    /// A small configuration (tiny network, few epochs, few samples) suited
+    /// to unit tests, examples, and the `--quick` experiment scale.
+    pub fn small() -> Self {
+        Self {
+            model: ModelConfig {
+                hidden_sizes: vec![64, 64],
+                encoding: crate::encoding::EncodingPolicy::compact(16),
+                embedding_reuse: true,
+                seed: 0,
+            },
+            train: TrainConfig::quick(4),
+            num_samples: 500,
+        }
+    }
+
+    /// Overrides the number of progressive samples.
+    pub fn with_samples(mut self, num_samples: usize) -> Self {
+        self.num_samples = num_samples;
+        self
+    }
+
+    /// Overrides the RNG seeds used by the model and trainer.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.model.seed = seed;
+        self.train.seed = seed;
+        self
+    }
+}
+
+/// A trained Naru model plus its progressive sampler.
+pub struct NaruEstimator {
+    model: MadeModel,
+    sampler: ProgressiveSampler,
+    num_samples: usize,
+}
+
+impl NaruEstimator {
+    /// Trains a model on `table` and wraps it as an estimator. Also returns
+    /// the per-epoch training report (Figure 5's raw data).
+    pub fn train(table: &Table, config: &NaruConfig) -> (Self, TrainReport) {
+        let mut model = MadeModel::new(table.schema().domain_sizes(), &config.model);
+        let report = train_model(&mut model, table, &config.train);
+        (Self::from_model(model, config.num_samples), report)
+    }
+
+    /// Wraps an already-trained model.
+    pub fn from_model(model: MadeModel, num_samples: usize) -> Self {
+        let sampler = ProgressiveSampler::new(SamplerConfig { num_samples, seed: 0 });
+        Self { model, sampler, num_samples }
+    }
+
+    /// Changes the number of progressive samples (Naru-1000 vs Naru-2000 …).
+    pub fn set_num_samples(&mut self, num_samples: usize) {
+        self.num_samples = num_samples;
+        self.sampler = ProgressiveSampler::new(SamplerConfig { num_samples, seed: 0 });
+    }
+
+    /// The underlying density model.
+    pub fn model(&self) -> &MadeModel {
+        &self.model
+    }
+
+    /// Mutable access to the model, for fine-tuning on new data.
+    pub fn model_mut(&mut self) -> &mut MadeModel {
+        &mut self.model
+    }
+
+    /// Estimates a query with an explicit sample count (without rebuilding
+    /// the estimator).
+    pub fn estimate_with_samples(&self, query: &Query, num_samples: usize) -> f64 {
+        let sampler = ProgressiveSampler::new(SamplerConfig { num_samples, seed: 0 });
+        sampler.estimate(&self.model, &query.constraints(self.model.num_columns()))
+    }
+}
+
+impl SelectivityEstimator for NaruEstimator {
+    fn name(&self) -> String {
+        format!("Naru-{}", self.num_samples)
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        self.sampler.estimate(&self.model, &query.constraints(self.model.num_columns()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.model.size_bytes()
+    }
+}
+
+/// Progressive sampling over an arbitrary density (oracle, noisy oracle, or
+/// a column-wise model), exposed as a [`SelectivityEstimator`].
+pub struct SamplingEstimator<D: ConditionalDensity> {
+    density: D,
+    sampler: ProgressiveSampler,
+    label: String,
+    size_bytes: usize,
+}
+
+impl<D: ConditionalDensity> SamplingEstimator<D> {
+    /// Wraps `density` with `num_samples` progressive-sampling paths.
+    pub fn new(density: D, num_samples: usize, label: impl Into<String>) -> Self {
+        Self {
+            density,
+            sampler: ProgressiveSampler::new(SamplerConfig { num_samples, seed: 0 }),
+            label: label.into(),
+            size_bytes: 0,
+        }
+    }
+
+    /// Records a nominal summary size (oracles have no meaningful size; a
+    /// trained model passes its parameter bytes).
+    pub fn with_size_bytes(mut self, size: usize) -> Self {
+        self.size_bytes = size;
+        self
+    }
+
+    /// The wrapped density.
+    pub fn density(&self) -> &D {
+        &self.density
+    }
+}
+
+impl<D: ConditionalDensity> SelectivityEstimator for SamplingEstimator<D> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn estimate(&self, query: &Query) -> f64 {
+        self.sampler.estimate(&self.density, &query.constraints(self.density.num_columns()))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleDensity;
+    use naru_data::synthetic::correlated_pair;
+    use naru_query::{q_error_from_selectivity, true_selectivity, Predicate, WorkloadConfig};
+
+    #[test]
+    fn trained_estimator_beats_independence_on_correlated_data() {
+        // The core claim of the paper in miniature: on correlated data the
+        // learned joint beats the independence assumption.
+        let table = correlated_pair(3000, 6, 0.95, 9);
+        let config = NaruConfig {
+            model: ModelConfig { hidden_sizes: vec![32, 32], encoding: crate::encoding::EncodingPolicy::compact(8), embedding_reuse: true, seed: 2 },
+            train: TrainConfig { epochs: 6, batch_size: 128, eval_tuples: 0, ..Default::default() },
+            num_samples: 300,
+        };
+        let (estimator, _) = NaruEstimator::train(&table, &config);
+
+        // Independence baseline computed from exact marginals.
+        let indep = crate::density::IndependentDensity::from_table(&table);
+
+        let queries = vec![
+            Query::new(vec![Predicate::eq(0, 0), Predicate::eq(1, 0)]),
+            Query::new(vec![Predicate::eq(0, 1), Predicate::eq(1, 1)]),
+            Query::new(vec![Predicate::le(0, 1), Predicate::le(1, 1)]),
+        ];
+        let mut naru_worse = 0;
+        for q in &queries {
+            let truth = true_selectivity(&table, q);
+            let naru_est = estimator.estimate(q);
+            let indep_est: f64 = {
+                // Closed-form product of marginal selectivities.
+                let sampler = ProgressiveSampler::new(SamplerConfig { num_samples: 200, seed: 1 });
+                sampler.estimate(&indep, &q.constraints(2))
+            };
+            let naru_err = q_error_from_selectivity(naru_est, truth, table.num_rows());
+            let indep_err = q_error_from_selectivity(indep_est, truth, table.num_rows());
+            if naru_err > indep_err * 1.05 {
+                naru_worse += 1;
+            }
+        }
+        assert!(naru_worse <= 1, "Naru lost to independence on {naru_worse}/3 correlated queries");
+    }
+
+    #[test]
+    fn estimator_name_and_size() {
+        let table = correlated_pair(300, 4, 0.8, 1);
+        let config = NaruConfig::small().with_samples(123);
+        let (est, _) = NaruEstimator::train(&table, &config);
+        assert_eq!(est.name(), "Naru-123");
+        assert!(est.size_bytes() > 0);
+    }
+
+    #[test]
+    fn sampling_estimator_wraps_oracle() {
+        let table = correlated_pair(1000, 6, 0.9, 4);
+        let oracle = OracleDensity::new(&table);
+        let est = SamplingEstimator::new(oracle, 400, "Oracle-400");
+        let q = Query::new(vec![Predicate::le(0, 2), Predicate::ge(1, 1)]);
+        let truth = true_selectivity(&table, &q);
+        let sel = est.estimate(&q);
+        assert!(q_error_from_selectivity(sel, truth, table.num_rows()) < 1.5);
+        assert_eq!(est.name(), "Oracle-400");
+        assert_eq!(est.size_bytes(), 0);
+    }
+
+    #[test]
+    fn estimates_stay_in_unit_interval_across_a_workload() {
+        let table = correlated_pair(800, 8, 0.7, 5);
+        let (est, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(100));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use rand::SeedableRng;
+        let workload = naru_query::generate_workload(&table, &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() }, 20, &mut rng);
+        for lq in &workload {
+            let sel = est.estimate(&lq.query);
+            assert!((0.0..=1.0).contains(&sel), "selectivity {sel} out of range");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Oracle and noisy-oracle densities (§6.7 of the paper).
+//!
+//! The Conviva-B microbenchmarks isolate the two error sources of Naru —
+//! model imprecision and progressive-sampling variance — by running the
+//! sampler against an *emulated oracle model*: the exact conditional
+//! distributions obtained by scanning the data at every step. The paper
+//! then dials in an artificial entropy gap (Figure 7) to see how much model
+//! imprecision the sampler tolerates; [`NoisyOracle`] reproduces that by
+//! mixing each exact conditional with a uniform distribution.
+
+use naru_data::Table;
+use naru_tensor::Matrix;
+
+use crate::density::ConditionalDensity;
+
+/// The exact chain-rule conditionals of a table, computed by scanning.
+///
+/// Each conditional query filters the rows matching the prefix and
+/// histograms the target column. To keep repeated calls cheap, the oracle
+/// is stateless but the scan is restricted to the rows matching the prefix
+/// (computed per call); progressive sampling benefits automatically because
+/// the matching set shrinks as the prefix grows.
+pub struct OracleDensity {
+    /// Column-major copy of the table's ids.
+    columns: Vec<Vec<u32>>,
+    domain_sizes: Vec<usize>,
+    /// Laplace-style smoothing mass added to every conditional cell so the
+    /// oracle never assigns exactly zero probability to an id (keeps
+    /// log-likelihoods finite). Zero disables smoothing.
+    smoothing: f64,
+}
+
+impl OracleDensity {
+    /// Builds the oracle from a table.
+    pub fn new(table: &Table) -> Self {
+        Self::with_smoothing(table, 0.0)
+    }
+
+    /// Builds the oracle with additive smoothing `alpha` per conditional cell.
+    pub fn with_smoothing(table: &Table, alpha: f64) -> Self {
+        let columns = table.columns().iter().map(|c| c.ids().to_vec()).collect();
+        let domain_sizes = table.columns().iter().map(|c| c.domain_size()).collect();
+        Self { columns, domain_sizes, smoothing: alpha }
+    }
+
+    fn num_rows(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    /// Rows matching `prefix` (the first `col` values of `tuple`).
+    fn matching_rows(&self, tuple: &[u32], col: usize) -> Vec<u32> {
+        let mut rows: Vec<u32> = (0..self.num_rows() as u32).collect();
+        for c in 0..col {
+            let want = tuple[c];
+            let ids = &self.columns[c];
+            rows.retain(|&r| ids[r as usize] == want);
+            if rows.is_empty() {
+                break;
+            }
+        }
+        rows
+    }
+
+    /// Conditional distribution of column `col` given the prefix of `tuple`.
+    fn conditional_for(&self, tuple: &[u32], col: usize) -> Vec<f32> {
+        let domain = self.domain_sizes[col];
+        let rows = self.matching_rows(tuple, col);
+        let mut counts = vec![self.smoothing; domain];
+        let ids = &self.columns[col];
+        for &r in &rows {
+            counts[ids[r as usize] as usize] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        if total <= 0.0 {
+            // Prefix unseen in the data: fall back to uniform so the sampler
+            // can keep going (its weight will already be ~0 for this path).
+            return vec![1.0 / domain as f32; domain];
+        }
+        counts.iter().map(|&c| (c / total) as f32).collect()
+    }
+}
+
+impl ConditionalDensity for OracleDensity {
+    fn num_columns(&self) -> usize {
+        self.domain_sizes.len()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        let domain = self.domain_sizes[col];
+        let mut out = Matrix::zeros(tuples.len(), domain);
+        for (r, tuple) in tuples.iter().enumerate() {
+            let probs = self.conditional_for(tuple, col);
+            out.row_mut(r).copy_from_slice(&probs);
+        }
+        out
+    }
+}
+
+/// An oracle whose conditionals are mixed with the uniform distribution:
+/// `p'(x) = (1 − ε)·p(x) + ε / |A_i|`.
+///
+/// Increasing `ε` increases the entropy gap of the resulting model in a
+/// controlled way, which is how Figure 7's x-axis is produced. Use
+/// [`NoisyOracle::calibrate_epsilon`] to find the `ε` matching a target gap
+/// for a particular table.
+pub struct NoisyOracle<D: ConditionalDensity> {
+    inner: D,
+    epsilon: f64,
+}
+
+impl<D: ConditionalDensity> NoisyOracle<D> {
+    /// Wraps `inner`, mixing each conditional with uniform weight `epsilon`.
+    pub fn new(inner: D, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+        Self { inner, epsilon }
+    }
+
+    /// The mixing weight.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Consumes the wrapper and returns the inner density.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: ConditionalDensity> ConditionalDensity for NoisyOracle<D> {
+    fn num_columns(&self) -> usize {
+        self.inner.num_columns()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.inner.domain_sizes()
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        let mut probs = self.inner.conditionals(tuples, col);
+        let domain = self.domain_sizes()[col] as f32;
+        let eps = self.epsilon as f32;
+        let uniform = eps / domain;
+        probs.map_inplace(|p| (1.0 - eps) * p + uniform);
+        probs
+    }
+}
+
+/// Finds the mixing weight `ε` whose [`NoisyOracle`] over `oracle` has an
+/// entropy gap (measured on `tuples`) closest to `target_gap_bits`, by
+/// bisection on `ε ∈ [0, 1]`.
+pub fn calibrate_epsilon(
+    table: &Table,
+    tuples: &[Vec<u32>],
+    target_gap_bits: f64,
+) -> f64 {
+    if target_gap_bits <= 0.0 {
+        return 0.0;
+    }
+    let data_entropy = table.data_entropy_bits();
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..30 {
+        let mid = 0.5 * (lo + hi);
+        let noisy = NoisyOracle::new(OracleDensity::new(table), mid);
+        let gap = crate::density::entropy_gap_bits(&noisy, tuples, data_entropy);
+        if gap < target_gap_bits {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::{average_nll_bits, entropy_gap_bits};
+    use naru_data::Column;
+
+    fn table() -> Table {
+        // Strong dependency: b == a; c uniform-ish.
+        Table::new(
+            "t",
+            vec![
+                Column::from_ids("a", vec![0, 0, 1, 1, 2, 2, 2, 2], 3),
+                Column::from_ids("b", vec![0, 0, 1, 1, 2, 2, 2, 2], 3),
+                Column::from_ids("c", vec![0, 1, 0, 1, 0, 1, 0, 1], 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn oracle_marginal_matches_counts() {
+        let t = table();
+        let oracle = OracleDensity::new(&t);
+        let probs = oracle.conditionals(&[vec![0, 0, 0]], 0);
+        assert!((probs.get(0, 0) - 0.25).abs() < 1e-6);
+        assert!((probs.get(0, 2) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oracle_conditional_is_exact() {
+        let t = table();
+        let oracle = OracleDensity::new(&t);
+        // P(b | a=2) is a point mass on 2.
+        let probs = oracle.conditionals(&[vec![2, 0, 0]], 1);
+        assert!((probs.get(0, 2) - 1.0).abs() < 1e-6);
+        assert!(probs.get(0, 0) < 1e-6);
+    }
+
+    #[test]
+    fn oracle_unseen_prefix_falls_back_to_uniform() {
+        let t = Table::new("t", vec![Column::from_ids("a", vec![0, 0], 3), Column::from_ids("b", vec![1, 1], 4)]);
+        let oracle = OracleDensity::new(&t);
+        let probs = oracle.conditionals(&[vec![2, 0]], 1); // a=2 never occurs
+        for i in 0..4 {
+            assert!((probs.get(0, i) - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn oracle_has_zero_entropy_gap() {
+        let t = table();
+        let oracle = OracleDensity::new(&t);
+        let tuples: Vec<Vec<u32>> = (0..t.num_rows()).map(|r| t.row(r)).collect();
+        let gap = entropy_gap_bits(&oracle, &tuples, t.data_entropy_bits());
+        assert!(gap.abs() < 1e-6, "oracle gap should be 0, got {gap}");
+    }
+
+    #[test]
+    fn noisy_oracle_gap_grows_with_epsilon() {
+        let t = table();
+        let tuples: Vec<Vec<u32>> = (0..t.num_rows()).map(|r| t.row(r)).collect();
+        let h = t.data_entropy_bits();
+        let gap_small = entropy_gap_bits(&NoisyOracle::new(OracleDensity::new(&t), 0.1), &tuples, h);
+        let gap_large = entropy_gap_bits(&NoisyOracle::new(OracleDensity::new(&t), 0.9), &tuples, h);
+        assert!(gap_small > 0.0);
+        assert!(gap_large > gap_small);
+    }
+
+    #[test]
+    fn noisy_oracle_rows_still_sum_to_one() {
+        let t = table();
+        let noisy = NoisyOracle::new(OracleDensity::new(&t), 0.5);
+        for col in 0..3 {
+            let probs = noisy.conditionals(&[vec![2, 2, 0]], col);
+            let s: f32 = probs.row(0).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn calibration_hits_target_gap() {
+        let t = table();
+        let tuples: Vec<Vec<u32>> = (0..t.num_rows()).map(|r| t.row(r)).collect();
+        let target = 1.0;
+        let eps = calibrate_epsilon(&t, &tuples, target);
+        let noisy = NoisyOracle::new(OracleDensity::new(&t), eps);
+        let gap = entropy_gap_bits(&noisy, &tuples, t.data_entropy_bits());
+        assert!((gap - target).abs() < 0.1, "calibrated gap {gap} vs target {target}");
+        assert_eq!(calibrate_epsilon(&t, &tuples, 0.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_mixture_nll_interpolates_toward_uniform_model() {
+        let t = table();
+        let tuples: Vec<Vec<u32>> = (0..t.num_rows()).map(|r| t.row(r)).collect();
+        let oracle_nll = average_nll_bits(&OracleDensity::new(&t), &tuples);
+        let noisy_nll = average_nll_bits(&NoisyOracle::new(OracleDensity::new(&t), 1.0), &tuples);
+        // With epsilon = 1 the model is exactly the uniform joint: NLL = log2 |joint|.
+        let expected = (3f64 * 3.0 * 2.0).log2();
+        assert!((noisy_nll - expected).abs() < 1e-5);
+        assert!(oracle_nll < noisy_nll);
+    }
+}

@@ -1,0 +1,233 @@
+//! Unsupervised maximum-likelihood training (§3.2, §4.1 of the paper).
+//!
+//! Training needs nothing but a stream of tuples from the relation — no
+//! queries, no feedback. Each epoch shuffles the rows, walks them in
+//! minibatches, and applies one Adam step per batch on the summed
+//! per-column cross-entropy (the tuple negative log-likelihood). After each
+//! epoch the trainer evaluates the average NLL in bits and, when the data
+//! entropy is available, the entropy gap (§3.3) — the two quality curves of
+//! Figure 5.
+
+use std::time::Instant;
+
+use naru_data::Table;
+use naru_nn::optimizer::AdamConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::columnwise::ColumnwiseModel;
+use crate::density::{average_nll_bits, ConditionalDensity};
+use crate::model::MadeModel;
+
+/// A density model that can be trained by maximum likelihood.
+pub trait TrainableDensity: ConditionalDensity {
+    /// One gradient step on a batch; returns the batch NLL in nats/tuple.
+    fn train_step(&mut self, tuples: &[Vec<u32>], adam: &AdamConfig) -> f64;
+}
+
+impl TrainableDensity for MadeModel {
+    fn train_step(&mut self, tuples: &[Vec<u32>], adam: &AdamConfig) -> f64 {
+        MadeModel::train_step(self, tuples, adam)
+    }
+}
+
+impl TrainableDensity for ColumnwiseModel {
+    fn train_step(&mut self, tuples: &[Vec<u32>], adam: &AdamConfig) -> f64 {
+        ColumnwiseModel::train_step(self, tuples, adam)
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam settings.
+    pub adam: AdamConfig,
+    /// Shuffling / evaluation-subsample seed.
+    pub seed: u64,
+    /// Number of tuples used to evaluate NLL / entropy gap after each epoch
+    /// (a uniform subsample; 0 disables per-epoch evaluation).
+    pub eval_tuples: usize,
+    /// Whether to compute the exact data entropy `H(P)` once before
+    /// training (hashing all rows); enables the entropy-gap curve.
+    pub compute_data_entropy: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 512,
+            adam: AdamConfig { lr: 2e-3, ..Default::default() },
+            seed: 0,
+            eval_tuples: 2000,
+            compute_data_entropy: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A fast configuration for tests and the `--quick` experiment scale.
+    pub fn quick(epochs: usize) -> Self {
+        Self { epochs, batch_size: 256, eval_tuples: 1000, ..Default::default() }
+    }
+}
+
+/// Quality metrics recorded after each epoch.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches, in nats per tuple.
+    pub train_loss_nats: f64,
+    /// Average NLL on the evaluation subsample, in bits per tuple.
+    pub eval_nll_bits: f64,
+    /// Entropy gap in bits (`eval_nll_bits − H(P)`), when `H(P)` is known.
+    pub entropy_gap_bits: Option<f64>,
+    /// Wall-clock seconds spent in this epoch (training only).
+    pub seconds: f64,
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Per-epoch statistics, in order.
+    pub epochs: Vec<EpochStats>,
+    /// Exact data entropy in bits, if computed.
+    pub data_entropy_bits: Option<f64>,
+}
+
+impl TrainReport {
+    /// The entropy gap after the final epoch, if available.
+    pub fn final_entropy_gap_bits(&self) -> Option<f64> {
+        self.epochs.last().and_then(|e| e.entropy_gap_bits)
+    }
+}
+
+/// Extracts all rows of a table as id tuples.
+pub fn table_tuples(table: &Table) -> Vec<Vec<u32>> {
+    (0..table.num_rows()).map(|r| table.row(r)).collect()
+}
+
+/// Trains `model` on `table` for `config.epochs` passes, returning per-epoch
+/// quality statistics. Works for both architectures (A and B).
+pub fn train_model<M: TrainableDensity>(model: &mut M, table: &Table, config: &TrainConfig) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let tuples = table_tuples(table);
+    assert!(!tuples.is_empty(), "cannot train on an empty table");
+
+    let data_entropy_bits = if config.compute_data_entropy { Some(table.data_entropy_bits()) } else { None };
+
+    // Fixed evaluation subsample (uniform over rows).
+    let eval_set: Vec<Vec<u32>> = if config.eval_tuples > 0 {
+        let idx = table.sample_row_indices(&mut rng, config.eval_tuples.min(tuples.len()));
+        idx.into_iter().map(|r| tuples[r].clone()).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut order: Vec<usize> = (0..tuples.len()).collect();
+    let mut epochs = Vec::with_capacity(config.epochs);
+    for epoch in 1..=config.epochs {
+        let start = Instant::now();
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let batch: Vec<Vec<u32>> = chunk.iter().map(|&i| tuples[i].clone()).collect();
+            loss_sum += model.train_step(&batch, &config.adam);
+            batches += 1;
+        }
+        let seconds = start.elapsed().as_secs_f64();
+
+        let eval_nll_bits = if eval_set.is_empty() { f64::NAN } else { average_nll_bits(model, &eval_set) };
+        let entropy_gap_bits = data_entropy_bits.map(|h| eval_nll_bits - h);
+        epochs.push(EpochStats {
+            epoch,
+            train_loss_nats: loss_sum / batches.max(1) as f64,
+            eval_nll_bits,
+            entropy_gap_bits,
+            seconds,
+        });
+    }
+
+    TrainReport { epochs, data_entropy_bits }
+}
+
+/// Continues training an existing model on (possibly new) data — the
+/// fine-tuning path used to absorb data shifts (§6.7.3, Table 8).
+pub fn fine_tune<M: TrainableDensity>(model: &mut M, table: &Table, epochs: usize, config: &TrainConfig) -> TrainReport {
+    let cfg = TrainConfig { epochs, ..config.clone() };
+    train_model(model, table, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::EncodingPolicy;
+    use crate::model::ModelConfig;
+    use naru_data::synthetic::correlated_pair;
+
+    fn tiny_model_config() -> ModelConfig {
+        ModelConfig { hidden_sizes: vec![32, 32], encoding: EncodingPolicy::compact(8), embedding_reuse: true, seed: 1 }
+    }
+
+    #[test]
+    fn training_improves_nll_and_reports_gap() {
+        let table = correlated_pair(1500, 8, 0.9, 5);
+        let mut model = MadeModel::new(table.schema().domain_sizes(), &tiny_model_config());
+        let config = TrainConfig { epochs: 4, batch_size: 128, eval_tuples: 500, ..Default::default() };
+        let report = train_model(&mut model, &table, &config);
+        assert_eq!(report.epochs.len(), 4);
+        let first = &report.epochs[0];
+        let last = report.epochs.last().unwrap();
+        assert!(last.eval_nll_bits <= first.eval_nll_bits + 0.1, "NLL should not get much worse");
+        assert!(report.data_entropy_bits.is_some());
+        // The gap must end up positive-ish and finite.
+        let gap = report.final_entropy_gap_bits().unwrap();
+        assert!(gap.is_finite());
+        assert!(gap > -0.5, "gap {gap} suspiciously negative");
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_model() {
+        let table = correlated_pair(1500, 8, 0.9, 6);
+        let tuples = table_tuples(&table);
+        let untrained = MadeModel::new(table.schema().domain_sizes(), &tiny_model_config());
+        let untrained_nll = average_nll_bits(&untrained, &tuples[..500]);
+        let mut model = MadeModel::new(table.schema().domain_sizes(), &tiny_model_config());
+        let config = TrainConfig { epochs: 5, batch_size: 128, eval_tuples: 0, ..Default::default() };
+        train_model(&mut model, &table, &config);
+        let trained_nll = average_nll_bits(&model, &tuples[..500]);
+        assert!(trained_nll < untrained_nll, "training should reduce NLL: {untrained_nll} -> {trained_nll}");
+    }
+
+    #[test]
+    fn fine_tuning_continues_from_existing_weights() {
+        let table = correlated_pair(800, 6, 0.9, 7);
+        let mut model = MadeModel::new(table.schema().domain_sizes(), &tiny_model_config());
+        let config = TrainConfig { epochs: 2, batch_size: 128, eval_tuples: 400, ..Default::default() };
+        let before = train_model(&mut model, &table, &config);
+        let after = fine_tune(&mut model, &table, 2, &config);
+        let nll_before = before.epochs.last().unwrap().eval_nll_bits;
+        let nll_after = after.epochs.last().unwrap().eval_nll_bits;
+        assert!(nll_after <= nll_before + 0.2, "fine-tuning regressed: {nll_before} -> {nll_after}");
+    }
+
+    #[test]
+    fn columnwise_model_trains_through_same_interface() {
+        let table = correlated_pair(600, 5, 0.9, 8);
+        let mut model = crate::columnwise::ColumnwiseModel::new(
+            table.schema().domain_sizes(),
+            &crate::columnwise::ColumnwiseConfig { hidden_sizes: vec![16], ..Default::default() },
+        );
+        let config = TrainConfig { epochs: 3, batch_size: 64, eval_tuples: 300, ..Default::default() };
+        let report = train_model(&mut model, &table, &config);
+        assert_eq!(report.epochs.len(), 3);
+        assert!(report.epochs.last().unwrap().eval_nll_bits.is_finite());
+    }
+}

@@ -1,0 +1,218 @@
+//! Dictionary-encoded columns.
+//!
+//! Following §4.2 of the paper, each column's distinct values are collected
+//! (its *empirical domain*), sorted so the dictionary order is consistent
+//! with the natural value order, and mapped to dense integer ids in
+//! `[0, |A_i|)`. All estimators in this workspace operate on those ids;
+//! range predicates on the original values translate to id ranges because
+//! the dictionary is order-preserving.
+
+use crate::value::Value;
+
+/// A single dictionary-encoded column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    /// Sorted distinct values; index = dictionary id.
+    domain: Vec<Value>,
+    /// Per-row value ids.
+    ids: Vec<u32>,
+}
+
+impl Column {
+    /// Builds a column from raw values, constructing the sorted dictionary.
+    pub fn from_values(name: impl Into<String>, values: &[Value]) -> Self {
+        let mut domain: Vec<Value> = values.to_vec();
+        domain.sort();
+        domain.dedup();
+        let ids = values
+            .iter()
+            .map(|v| domain.binary_search(v).expect("value must be in its own domain") as u32)
+            .collect();
+        Self { name: name.into(), domain, ids }
+    }
+
+    /// Builds a column directly from pre-encoded ids with an integer domain
+    /// `0..domain_size`. This is the fast path used by the synthetic data
+    /// generators, which produce ids natively.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn from_ids(name: impl Into<String>, ids: Vec<u32>, domain_size: usize) -> Self {
+        assert!(domain_size > 0, "domain must be non-empty");
+        assert!(
+            ids.iter().all(|&id| (id as usize) < domain_size),
+            "id out of range for domain size {domain_size}"
+        );
+        let domain = (0..domain_size as i64).map(Value::Int).collect();
+        Self { name: name.into(), domain, ids }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Domain size `|A_i|` (number of distinct values).
+    pub fn domain_size(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// The sorted distinct values.
+    pub fn domain(&self) -> &[Value] {
+        &self.domain
+    }
+
+    /// Decodes an id back to its value.
+    pub fn decode(&self, id: u32) -> &Value {
+        &self.domain[id as usize]
+    }
+
+    /// Encodes a value to its id, if present in the domain.
+    pub fn encode(&self, value: &Value) -> Option<u32> {
+        self.domain.binary_search(value).ok().map(|i| i as u32)
+    }
+
+    /// Id of the largest domain value `<= value`, useful for translating
+    /// range literals that are not present in the domain.
+    pub fn encode_le(&self, value: &Value) -> Option<u32> {
+        match self.domain.binary_search(value) {
+            Ok(i) => Some(i as u32),
+            Err(0) => None,
+            Err(i) => Some((i - 1) as u32),
+        }
+    }
+
+    /// Id of the smallest domain value `>= value`.
+    pub fn encode_ge(&self, value: &Value) -> Option<u32> {
+        match self.domain.binary_search(value) {
+            Ok(i) => Some(i as u32),
+            Err(i) if i < self.domain.len() => Some(i as u32),
+            Err(_) => None,
+        }
+    }
+
+    /// Per-row ids.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The id of row `row`.
+    #[inline]
+    pub fn id_at(&self, row: usize) -> u32 {
+        self.ids[row]
+    }
+
+    /// Histogram of value-id frequencies (length = domain size).
+    pub fn value_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.domain_size()];
+        for &id in &self.ids {
+            counts[id as usize] += 1;
+        }
+        counts
+    }
+
+    /// Approximate in-memory size of the *decoded* column, used to compute
+    /// the storage budgets of Table 1 (a fraction of the original data
+    /// size, not of the encoded representation).
+    pub fn decoded_size_bytes(&self) -> usize {
+        self.ids.iter().map(|&id| self.domain[id as usize].size_bytes()).sum()
+    }
+
+    /// Returns a new column containing only the selected rows.
+    pub fn take_rows(&self, rows: &[usize]) -> Column {
+        Column {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            ids: rows.iter().map(|&r| self.ids[r]).collect(),
+        }
+    }
+
+    /// Appends the rows of `other`, which must share the same domain.
+    ///
+    /// # Panics
+    /// Panics if the domains differ (callers are expected to build columns
+    /// over a shared dictionary when splitting / re-assembling tables).
+    pub fn append(&mut self, other: &Column) {
+        assert_eq!(self.domain, other.domain, "appending columns with different domains");
+        self.ids.extend_from_slice(&other.ids);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_is_sorted_and_dense() {
+        let values = vec![Value::from("SF"), Value::from("Portland"), Value::from("SF"), Value::from("Waikiki")];
+        let col = Column::from_values("city", &values);
+        assert_eq!(col.domain_size(), 3);
+        assert_eq!(col.domain()[0], Value::from("Portland"));
+        assert_eq!(col.ids(), &[1, 0, 1, 2]);
+        assert_eq!(col.decode(2), &Value::from("Waikiki"));
+        assert_eq!(col.encode(&Value::from("SF")), Some(1));
+        assert_eq!(col.encode(&Value::from("LA")), None);
+    }
+
+    #[test]
+    fn numeric_dictionary_preserves_order() {
+        let values: Vec<Value> = [30i64, 10, 20, 10].iter().map(|&v| Value::Int(v)).collect();
+        let col = Column::from_values("x", &values);
+        assert_eq!(col.domain(), &[Value::Int(10), Value::Int(20), Value::Int(30)]);
+        // Order-preserving: id comparison == value comparison.
+        assert!(col.encode(&Value::Int(10)).unwrap() < col.encode(&Value::Int(30)).unwrap());
+    }
+
+    #[test]
+    fn encode_le_ge_handle_absent_literals() {
+        let values: Vec<Value> = [10i64, 20, 30].iter().map(|&v| Value::Int(v)).collect();
+        let col = Column::from_values("x", &values);
+        assert_eq!(col.encode_le(&Value::Int(25)), Some(1));
+        assert_eq!(col.encode_ge(&Value::Int(25)), Some(2));
+        assert_eq!(col.encode_le(&Value::Int(5)), None);
+        assert_eq!(col.encode_ge(&Value::Int(35)), None);
+        assert_eq!(col.encode_le(&Value::Int(20)), Some(1));
+    }
+
+    #[test]
+    fn from_ids_builds_integer_domain() {
+        let col = Column::from_ids("c", vec![0, 2, 1, 2], 3);
+        assert_eq!(col.domain_size(), 3);
+        assert_eq!(col.value_counts(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "id out of range")]
+    fn from_ids_rejects_out_of_range() {
+        let _ = Column::from_ids("c", vec![0, 3], 3);
+    }
+
+    #[test]
+    fn take_rows_and_append() {
+        let mut a = Column::from_ids("c", vec![0, 1, 2, 1], 3);
+        let b = a.take_rows(&[2, 3]);
+        assert_eq!(b.ids(), &[2, 1]);
+        a.append(&b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.ids(), &[0, 1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn value_counts_sum_to_len() {
+        let col = Column::from_ids("c", vec![1, 1, 1, 0, 2, 2], 4);
+        let counts = col.value_counts();
+        assert_eq!(counts, vec![1, 3, 2, 0]);
+        assert_eq!(counts.iter().sum::<u64>() as usize, col.len());
+    }
+}

@@ -1,0 +1,196 @@
+//! A small CSV loader.
+//!
+//! The paper evaluates on the public DMV registration export and on two
+//! proprietary Conviva tables. The synthetic generators in
+//! [`crate::synthetic`] stand in for those datasets, but this loader lets a
+//! user drop in the real CSV files (e.g. the DMV export from
+//! data.ny.gov) and build estimators on them with no further changes.
+//!
+//! The implementation handles the common subset of RFC 4180: a header row,
+//! `,` separators, and double-quoted fields containing separators or
+//! escaped quotes. It is not a streaming parser; tables at the scale this
+//! workspace targets fit comfortably in memory.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Errors produced by the CSV loader.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the file (with a human-readable description).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Malformed(msg) => write!(f, "malformed csv: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Splits one CSV record into fields, honouring double quotes.
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            _ => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Parses CSV text (with a header row) into a [`Table`].
+///
+/// `columns`: optional subset of header names to keep, in the given order;
+/// `limit`: optional maximum number of data rows to read.
+pub fn parse_csv(
+    name: &str,
+    text: &str,
+    columns: Option<&[&str]>,
+    limit: Option<usize>,
+) -> Result<Table, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or_else(|| CsvError::Malformed("empty file".into()))?;
+    let header = split_record(header_line);
+
+    let selected: Vec<(usize, String)> = match columns {
+        Some(wanted) => wanted
+            .iter()
+            .map(|w| {
+                header
+                    .iter()
+                    .position(|h| h.trim().eq_ignore_ascii_case(w.trim()))
+                    .map(|i| (i, w.to_string()))
+                    .ok_or_else(|| CsvError::Malformed(format!("column '{w}' not found in header")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => header.iter().enumerate().map(|(i, h)| (i, h.trim().to_string())).collect(),
+    };
+
+    let mut raw: Vec<Vec<Value>> = vec![Vec::new(); selected.len()];
+    for (row_idx, line) in lines.enumerate() {
+        if let Some(max) = limit {
+            if row_idx >= max {
+                break;
+            }
+        }
+        let fields = split_record(line);
+        for (out_idx, (col_idx, _)) in selected.iter().enumerate() {
+            let value = fields.get(*col_idx).map(|s| Value::parse(s)).unwrap_or(Value::Null);
+            raw[out_idx].push(value);
+        }
+    }
+    if raw[0].is_empty() {
+        return Err(CsvError::Malformed("no data rows".into()));
+    }
+
+    let columns = selected
+        .iter()
+        .zip(raw.iter())
+        .map(|((_, name), values)| Column::from_values(name.clone(), values))
+        .collect();
+    Ok(Table::new(name, columns))
+}
+
+/// Loads a CSV file from disk. See [`parse_csv`].
+pub fn load_csv(
+    path: impl AsRef<Path>,
+    columns: Option<&[&str]>,
+    limit: Option<usize>,
+) -> Result<Table, CsvError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table");
+    parse_csv(name, &text, columns, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "city,year,stars\nPortland,2017,10\nSF,2018,8\n\"San Jose, CA\",2017,9\nPortland,2019,10\n";
+
+    #[test]
+    fn parses_header_and_rows() {
+        let t = parse_csv("checkins", SAMPLE, None, None).unwrap();
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.column(0).name(), "city");
+        assert_eq!(t.column(1).domain_size(), 3); // 2017, 2018, 2019
+    }
+
+    #[test]
+    fn quoted_fields_keep_commas() {
+        let t = parse_csv("checkins", SAMPLE, None, None).unwrap();
+        let city = t.column(0);
+        assert!(city.domain().iter().any(|v| v.as_str() == Some("San Jose, CA")));
+    }
+
+    #[test]
+    fn column_subset_and_limit() {
+        let t = parse_csv("checkins", SAMPLE, Some(&["stars", "city"]), Some(2)).unwrap();
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column(0).name(), "stars");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let err = parse_csv("x", SAMPLE, Some(&["nope"]), None).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed(_)));
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(parse_csv("x", "", None, None).is_err());
+        assert!(parse_csv("x", "a,b\n", None, None).is_err());
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let text = "name\n\"say \"\"hi\"\"\"\nplain\n";
+        let t = parse_csv("q", text, None, None).unwrap();
+        assert!(t.column(0).domain().iter().any(|v| v.as_str() == Some("say \"hi\"")));
+    }
+
+    #[test]
+    fn missing_trailing_fields_become_null() {
+        let text = "a,b\n1,2\n3\n";
+        let t = parse_csv("x", text, None, None).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.column(1).domain().contains(&Value::Null));
+    }
+}

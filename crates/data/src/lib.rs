@@ -1,0 +1,28 @@
+//! # naru-data
+//!
+//! The columnar table substrate for the Naru reproduction.
+//!
+//! Naru treats a relation as a high-dimensional *discrete* distribution:
+//! each column's distinct values are collected, sorted, and
+//! dictionary-encoded into dense integer ids (§4.2 of the paper). This
+//! crate provides:
+//!
+//! * [`Value`] / [`Column`] / [`Table`] — the encoded representation shared
+//!   by every estimator in the workspace,
+//! * [`csv`] — a loader so the real DMV export (or any CSV) can be used,
+//! * [`synthetic`] — seeded generators standing in for the paper's DMV and
+//!   Conviva datasets (see DESIGN.md for the substitution rationale),
+//! * [`shift`] — partitioned ingest used by the data-shift experiment
+//!   (Table 8).
+
+pub mod column;
+pub mod csv;
+pub mod shift;
+pub mod synthetic;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use csv::{load_csv, parse_csv, CsvError};
+pub use table::{Table, TableSchema};
+pub use value::Value;

@@ -1,0 +1,96 @@
+//! Partitioned ingest for the data-shift experiment (Table 8).
+//!
+//! The paper partitions DMV by a date column into five parts, ingests them
+//! in order ("one new partition per day"), and measures how a stale
+//! estimator degrades versus one that is fine-tuned after each ingest. This
+//! module provides the partitioning and the incremental union of the
+//! ingested prefix.
+
+use crate::table::Table;
+
+/// Splits `table` into `parts` partitions by ranges of the dictionary ids
+/// of `column` (e.g. a date column), emulating time-based partitioning.
+///
+/// Rows whose column id falls in the `k`-th equal-width id range go to
+/// partition `k`. Partitions share the original dictionaries, so they can
+/// be re-appended and queried with the same encoded literals.
+pub fn partition_by_column(table: &Table, column: usize, parts: usize) -> Vec<Table> {
+    assert!(parts >= 1, "need at least one partition");
+    assert!(column < table.num_columns(), "column index out of range");
+    let domain = table.column(column).domain_size();
+    let width = (domain as f64 / parts as f64).ceil().max(1.0) as usize;
+
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for row in 0..table.num_rows() {
+        let id = table.column(column).id_at(row) as usize;
+        let part = (id / width).min(parts - 1);
+        buckets[part].push(row);
+    }
+    buckets.into_iter().map(|rows| table.take_rows(&rows)).collect()
+}
+
+/// Incrementally unions partitions: `ingested_prefix(&parts, k)` is the
+/// table after the first `k` ingests (1-based count).
+pub fn ingested_prefix(parts: &[Table], count: usize) -> Table {
+    assert!(count >= 1 && count <= parts.len(), "invalid ingest count {count}");
+    let mut acc = parts[0].clone();
+    for part in &parts[1..count] {
+        acc.append(part);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::dmv_like;
+
+    #[test]
+    fn partitions_cover_all_rows_disjointly() {
+        let t = dmv_like(3000, 1);
+        let date_col = 6; // valid_date
+        let parts = partition_by_column(&t, date_col, 5);
+        assert_eq!(parts.len(), 5);
+        let total: usize = parts.iter().map(Table::num_rows).sum();
+        assert_eq!(total, t.num_rows());
+        // Each partition only contains ids from its own range.
+        let domain = t.column(date_col).domain_size();
+        let width = (domain as f64 / 5.0).ceil() as usize;
+        for (k, p) in parts.iter().enumerate() {
+            for r in 0..p.num_rows() {
+                let id = p.column(date_col).id_at(r) as usize;
+                let expected = (id / width).min(4);
+                assert_eq!(expected, k);
+            }
+        }
+    }
+
+    #[test]
+    fn ingested_prefix_grows_monotonically() {
+        let t = dmv_like(1000, 2);
+        let parts = partition_by_column(&t, 6, 5);
+        let mut prev = 0;
+        for k in 1..=5 {
+            let prefix = ingested_prefix(&parts, k);
+            assert!(prefix.num_rows() >= prev);
+            prev = prefix.num_rows();
+        }
+        assert_eq!(prev, t.num_rows());
+    }
+
+    #[test]
+    fn single_partition_is_whole_table() {
+        let t = dmv_like(500, 3);
+        let parts = partition_by_column(&t, 0, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].num_rows(), t.num_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ingest count")]
+    fn zero_ingests_rejected() {
+        let t = dmv_like(100, 4);
+        let parts = partition_by_column(&t, 6, 3);
+        let _ = ingested_prefix(&parts, 0);
+    }
+}

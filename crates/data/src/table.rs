@@ -1,0 +1,303 @@
+//! Relational tables over dictionary-encoded columns.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::column::Column;
+use crate::value::Value;
+
+/// Lightweight description of a table's columns: names and domain sizes.
+///
+/// Estimators hold a `TableSchema` so they can be queried without keeping
+/// the (potentially large) data around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    names: Vec<String>,
+    domain_sizes: Vec<usize>,
+    num_rows: usize,
+}
+
+impl TableSchema {
+    /// Creates a schema directly (mostly useful in tests).
+    pub fn new(names: Vec<String>, domain_sizes: Vec<usize>, num_rows: usize) -> Self {
+        assert_eq!(names.len(), domain_sizes.len(), "names/domain_sizes length mismatch");
+        Self { names, domain_sizes, num_rows }
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of rows in the table the schema was taken from.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Domain size of column `i`.
+    pub fn domain_size(&self, i: usize) -> usize {
+        self.domain_sizes[i]
+    }
+
+    /// All domain sizes.
+    pub fn domain_sizes(&self) -> &[usize] {
+        &self.domain_sizes
+    }
+
+    /// log10 of the exact joint-distribution size (product of domain
+    /// sizes), the quantity reported in Table 1 of the paper.
+    pub fn joint_size_log10(&self) -> f64 {
+        self.domain_sizes.iter().map(|&d| (d as f64).log10()).sum()
+    }
+}
+
+/// A table of dictionary-encoded columns, all of equal length.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table from columns.
+    ///
+    /// # Panics
+    /// Panics if the columns have differing lengths or there are none.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        let len = columns[0].len();
+        assert!(columns.iter().all(|c| c.len() == len), "columns must have equal length");
+        Self { name: name.into(), columns }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column accessor.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Looks up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// The schema (names + domain sizes + row count).
+    pub fn schema(&self) -> TableSchema {
+        TableSchema {
+            names: self.columns.iter().map(|c| c.name().to_string()).collect(),
+            domain_sizes: self.columns.iter().map(Column::domain_size).collect(),
+            num_rows: self.num_rows(),
+        }
+    }
+
+    /// Writes the id-encoded row `row` into `out` (resized as needed).
+    pub fn row_ids(&self, row: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c.id_at(row)));
+    }
+
+    /// Returns the id-encoded row as a fresh vector.
+    pub fn row(&self, row: usize) -> Vec<u32> {
+        self.columns.iter().map(|c| c.id_at(row)).collect()
+    }
+
+    /// Returns the decoded row.
+    pub fn row_values(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.decode(c.id_at(row)).clone()).collect()
+    }
+
+    /// Approximate in-memory size of the decoded table, the denominator of
+    /// the storage budgets in Table 1.
+    pub fn decoded_size_bytes(&self) -> usize {
+        self.columns.iter().map(Column::decoded_size_bytes).sum()
+    }
+
+    /// Empirical entropy `H(P)` of the joint data distribution, in bits per
+    /// tuple. Used as the reference point of the entropy-gap metric (§3.3).
+    pub fn data_entropy_bits(&self) -> f64 {
+        let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+        let mut row = Vec::with_capacity(self.num_columns());
+        for r in 0..self.num_rows() {
+            self.row_ids(r, &mut row);
+            *counts.entry(row.clone()).or_insert(0) += 1;
+        }
+        let n = self.num_rows() as f64;
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Uniform random sample of `k` row indices (without replacement when
+    /// `k <= num_rows`, with replacement otherwise).
+    pub fn sample_row_indices<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
+        let n = self.num_rows();
+        if k <= n {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(rng);
+            idx.truncate(k);
+            idx
+        } else {
+            (0..k).map(|_| rng.gen_range(0..n)).collect()
+        }
+    }
+
+    /// Returns a new table containing only the selected rows.
+    pub fn take_rows(&self, rows: &[usize]) -> Table {
+        Table {
+            name: self.name.clone(),
+            columns: self.columns.iter().map(|c| c.take_rows(rows)).collect(),
+        }
+    }
+
+    /// Returns a new table with only the first `k` columns (used by the
+    /// Conviva-B column-count microbenchmark, Figure 8).
+    pub fn project_columns(&self, k: usize) -> Table {
+        assert!(k >= 1 && k <= self.num_columns(), "invalid projection width {k}");
+        Table { name: format!("{}[..{k}]", self.name), columns: self.columns[..k].to_vec() }
+    }
+
+    /// Returns a new table with exactly the named column indices.
+    pub fn select_columns(&self, cols: &[usize]) -> Table {
+        assert!(!cols.is_empty(), "must select at least one column");
+        Table {
+            name: self.name.clone(),
+            columns: cols.iter().map(|&c| self.columns[c].clone()).collect(),
+        }
+    }
+
+    /// Appends the rows of `other` (same schema / shared dictionaries).
+    pub fn append(&mut self, other: &Table) {
+        assert_eq!(self.num_columns(), other.num_columns(), "column count mismatch in append");
+        for (a, b) in self.columns.iter_mut().zip(other.columns.iter()) {
+            a.append(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_ids("a", vec![0, 0, 1, 1, 2, 2], 3),
+                Column::from_ids("b", vec![0, 1, 0, 1, 0, 1], 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn schema_reports_shapes() {
+        let t = small_table();
+        let s = t.schema();
+        assert_eq!(s.num_columns(), 2);
+        assert_eq!(s.num_rows(), 6);
+        assert_eq!(s.domain_sizes(), &[3, 2]);
+        assert!((s.joint_size_log10() - (6f64).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let t = small_table();
+        assert_eq!(t.row(3), vec![1, 1]);
+        let mut buf = Vec::new();
+        t.row_ids(4, &mut buf);
+        assert_eq!(buf, vec![2, 0]);
+        assert_eq!(t.row_values(0), vec![Value::Int(0), Value::Int(0)]);
+    }
+
+    #[test]
+    fn entropy_of_uniform_distinct_rows() {
+        // 6 distinct rows, uniform: entropy = log2(6).
+        let t = small_table();
+        assert!((t.data_entropy_bits() - 6f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_of_duplicated_rows_is_lower() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_ids("a", vec![0, 0, 0, 1], 2)],
+        );
+        // P = {0: 3/4, 1: 1/4}
+        let expected = -(0.75f64 * 0.75f64.log2() + 0.25 * 0.25f64.log2());
+        assert!((t.data_entropy_bits() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_and_selection() {
+        let t = small_table();
+        let p = t.project_columns(1);
+        assert_eq!(p.num_columns(), 1);
+        assert_eq!(p.column(0).name(), "a");
+        let s = t.select_columns(&[1]);
+        assert_eq!(s.column(0).name(), "b");
+    }
+
+    #[test]
+    fn take_rows_and_append_preserve_dictionaries() {
+        let t = small_table();
+        let head = t.take_rows(&[0, 1, 2]);
+        let tail = t.take_rows(&[3, 4, 5]);
+        let mut rebuilt = head.clone();
+        rebuilt.append(&tail);
+        assert_eq!(rebuilt.num_rows(), 6);
+        for r in 0..6 {
+            assert_eq!(rebuilt.row(r), t.row(r));
+        }
+    }
+
+    #[test]
+    fn sampling_without_replacement_is_a_permutation_prefix() {
+        let t = small_table();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut idx = t.sample_row_indices(&mut rng, 6);
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+        let small = t.sample_row_indices(&mut rng, 3);
+        assert_eq!(small.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_columns_rejected() {
+        let _ = Table::new(
+            "t",
+            vec![Column::from_ids("a", vec![0], 1), Column::from_ids("b", vec![0, 1], 2)],
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Cell values.
+//!
+//! Naru models every column as a finite, discrete domain (§2.2 of the
+//! paper): the distinct values actually present in the column are sorted and
+//! dictionary-encoded into dense integer ids. [`Value`] is the *decoded*
+//! representation; estimators all operate on the encoded id space.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value. Floats are compared by total order so a column of
+/// any type can be sorted into a canonical dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value; sorts before everything else and acts as the paper's
+    /// `⊥` placeholder inserted so a previously-built estimator can keep
+    /// functioning on new data.
+    Null,
+    /// Integer (covers booleans, dates encoded as days, counters, ...).
+    Int(i64),
+    /// Floating-point measurement.
+    Float(f64),
+    /// Categorical string.
+    Str(String),
+}
+
+impl Value {
+    /// Rank of the variant used to order values of mixed types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Returns the integer payload if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint, used for the storage-budget
+    /// accounting of Table 1.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => s.len() + 8,
+        }
+    }
+
+    /// Parses a textual field the way the CSV loader does: integers first,
+    /// then floats, otherwise a string; empty fields become `Null`.
+    pub fn parse(text: &str) -> Value {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(trimmed.to_string())
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            // Mixed types (rare; e.g. a numeric column with a stray string)
+            // order by type rank so the dictionary stays total.
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "∅"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_natural() {
+        let mut vals = vec![Value::Int(5), Value::Int(-1), Value::Int(3)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::Int(-1), Value::Int(3), Value::Int(5)]);
+
+        let mut strs = vec![Value::from("b"), Value::from("a"), Value::from("aa")];
+        strs.sort();
+        assert_eq!(strs, vec![Value::from("a"), Value::from("aa"), Value::from("b")]);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = vec![Value::Int(0), Value::Null, Value::from("x")];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Float(-1.0));
+        assert_eq!(vals[1], Value::Float(1.0));
+    }
+
+    #[test]
+    fn parse_detects_types() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse(" 3.5 "), Value::Float(3.5));
+        assert_eq!(Value::parse("SUBN"), Value::from("SUBN"));
+        assert_eq!(Value::parse(""), Value::Null);
+        assert_eq!(Value::parse("  "), Value::Null);
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::from("NY").to_string(), "NY");
+    }
+
+    #[test]
+    fn size_bytes_reasonable() {
+        assert_eq!(Value::Int(1).size_bytes(), 8);
+        assert!(Value::from("hello").size_bytes() >= 5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the data substrate: dictionary invariants, CSV
+//! round-trips, table surgery, and entropy bounds.
+
+use naru_data::synthetic::ZipfSampler;
+use naru_data::{parse_csv, Column, Table, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dictionary is sorted, deduplicated, dense, and order-preserving.
+    #[test]
+    fn dictionary_invariants(values in proptest::collection::vec(-1000i64..1000, 1..300)) {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::Int(v)).collect();
+        let col = Column::from_values("c", &vals);
+        // Dense ids cover exactly the distinct values.
+        let mut distinct = values.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(col.domain_size(), distinct.len());
+        // Every row id decodes to the original value.
+        for (row, v) in vals.iter().enumerate() {
+            prop_assert_eq!(col.decode(col.id_at(row)), v);
+        }
+        // Order preservation: id order equals value order.
+        for (a, b) in distinct.iter().zip(distinct.iter().skip(1)) {
+            let ia = col.encode(&Value::Int(*a)).unwrap();
+            let ib = col.encode(&Value::Int(*b)).unwrap();
+            prop_assert!(ia < ib);
+        }
+        // value_counts sums to the row count.
+        prop_assert_eq!(col.value_counts().iter().sum::<u64>() as usize, vals.len());
+    }
+
+    /// encode_le / encode_ge bracket any literal consistently.
+    #[test]
+    fn encode_bounds_bracket_literals(
+        values in proptest::collection::vec(0i64..200, 2..100),
+        probe in 0i64..200,
+    ) {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::Int(v)).collect();
+        let col = Column::from_values("c", &vals);
+        let literal = Value::Int(probe);
+        if let Some(le) = col.encode_le(&literal) {
+            prop_assert!(*col.decode(le) <= literal);
+        }
+        if let Some(ge) = col.encode_ge(&literal) {
+            prop_assert!(*col.decode(ge) >= literal);
+        }
+    }
+
+    /// take_rows + append reconstructs the original table rows.
+    #[test]
+    fn take_rows_append_roundtrip(
+        ids in proptest::collection::vec((0u32..5, 0u32..3), 2..80),
+        split in 1usize..79,
+    ) {
+        let split = split.min(ids.len() - 1);
+        let t = Table::new("t", vec![
+            Column::from_ids("a", ids.iter().map(|p| p.0).collect(), 5),
+            Column::from_ids("b", ids.iter().map(|p| p.1).collect(), 3),
+        ]);
+        let head: Vec<usize> = (0..split).collect();
+        let tail: Vec<usize> = (split..t.num_rows()).collect();
+        let mut rebuilt = t.take_rows(&head);
+        rebuilt.append(&t.take_rows(&tail));
+        prop_assert_eq!(rebuilt.num_rows(), t.num_rows());
+        for r in 0..t.num_rows() {
+            prop_assert_eq!(rebuilt.row(r), t.row(r));
+        }
+    }
+
+    /// Data entropy is non-negative and bounded by log2(num rows) and by the
+    /// log2 joint size.
+    #[test]
+    fn entropy_bounds(ids in proptest::collection::vec((0u32..4, 0u32..4), 1..120)) {
+        let t = Table::new("t", vec![
+            Column::from_ids("a", ids.iter().map(|p| p.0).collect(), 4),
+            Column::from_ids("b", ids.iter().map(|p| p.1).collect(), 4),
+        ]);
+        let h = t.data_entropy_bits();
+        prop_assert!(h >= -1e-9);
+        prop_assert!(h <= (t.num_rows() as f64).log2() + 1e-9);
+        prop_assert!(h <= 4.0 + 1e-9); // log2(16)
+    }
+
+    /// CSV writing-free round trip: parse a generated CSV and recover cells.
+    #[test]
+    fn csv_parse_recovers_cells(rows in proptest::collection::vec((0u32..50, -20i64..20), 1..40)) {
+        let mut text = String::from("a,b\n");
+        for (a, b) in &rows {
+            text.push_str(&format!("{a},{b}\n"));
+        }
+        let t = parse_csv("gen", &text, None, None).unwrap();
+        prop_assert_eq!(t.num_rows(), rows.len());
+        for (r, (a, b)) in rows.iter().enumerate() {
+            prop_assert_eq!(t.row_values(r), vec![Value::Int(*a as i64), Value::Int(*b)]);
+        }
+    }
+
+    /// The Zipf sampler's pmf is a distribution and is monotone in rank.
+    #[test]
+    fn zipf_pmf_is_monotone_distribution(n in 1usize..500, s in 0.0f64..3.0) {
+        let z = ZipfSampler::new(n, s);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Activation functions.
+
+use naru_tensor::Matrix;
+
+/// Rectified linear unit with the state needed for back-propagation.
+///
+/// The layer is stateless across batches; `forward` returns both the
+/// activation and nothing else because the backward pass recomputes the
+/// gating from the pre-activation input that callers retain anyway.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Relu;
+
+impl Relu {
+    /// Applies ReLU element-wise, returning a new matrix.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        x.map(|v| if v > 0.0 { v } else { 0.0 })
+    }
+
+    /// Back-propagates through ReLU: `dx = dy * 1[x > 0]`.
+    ///
+    /// `pre_activation` must be the input that was passed to `forward`.
+    pub fn backward(&self, pre_activation: &Matrix, grad_out: &Matrix) -> Matrix {
+        assert_eq!(pre_activation.shape(), grad_out.shape(), "shape mismatch in relu backward");
+        let mut dx = grad_out.clone();
+        for (d, &x) in dx.data_mut().iter_mut().zip(pre_activation.data().iter()) {
+            if x <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        dx
+    }
+}
+
+/// Numerically stable sigmoid, used by the MSCN baseline's output head.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = Relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_gates_gradient() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.5, 2.0, 0.0]);
+        let g = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let dx = Relu.backward(&x, &g);
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_extremes_are_stable() {
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+}

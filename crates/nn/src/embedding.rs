@@ -1,0 +1,204 @@
+//! Learned embedding tables.
+//!
+//! Embeddings play two roles in Naru (§4.2 of the paper):
+//!
+//! * **input encoding** for large-domain columns: the dictionary-encoded
+//!   value id indexes a row of a `|A_i| x h` table;
+//! * **output decoding via "embedding reuse"**: instead of a full
+//!   `FC(F, |A_i|)` output head, the network produces an `h`-dimensional
+//!   feature that is multiplied with the same (or a dedicated) embedding
+//!   matrix to obtain `|A_i|` logits. [`Embedding::decode_logits`] and
+//!   [`Embedding::backward_decode`] implement that path.
+
+use naru_tensor::{matmul, matmul_a_bt, matmul_at_b, Matrix};
+use rand::Rng;
+
+use crate::init::embedding_normal;
+use crate::optimizer::{Adam, AdamConfig};
+
+/// A `vocab x dim` table of learned vectors.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Matrix,
+    grad: Matrix,
+    adam: Adam,
+}
+
+impl Embedding {
+    /// Creates a table for `vocab` ids with `dim`-dimensional vectors.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, vocab: usize, dim: usize) -> Self {
+        Self {
+            table: embedding_normal(rng, vocab, dim),
+            grad: Matrix::zeros(vocab, dim),
+            adam: Adam::new(vocab * dim),
+        }
+    }
+
+    /// Number of ids in the vocabulary.
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The raw table (rows are id vectors).
+    pub fn table(&self) -> &Matrix {
+        &self.table
+    }
+
+    /// Looks up a batch of ids, producing a `batch x dim` matrix.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn forward(&self, ids: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(ids.len(), self.dim());
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab(), "embedding id {} out of range (vocab {})", id, self.vocab());
+            out.row_mut(r).copy_from_slice(self.table.row(id));
+        }
+        out
+    }
+
+    /// Accumulates gradients for a lookup: `grad[id] += grad_out[row]`.
+    pub fn backward(&mut self, ids: &[usize], grad_out: &Matrix) {
+        assert_eq!(grad_out.rows(), ids.len(), "batch size mismatch in embedding backward");
+        assert_eq!(grad_out.cols(), self.dim(), "dim mismatch in embedding backward");
+        for (r, &id) in ids.iter().enumerate() {
+            let g = grad_out.row(r);
+            let dst = self.grad.row_mut(id);
+            for (d, &v) in dst.iter_mut().zip(g.iter()) {
+                *d += v;
+            }
+        }
+    }
+
+    /// "Embedding reuse" decoding: turns a `batch x dim` feature matrix into
+    /// `batch x vocab` logits by multiplying with the table transpose
+    /// (`H E^T`, §4.2 of the paper).
+    pub fn decode_logits(&self, features: &Matrix) -> Matrix {
+        assert_eq!(features.cols(), self.dim(), "feature dim mismatch in decode_logits");
+        matmul_a_bt(features, &self.table)
+    }
+
+    /// Back-propagates through [`Embedding::decode_logits`].
+    ///
+    /// Accumulates the table gradient and returns the gradient with respect
+    /// to the feature matrix.
+    pub fn backward_decode(&mut self, features: &Matrix, grad_logits: &Matrix) -> Matrix {
+        assert_eq!(grad_logits.cols(), self.vocab(), "logit width mismatch");
+        assert_eq!(grad_logits.rows(), features.rows(), "batch size mismatch");
+        // logits = F E^T  =>  dE = dLogits^T F ; dF = dLogits E
+        let d_table = matmul_at_b(grad_logits, features);
+        self.grad.add_assign(&d_table);
+        matmul(grad_logits, &self.table)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Applies one Adam step.
+    pub fn adam_step(&mut self, cfg: &AdamConfig) {
+        self.adam.step(cfg, self.table.data_mut(), self.grad.data());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_returns_table_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Embedding::new(&mut rng, 10, 4);
+        let out = emb.forward(&[3, 3, 7]);
+        assert_eq!(out.shape(), (3, 4));
+        assert_eq!(out.row(0), emb.table().row(3));
+        assert_eq!(out.row(1), emb.table().row(3));
+        assert_eq!(out.row(2), emb.table().row(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let emb = Embedding::new(&mut rng, 4, 2);
+        let _ = emb.forward(&[4]);
+    }
+
+    #[test]
+    fn backward_accumulates_per_id() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut emb = Embedding::new(&mut rng, 5, 2);
+        emb.zero_grad();
+        let grad_out = Matrix::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0]);
+        emb.backward(&[1, 1, 4], &grad_out);
+        assert_eq!(emb.grad.row(1), &[11.0, 22.0]);
+        assert_eq!(emb.grad.row(4), &[100.0, 200.0]);
+        assert_eq!(emb.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn decode_logits_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut emb = Embedding::new(&mut rng, 6, 3);
+        let features = Matrix::from_fn(2, 3, |r, c| (r as f32 - c as f32) * 0.3);
+        // Loss = sum(logits^2)/2, so dLogits = logits.
+        let logits = emb.decode_logits(&features);
+        emb.zero_grad();
+        let d_features = emb.backward_decode(&features, &logits);
+
+        let loss = |emb: &Embedding, f: &Matrix| -> f64 {
+            emb.decode_logits(f).data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / 2.0
+        };
+        let eps = 1e-3f32;
+        // Feature gradient check.
+        for idx in 0..features.len() {
+            let mut fp = features.clone();
+            fp.data_mut()[idx] += eps;
+            let mut fm = features.clone();
+            fm.data_mut()[idx] -= eps;
+            let num = (loss(&emb, &fp) - loss(&emb, &fm)) / (2.0 * eps as f64);
+            let ana = d_features.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()));
+        }
+        // Table gradient check on a few entries.
+        for idx in [0usize, 5, 11, 17] {
+            let orig = emb.table.data()[idx];
+            emb.table.data_mut()[idx] = orig + eps;
+            let lp = loss(&emb, &features);
+            emb.table.data_mut()[idx] = orig - eps;
+            let lm = loss(&emb, &features);
+            emb.table.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let ana = emb.grad.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn adam_step_changes_only_touched_rows_significantly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut emb = Embedding::new(&mut rng, 5, 2);
+        let before = emb.table().clone();
+        emb.zero_grad();
+        let grad_out = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        emb.backward(&[2], &grad_out);
+        emb.adam_step(&AdamConfig::default());
+        for id in 0..5 {
+            let changed = emb.table().row(id) != before.row(id);
+            assert_eq!(changed, id == 2, "row {id}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Weight initialization.
+
+use naru_tensor::{Matrix, NormalSampler};
+use rand::Rng;
+
+/// Kaiming/He-style normal initialization for a weight matrix of shape
+/// `out_dim x in_dim`, appropriate for ReLU networks.
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, out_dim: usize, in_dim: usize) -> Matrix {
+    let std = (2.0 / in_dim.max(1) as f64).sqrt();
+    let mut sampler = NormalSampler::new();
+    Matrix::from_fn(out_dim, in_dim, |_, _| sampler.sample_scaled(rng, 0.0, std) as f32)
+}
+
+/// Xavier/Glorot uniform initialization for a weight matrix of shape
+/// `out_dim x in_dim`, appropriate for linear output heads.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, out_dim: usize, in_dim: usize) -> Matrix {
+    let bound = (6.0 / (in_dim + out_dim).max(1) as f64).sqrt() as f32;
+    Matrix::from_fn(out_dim, in_dim, |_, _| rng.gen_range(-bound..bound))
+}
+
+/// Small-scale normal initialization used for embedding tables.
+pub fn embedding_normal<R: Rng + ?Sized>(rng: &mut R, vocab: usize, dim: usize) -> Matrix {
+    let mut sampler = NormalSampler::new();
+    Matrix::from_fn(vocab, dim, |_, _| sampler.sample_scaled(rng, 0.0, 0.1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = he_normal(&mut rng, 256, 64);
+        let n = w.len() as f64;
+        let mean = w.data().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = w.data().iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.01);
+        assert!((var - 2.0 / 64.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn xavier_uniform_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier_uniform(&mut rng, 32, 96);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        assert!(w.max_abs() > bound * 0.5, "should use most of the range");
+    }
+
+    #[test]
+    fn embedding_normal_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = embedding_normal(&mut rng, 100, 16);
+        assert_eq!(e.shape(), (100, 16));
+        assert!(e.max_abs() < 1.0);
+    }
+}

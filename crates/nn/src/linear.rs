@@ -1,0 +1,314 @@
+//! Dense (optionally masked) linear layers with manual back-propagation.
+
+use naru_tensor::{matmul, matmul_at_b, matmul_a_bt, Matrix};
+use rand::Rng;
+
+use crate::init::he_normal;
+use crate::optimizer::{Adam, AdamConfig};
+
+/// A fully connected layer computing `y = x (W ∘ M)^T + b`.
+///
+/// `W` has shape `out_dim x in_dim`. When a binary mask `M` is present the
+/// layer is a *masked* linear layer: masked-out weights are held at zero so
+/// information can never flow through them — this is the mechanism MADE
+/// uses to make the network autoregressive. The invariant "masked weights
+/// are exactly zero" is maintained by applying the mask after
+/// initialization and after every optimizer step.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f32>,
+    mask: Option<Matrix>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+    adam_w: Adam,
+    adam_b: Adam,
+}
+
+impl Linear {
+    /// Creates a layer with He-normal weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
+        let w = he_normal(rng, out_dim, in_dim);
+        Self {
+            grad_w: Matrix::zeros(out_dim, in_dim),
+            grad_b: vec![0.0; out_dim],
+            adam_w: Adam::new(out_dim * in_dim),
+            adam_b: Adam::new(out_dim),
+            w,
+            b: vec![0.0; out_dim],
+            mask: None,
+        }
+    }
+
+    /// Creates a masked layer. The mask must have shape `out_dim x in_dim`
+    /// and contain only 0/1 entries.
+    pub fn new_masked<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize, mask: Matrix) -> Self {
+        assert_eq!(mask.shape(), (out_dim, in_dim), "mask shape mismatch");
+        debug_assert!(mask.data().iter().all(|&v| v == 0.0 || v == 1.0), "mask must be binary");
+        let mut layer = Self::new(rng, in_dim, out_dim);
+        layer.mask = Some(mask);
+        layer.apply_mask();
+        layer
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Immutable access to the weight matrix (used by weight-tying schemes).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Mutable access to the weight matrix. Callers must re-establish the
+    /// mask invariant themselves if they mutate masked positions.
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.w
+    }
+
+    /// Immutable access to the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// The connectivity mask, if any.
+    pub fn mask(&self) -> Option<&Matrix> {
+        self.mask.as_ref()
+    }
+
+    /// Number of trainable parameters. For masked layers only the unmasked
+    /// weights are counted, matching how the paper reports model size.
+    pub fn param_count(&self) -> usize {
+        let weights = match &self.mask {
+            Some(m) => m.data().iter().filter(|&&v| v != 0.0).count(),
+            None => self.w.len(),
+        };
+        weights + self.b.len()
+    }
+
+    /// Zeroes masked-out weights.
+    fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (w, m) in self.w.data_mut().iter_mut().zip(mask.data().iter()) {
+                *w *= *m;
+            }
+        }
+    }
+
+    /// Forward pass: `y = x W^T + b` for a batch `x` of shape
+    /// `batch x in_dim`; returns `batch x out_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim(), "input width {} != layer in_dim {}", x.cols(), self.in_dim());
+        let mut y = matmul_a_bt(x, &self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(self.b.iter()) {
+                *v += *b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass. Accumulates parameter gradients internally and
+    /// returns the gradient with respect to the input.
+    ///
+    /// `x` must be the same batch that produced `grad_out` via
+    /// [`Linear::forward`].
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        assert_eq!(grad_out.cols(), self.out_dim(), "grad width mismatch");
+        assert_eq!(grad_out.rows(), x.rows(), "batch size mismatch");
+        // dW = dY^T X ; dB = column sums of dY ; dX = dY W
+        let mut dw = matmul_at_b(grad_out, x);
+        if let Some(mask) = &self.mask {
+            dw.hadamard_assign(mask);
+        }
+        self.grad_w.add_assign(&dw);
+        for r in 0..grad_out.rows() {
+            for (gb, g) in self.grad_b.iter_mut().zip(grad_out.row(r).iter()) {
+                *gb += *g;
+            }
+        }
+        matmul(grad_out, &self.w)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.fill_zero();
+        self.grad_b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Applies one Adam step using the accumulated gradients, then
+    /// re-applies the mask invariant.
+    pub fn adam_step(&mut self, cfg: &AdamConfig) {
+        self.adam_w.step(cfg, self.w.data_mut(), self.grad_w.data());
+        self.adam_b.step(cfg, &mut self.b, &self.grad_b);
+        self.apply_mask();
+    }
+
+    /// Squared L2 norm of the accumulated gradient (for debugging /
+    /// gradient clipping experiments).
+    pub fn grad_norm_sq(&self) -> f32 {
+        self.grad_w.norm_sq() + self.grad_b.iter().map(|v| v * v).sum::<f32>()
+    }
+
+    /// Infinity-norm clip of the accumulated gradient.
+    pub fn clip_grad(&mut self, max_abs: f32) {
+        self.grad_w.map_inplace(|v| v.clamp(-max_abs, max_abs));
+        self.grad_b.iter_mut().for_each(|v| *v = v.clamp(-max_abs, max_abs));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check(masked: bool) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let in_dim = 5;
+        let out_dim = 4;
+        let batch = 3;
+        let mask = if masked {
+            Some(Matrix::from_fn(out_dim, in_dim, |r, c| if (r + c) % 2 == 0 { 1.0 } else { 0.0 }))
+        } else {
+            None
+        };
+        let mut layer = match mask.clone() {
+            Some(m) => Linear::new_masked(&mut rng, in_dim, out_dim, m),
+            None => Linear::new(&mut rng, in_dim, out_dim),
+        };
+        let x = Matrix::from_fn(batch, in_dim, |r, c| ((r * 7 + c * 3) % 5) as f32 * 0.3 - 0.5);
+
+        // Loss = sum(y^2) / 2 so dL/dy = y.
+        let y = layer.forward(&x);
+        let grad_out = y.clone();
+        layer.zero_grad();
+        let dx = layer.backward(&x, &grad_out);
+
+        // Check dX by finite differences.
+        let loss = |layer: &Linear, x: &Matrix| -> f64 {
+            let y = layer.forward(x);
+            y.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / 2.0
+        };
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps as f64);
+            let ana = dx.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "dX[{idx}]: numeric {num} vs analytic {ana}");
+        }
+
+        // Check dW by finite differences on a few entries.
+        for idx in [0usize, 3, 7, out_dim * in_dim - 1] {
+            if masked {
+                let m = mask.as_ref().unwrap().data()[idx];
+                if m == 0.0 {
+                    // Gradient for masked weights must be zero.
+                    assert_eq!(layer.grad_w.data()[idx], 0.0);
+                    continue;
+                }
+            }
+            let orig = layer.w.data()[idx];
+            layer.w.data_mut()[idx] = orig + eps;
+            let lp = loss(&layer, &x);
+            layer.w.data_mut()[idx] = orig - eps;
+            let lm = loss(&layer, &x);
+            layer.w.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps as f64);
+            let ana = layer.grad_w.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "dW[{idx}]: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(false);
+    }
+
+    #[test]
+    fn masked_gradients_match_finite_differences() {
+        finite_diff_check(true);
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_after_updates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mask = Matrix::from_fn(4, 6, |r, c| if c <= r { 1.0 } else { 0.0 });
+        let mut layer = Linear::new_masked(&mut rng, 6, 4, mask.clone());
+        let x = Matrix::from_fn(8, 6, |r, c| (r + c) as f32 * 0.1);
+        for _ in 0..5 {
+            let y = layer.forward(&x);
+            layer.zero_grad();
+            layer.backward(&x, &y);
+            layer.adam_step(&AdamConfig::default());
+        }
+        for (w, m) in layer.weights().data().iter().zip(mask.data().iter()) {
+            if *m == 0.0 {
+                assert_eq!(*w, 0.0, "masked weight drifted away from zero");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = Linear::new(&mut rng, 3, 2);
+        layer.b = vec![1.0, -1.0];
+        let x = Matrix::zeros(4, 3);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (4, 2));
+        for r in 0..4 {
+            assert_eq!(y.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn param_count_excludes_masked_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mask = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        let layer = Linear::new_masked(&mut rng, 4, 4, mask);
+        assert_eq!(layer.param_count(), 4 + 4);
+        let dense = Linear::new(&mut rng, 4, 4);
+        assert_eq!(dense.param_count(), 16 + 4);
+    }
+
+    #[test]
+    fn training_reduces_regression_loss() {
+        // Tiny regression sanity check: learn y = sum(x).
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut layer = Linear::new(&mut rng, 4, 1);
+        let cfg = AdamConfig { lr: 5e-2, ..Default::default() };
+        let x = Matrix::from_fn(32, 4, |r, c| ((r * 13 + c * 7) % 11) as f32 / 11.0);
+        let target: Vec<f32> = (0..32).map(|r| x.row(r).iter().sum()).collect();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let y = layer.forward(&x);
+            let mut grad = Matrix::zeros(32, 1);
+            let mut loss = 0.0;
+            for r in 0..32 {
+                let d = y.get(r, 0) - target[r];
+                loss += d * d;
+                grad.set(r, 0, 2.0 * d / 32.0);
+            }
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+            layer.zero_grad();
+            layer.backward(&x, &grad);
+            layer.adam_step(&cfg);
+        }
+        assert!(last < first.unwrap() * 0.01, "loss did not decrease: {} -> {}", first.unwrap(), last);
+    }
+}

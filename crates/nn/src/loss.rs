@@ -1,0 +1,129 @@
+//! Loss functions.
+//!
+//! The central loss is per-column softmax cross-entropy: Naru's training
+//! objective (Eq. 2 of the paper) is the negative log-likelihood of each
+//! tuple, which decomposes into one cross-entropy term per column thanks to
+//! the autoregressive factorization.
+
+use naru_tensor::{log_sum_exp, Matrix};
+
+/// Result of a cross-entropy evaluation over one batch.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyResult {
+    /// Mean negative log-likelihood over the batch, in nats.
+    pub loss: f64,
+    /// Gradient of the mean loss with respect to the logits
+    /// (`softmax - onehot`, scaled by `1/batch`).
+    pub grad_logits: Matrix,
+    /// Per-example log-probabilities `log p(target | logits)`, in nats.
+    pub log_probs: Vec<f64>,
+}
+
+/// Softmax cross-entropy between `logits` (`batch x classes`) and integer
+/// `targets`.
+///
+/// # Panics
+/// Panics if the batch sizes disagree or a target is out of range.
+pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> CrossEntropyResult {
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch in cross_entropy");
+    let batch = logits.rows().max(1);
+    let classes = logits.cols();
+    let mut grad = Matrix::zeros(logits.rows(), classes);
+    let mut total = 0.0f64;
+    let mut log_probs = Vec::with_capacity(targets.len());
+    let scale = 1.0 / batch as f32;
+    for (r, &target) in targets.iter().enumerate() {
+        assert!(target < classes, "target {} out of range ({} classes)", target, classes);
+        let row = logits.row(r);
+        let lse = log_sum_exp(row);
+        let log_p = (row[target] - lse) as f64;
+        log_probs.push(log_p);
+        total -= log_p;
+        let grad_row = grad.row_mut(r);
+        for (g, &l) in grad_row.iter_mut().zip(row.iter()) {
+            *g = (l - lse).exp() * scale;
+        }
+        grad_row[target] -= scale;
+    }
+    CrossEntropyResult { loss: total / batch as f64, grad_logits: grad, log_probs }
+}
+
+/// Mean-squared-error loss used by the supervised MSCN baseline.
+///
+/// Returns `(loss, grad_predictions)` where the gradient is with respect to
+/// the predictions and already includes the `1/batch` factor.
+pub fn mse(predictions: &[f32], targets: &[f32]) -> (f64, Vec<f32>) {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch in mse");
+    let n = predictions.len().max(1) as f64;
+    let mut loss = 0.0f64;
+    let mut grad = Vec::with_capacity(predictions.len());
+    for (&p, &t) in predictions.iter().zip(targets.iter()) {
+        let d = (p - t) as f64;
+        loss += d * d;
+        grad.push((2.0 * d / n) as f32);
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Matrix::zeros(2, 4);
+        let res = cross_entropy(&logits, &[0, 3]);
+        let expected = (4.0f64).ln();
+        assert!((res.loss - expected).abs() < 1e-6);
+        for &lp in &res.log_probs {
+            assert!((lp + expected).abs() < 1e-6);
+        }
+        // Gradient rows sum to zero (softmax sums to one, one-hot sums to one).
+        for r in 0..2 {
+            let s: f32 = res.grad_logits.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_prediction_has_small_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 1, 20.0);
+        let res = cross_entropy(&logits, &[1]);
+        assert!(res.loss < 1e-6);
+        let wrong = cross_entropy(&logits, &[2]);
+        assert!(wrong.loss > 10.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let targets = [2usize, 0usize];
+        let res = cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (cross_entropy(&lp, &targets).loss - cross_entropy(&lm, &targets).loss) / (2.0 * eps as f64);
+            let ana = res.grad_logits.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-3, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_target() {
+        let logits = Matrix::zeros(1, 2);
+        let _ = cross_entropy(&logits, &[2]);
+    }
+
+    #[test]
+    fn mse_basic() {
+        let (loss, grad) = mse(&[1.0, 2.0], &[0.0, 4.0]);
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-9);
+        assert!((grad[0] - 1.0).abs() < 1e-6);
+        assert!((grad[1] + 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,152 @@
+//! A plain feed-forward network (Linear → ReLU → … → Linear).
+//!
+//! Used by the supervised MSCN-style baseline and by small regression tests.
+//! Naru's own autoregressive models are assembled directly from
+//! [`crate::linear::Linear`] layers in `naru-core` because they need masked
+//! connectivity and per-column output heads.
+
+use naru_tensor::Matrix;
+use rand::Rng;
+
+use crate::activation::Relu;
+use crate::linear::Linear;
+use crate::optimizer::AdamConfig;
+
+/// A multi-layer perceptron with ReLU activations between layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    relu: Relu,
+}
+
+/// Intermediate activations retained by [`Mlp::forward_train`] so the
+/// backward pass can run without recomputation.
+#[derive(Debug, Clone)]
+pub struct MlpTrace {
+    /// `inputs[i]` is the input fed to layer `i` (post-activation of the
+    /// previous layer); `inputs[0]` is the batch itself.
+    inputs: Vec<Matrix>,
+    /// Pre-activation outputs of each layer.
+    pre_activations: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `&[10, 64, 64, 1]`
+    /// creates two hidden layers of width 64.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths.windows(2).map(|w| Linear::new(rng, w[0], w[1])).collect();
+        Self { layers, relu: Relu }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Model size in bytes (f32 parameters).
+    pub fn size_bytes(&self) -> usize {
+        crate::params_size_bytes(self.param_count())
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i != last {
+                h = self.relu.forward(&h);
+            }
+        }
+        h
+    }
+
+    /// Forward pass that records activations for a subsequent
+    /// [`Mlp::backward`].
+    pub fn forward_train(&self, x: &Matrix) -> (Matrix, MlpTrace) {
+        let mut trace = MlpTrace { inputs: Vec::with_capacity(self.layers.len()), pre_activations: Vec::with_capacity(self.layers.len()) };
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            trace.inputs.push(h.clone());
+            let pre = layer.forward(&h);
+            trace.pre_activations.push(pre.clone());
+            h = if i != last { self.relu.forward(&pre) } else { pre };
+        }
+        (h, trace)
+    }
+
+    /// Backward pass given the gradient of the loss with respect to the
+    /// network output. Accumulates parameter gradients.
+    pub fn backward(&mut self, trace: &MlpTrace, grad_out: &Matrix) {
+        let mut grad = grad_out.clone();
+        let last = self.layers.len() - 1;
+        for i in (0..self.layers.len()).rev() {
+            if i != last {
+                grad = self.relu.backward(&trace.pre_activations[i], &grad);
+            }
+            grad = self.layers[i].backward(&trace.inputs[i], &grad);
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.layers.iter_mut().for_each(Linear::zero_grad);
+    }
+
+    /// Applies one Adam step to every layer.
+    pub fn adam_step(&mut self, cfg: &AdamConfig) {
+        self.layers.iter_mut().for_each(|l| l.adam_step(cfg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut rng, &[5, 16, 8, 2]);
+        let x = Matrix::zeros(7, 5);
+        assert_eq!(mlp.forward(&x).shape(), (7, 2));
+        assert_eq!(mlp.param_count(), 5 * 16 + 16 + 16 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn learns_xor_like_function() {
+        // Fit y = x0 XOR x1 on binary inputs: requires a hidden layer, so it
+        // exercises the full backprop path.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&mut rng, &[2, 16, 1]);
+        let cfg = AdamConfig { lr: 1e-2, ..Default::default() };
+        let xs = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let ys = [0.0f32, 1.0, 1.0, 0.0];
+        let mut final_loss = f64::MAX;
+        for _ in 0..2000 {
+            let (out, trace) = mlp.forward_train(&xs);
+            let preds: Vec<f32> = (0..4).map(|r| out.get(r, 0)).collect();
+            let (loss, grad) = mse(&preds, &ys);
+            final_loss = loss;
+            let grad_m = Matrix::from_vec(4, 1, grad);
+            mlp.zero_grad();
+            mlp.backward(&trace, &grad_m);
+            mlp.adam_step(&cfg);
+        }
+        assert!(final_loss < 0.01, "failed to fit XOR, loss {final_loss}");
+    }
+
+    #[test]
+    fn forward_and_forward_train_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut rng, &[4, 8, 3]);
+        let x = Matrix::from_fn(5, 4, |r, c| (r as f32 * 0.3 - c as f32 * 0.2).sin());
+        let a = mlp.forward(&x);
+        let (b, _) = mlp.forward_train(&x);
+        assert_eq!(a, b);
+    }
+}

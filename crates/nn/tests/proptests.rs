@@ -1,0 +1,112 @@
+//! Property-based tests for the neural-network substrate: gradient checks
+//! on random shapes, MADE mask invariants, and loss-function properties.
+
+use naru_nn::linear::Linear;
+use naru_nn::loss::{cross_entropy, mse};
+use naru_nn::made::{build_made_masks, verify_autoregressive, GroupSpec};
+use naru_nn::optimizer::{Adam, AdamConfig};
+use naru_tensor::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MADE masks are autoregressive for arbitrary column group widths and
+    /// hidden layer shapes.
+    #[test]
+    fn made_masks_always_autoregressive(
+        widths in proptest::collection::vec(1usize..5, 1..8),
+        hidden in proptest::collection::vec(4usize..48, 1..4),
+    ) {
+        let spec = GroupSpec::new(widths.clone(), widths.iter().map(|w| w + 1).collect());
+        let masks = build_made_masks(&spec, &hidden);
+        prop_assert!(verify_autoregressive(&spec, &masks).is_ok());
+        // Shapes chain correctly.
+        prop_assert_eq!(masks[0].cols(), spec.total_input());
+        prop_assert_eq!(masks.last().unwrap().rows(), spec.total_output());
+        for w in masks.windows(2) {
+            prop_assert_eq!(w[1].cols(), w[0].rows());
+        }
+    }
+
+    /// Linear-layer input gradients match finite differences on random
+    /// shapes and inputs.
+    #[test]
+    fn linear_gradcheck(
+        seed in 0u64..1000,
+        in_dim in 1usize..6,
+        out_dim in 1usize..6,
+        batch in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Linear::new(&mut rng, in_dim, out_dim);
+        let x = Matrix::from_fn(batch, in_dim, |r, c| ((r * 7 + c * 13 + seed as usize) % 9) as f32 * 0.2 - 0.8);
+        let y = layer.forward(&x);
+        layer.zero_grad();
+        let dx = layer.backward(&x, &y); // loss = sum(y^2)/2
+        let loss = |layer: &Linear, x: &Matrix| -> f64 {
+            layer.forward(x).data().iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / 2.0
+        };
+        let eps = 1e-2f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps as f64);
+            prop_assert!((num - dx.data()[idx] as f64).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    /// Cross-entropy is non-negative, and its gradient rows sum to ~0.
+    #[test]
+    fn cross_entropy_properties(
+        logits in proptest::collection::vec(-10.0f32..10.0, 12),
+        t0 in 0usize..4, t1 in 0usize..4, t2 in 0usize..4,
+    ) {
+        let m = Matrix::from_vec(3, 4, logits);
+        let res = cross_entropy(&m, &[t0, t1, t2]);
+        prop_assert!(res.loss >= -1e-6);
+        prop_assert!(res.log_probs.iter().all(|&lp| lp <= 1e-6));
+        for r in 0..3 {
+            let s: f32 = res.grad_logits.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// MSE is zero iff predictions equal targets, and its gradient points
+    /// from target toward prediction.
+    #[test]
+    fn mse_properties(pairs in proptest::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 1..20)) {
+        let preds: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let targets: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let (loss, grad) = mse(&preds, &targets);
+        prop_assert!(loss >= 0.0);
+        for ((&p, &t), &g) in preds.iter().zip(targets.iter()).zip(grad.iter()) {
+            if (p - t).abs() > 1e-3 {
+                prop_assert_eq!(g > 0.0, p > t);
+            }
+        }
+        let (self_loss, _) = mse(&preds, &preds);
+        prop_assert!(self_loss.abs() < 1e-9);
+    }
+
+    /// Adam drives a random convex quadratic toward its minimum.
+    ///
+    /// Adam's per-step movement is bounded by roughly the learning rate, so
+    /// the step budget is sized for the worst case (|start - target| can be
+    /// up to 10 with the smallest lr in the range).
+    #[test]
+    fn adam_minimizes_random_quadratic(target in -5.0f32..5.0, start in -5.0f32..5.0, lr in 0.02f32..0.2) {
+        let cfg = AdamConfig { lr, ..Default::default() };
+        let mut adam = Adam::new(1);
+        let mut x = [start];
+        for _ in 0..2000 {
+            let g = [2.0 * (x[0] - target)];
+            adam.step(&cfg, &mut x, &g);
+        }
+        prop_assert!((x[0] - target).abs() < 0.1, "x={} target={}", x[0], target);
+    }
+}

@@ -1,0 +1,83 @@
+//! Exact query execution by scanning.
+//!
+//! The paper obtains ground-truth selectivities by running the generated
+//! queries against Postgres; here the equivalent is a straight scan over
+//! the dictionary-encoded table. The scan is also reused by the `Sample`
+//! baseline (scanning its materialized sample instead of the full table).
+
+use naru_data::Table;
+
+use crate::query::Query;
+
+/// Number of rows of `table` satisfying `query`.
+pub fn count_matches(table: &Table, query: &Query) -> u64 {
+    let constraints = query.constraints(table.num_columns());
+    // Scan column-at-a-time over the filtered columns only: cheaper than
+    // materializing each row when most columns are wildcards.
+    let filtered: Vec<(usize, &crate::predicate::ColumnConstraint)> = constraints
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !matches!(c, crate::predicate::ColumnConstraint::Any))
+        .collect();
+    if filtered.is_empty() {
+        return table.num_rows() as u64;
+    }
+    let mut count = 0u64;
+    'rows: for row in 0..table.num_rows() {
+        for (col, constraint) in &filtered {
+            if !constraint.matches(table.column(*col).id_at(row)) {
+                continue 'rows;
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// True selectivity of `query` against `table` (fraction of rows).
+pub fn true_selectivity(table: &Table, query: &Query) -> f64 {
+    if table.num_rows() == 0 {
+        return 0.0;
+    }
+    count_matches(table, query) as f64 / table.num_rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use naru_data::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_ids("a", vec![0, 0, 1, 1, 2, 2, 2, 2], 3),
+                Column::from_ids("b", vec![0, 1, 0, 1, 0, 1, 1, 1], 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_match_hand_computation() {
+        let t = table();
+        assert_eq!(count_matches(&t, &Query::all()), 8);
+        assert_eq!(count_matches(&t, &Query::new(vec![Predicate::eq(0, 2)])), 4);
+        assert_eq!(count_matches(&t, &Query::new(vec![Predicate::eq(0, 2), Predicate::eq(1, 1)])), 3);
+        assert_eq!(count_matches(&t, &Query::new(vec![Predicate::ge(0, 1), Predicate::eq(1, 0)])), 2);
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        let t = table();
+        let q = Query::new(vec![Predicate::eq(1, 1)]);
+        assert!((true_selectivity(&t, &q) - 5.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_region_has_zero_selectivity() {
+        let t = table();
+        let q = Query::new(vec![Predicate::le(0, 0), Predicate::ge(0, 2)]);
+        assert_eq!(count_matches(&t, &q), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # naru-query
+//!
+//! Query representation, workload generation, ground-truth execution and
+//! accuracy metrics for the Naru reproduction.
+//!
+//! * [`predicate`] — predicates over dictionary-encoded columns and the
+//!   per-column [`ColumnConstraint`] representation consumed by estimators,
+//! * [`query`] — conjunctive [`Query`] plus the [`SelectivityEstimator`]
+//!   trait implemented by Naru and every baseline,
+//! * [`executor`] — exact selectivity by scanning (ground truth),
+//! * [`workload`] — the §6.1.3 query generator (in-distribution and OOD),
+//! * [`metrics`] — the multiplicative error (q-error) and the
+//!   median/95th/99th/max reporting used by the paper's tables.
+
+pub mod executor;
+pub mod metrics;
+pub mod predicate;
+pub mod query;
+pub mod workload;
+
+pub use executor::{count_matches, true_selectivity};
+pub use metrics::{q_error, q_error_from_selectivity, ErrorQuantiles, SelectivityBucket};
+pub use predicate::{ColumnConstraint, Op, Predicate};
+pub use query::{Query, SelectivityEstimator};
+pub use workload::{generate_query, generate_workload, split_by_bucket, LabeledQuery, LiteralSource, WorkloadConfig};

@@ -1,0 +1,144 @@
+//! Accuracy metrics.
+//!
+//! The paper reports the multiplicative error (q-error) of cardinality
+//! estimates, with both the estimate and the truth floored at 1 tuple to
+//! guard against division by zero, and presents quantiles (median, 95th,
+//! 99th, max) per selectivity bucket. This module implements exactly that
+//! reporting so the harness's tables read like Tables 3–5.
+
+use naru_tensor::stats::percentile;
+
+/// Multiplicative error between an estimated and an actual *cardinality*
+/// (row counts, not fractions). Both are floored at 1.
+pub fn q_error(estimated_cardinality: f64, actual_cardinality: f64) -> f64 {
+    let est = estimated_cardinality.max(1.0);
+    let act = actual_cardinality.max(1.0);
+    if est >= act {
+        est / act
+    } else {
+        act / est
+    }
+}
+
+/// Convenience: q-error from selectivities and the table row count.
+pub fn q_error_from_selectivity(estimated: f64, actual: f64, num_rows: usize) -> f64 {
+    q_error(estimated * num_rows as f64, actual * num_rows as f64)
+}
+
+/// Selectivity buckets used throughout the evaluation (§6.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectivityBucket {
+    /// selectivity > 2%
+    High,
+    /// 0.5% < selectivity ≤ 2%
+    Medium,
+    /// selectivity ≤ 0.5%
+    Low,
+}
+
+impl SelectivityBucket {
+    /// Buckets a true selectivity (fraction in `[0, 1]`).
+    pub fn classify(selectivity: f64) -> Self {
+        if selectivity > 0.02 {
+            SelectivityBucket::High
+        } else if selectivity > 0.005 {
+            SelectivityBucket::Medium
+        } else {
+            SelectivityBucket::Low
+        }
+    }
+
+    /// Display label matching the paper's table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectivityBucket::High => "High ((2%,100%])",
+            SelectivityBucket::Medium => "Medium ((0.5%,2%])",
+            SelectivityBucket::Low => "Low (<=0.5%)",
+        }
+    }
+
+    /// All buckets in report order.
+    pub const ALL: [SelectivityBucket; 3] =
+        [SelectivityBucket::High, SelectivityBucket::Medium, SelectivityBucket::Low];
+}
+
+/// Quantile summary of a set of q-errors: median, 95th, 99th, max — the
+/// four columns of the paper's accuracy tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorQuantiles {
+    /// Number of errors summarized.
+    pub count: usize,
+    /// 50th percentile.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl ErrorQuantiles {
+    /// Summarizes a slice of q-errors. Returns `None` for an empty slice.
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
+        let max = errors.iter().cloned().fold(f64::MIN, f64::max);
+        Some(Self {
+            count: errors.len(),
+            median: percentile(errors, 50.0),
+            p95: percentile(errors, 95.0),
+            p99: percentile(errors, 99.0),
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one() {
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn q_error_floors_at_one_tuple() {
+        // A zero estimate on a 100-tuple truth is a 100x error, not infinity.
+        assert_eq!(q_error(0.0, 100.0), 100.0);
+        assert_eq!(q_error(100.0, 0.0), 100.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(0.3, 0.7), 1.0);
+    }
+
+    #[test]
+    fn q_error_from_selectivity_scales_by_rows() {
+        let e = q_error_from_selectivity(0.001, 0.01, 10_000);
+        assert!((e - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_match_paper_thresholds() {
+        assert_eq!(SelectivityBucket::classify(0.5), SelectivityBucket::High);
+        assert_eq!(SelectivityBucket::classify(0.021), SelectivityBucket::High);
+        assert_eq!(SelectivityBucket::classify(0.02), SelectivityBucket::Medium);
+        assert_eq!(SelectivityBucket::classify(0.01), SelectivityBucket::Medium);
+        assert_eq!(SelectivityBucket::classify(0.005), SelectivityBucket::Low);
+        assert_eq!(SelectivityBucket::classify(0.0), SelectivityBucket::Low);
+    }
+
+    #[test]
+    fn quantiles_reported_like_paper_tables() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let q = ErrorQuantiles::from_errors(&errors).unwrap();
+        assert_eq!(q.count, 100);
+        assert!((q.median - 50.5).abs() < 1e-9);
+        assert_eq!(q.max, 100.0);
+        assert!(q.p95 <= q.p99 && q.p99 <= q.max);
+        assert!(ErrorQuantiles::from_errors(&[]).is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Conjunctive queries and the estimator interface.
+
+use naru_data::TableSchema;
+
+use crate::predicate::{ColumnConstraint, Predicate};
+
+/// A conjunction of predicates (the query class of §2.2).
+///
+/// Multiple predicates on the same column are allowed; they are intersected
+/// when the query is compiled into per-column constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    predicates: Vec<Predicate>,
+}
+
+impl Query {
+    /// Creates a query from predicates.
+    pub fn new(predicates: Vec<Predicate>) -> Self {
+        Self { predicates }
+    }
+
+    /// A query with no predicates (matches every tuple).
+    pub fn all() -> Self {
+        Self { predicates: Vec::new() }
+    }
+
+    /// The raw predicates.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Number of predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Number of distinct columns with at least one (non-`Any`) filter.
+    pub fn num_filtered_columns(&self, num_columns: usize) -> usize {
+        self.constraints(num_columns)
+            .iter()
+            .filter(|c| !matches!(c, ColumnConstraint::Any))
+            .count()
+    }
+
+    /// Compiles the query into one constraint per table column, treating
+    /// unfiltered columns as wildcards (exactly how Naru's progressive
+    /// sampler consumes queries).
+    pub fn constraints(&self, num_columns: usize) -> Vec<ColumnConstraint> {
+        let mut out = vec![ColumnConstraint::Any; num_columns];
+        for p in &self.predicates {
+            assert!(p.column < num_columns, "predicate column {} out of range ({num_columns} columns)", p.column);
+            out[p.column] = out[p.column].intersect(&p.constraint);
+        }
+        out
+    }
+
+    /// Whether an id-encoded row satisfies every predicate.
+    pub fn matches_row(&self, row: &[u32]) -> bool {
+        self.predicates.iter().all(|p| p.matches(row[p.column]))
+    }
+
+    /// The number of points in the query region `R_1 × · · · × R_n`
+    /// (reported in Table 6 of the paper), as a float because it easily
+    /// exceeds `u64` on wide tables.
+    pub fn region_size(&self, schema: &TableSchema) -> f64 {
+        self.constraints(schema.num_columns())
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.count(schema.domain_size(i)) as f64)
+            .product()
+    }
+
+    /// Log10 of the region size; finite even when the region overflows f64
+    /// would not be an issue at our scales, but the log form is what the
+    /// experiment tables print.
+    pub fn region_size_log10(&self, schema: &TableSchema) -> f64 {
+        self.constraints(schema.num_columns())
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.count(schema.domain_size(i)).max(1) as f64).log10())
+            .sum()
+    }
+}
+
+/// The common interface all selectivity estimators in this workspace
+/// implement — Naru itself (`naru-core`) and every baseline
+/// (`naru-baselines`).
+///
+/// Estimators are constructed from a table (training / statistics
+/// collection) and thereafter answer queries from their own summary alone;
+/// `estimate` must not touch the original data. The returned value is a
+/// *selectivity* in `[0, 1]`; multiply by the table's row count for a
+/// cardinality.
+pub trait SelectivityEstimator {
+    /// Short display name used in experiment reports (e.g. `"Naru-2000"`).
+    fn name(&self) -> String;
+
+    /// Estimated selectivity of the query, in `[0, 1]`.
+    fn estimate(&self, query: &Query) -> f64;
+
+    /// Size of the estimator's summary in bytes, for the storage budgets of
+    /// Table 1.
+    fn size_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Op;
+
+    #[test]
+    fn constraints_merge_same_column_predicates() {
+        let q = Query::new(vec![Predicate::ge(1, 3), Predicate::le(1, 7), Predicate::eq(0, 2)]);
+        let cs = q.constraints(3);
+        assert_eq!(cs[0], ColumnConstraint::Range { lo: 2, hi: 2 });
+        assert_eq!(cs[1], ColumnConstraint::Range { lo: 3, hi: 7 });
+        assert_eq!(cs[2], ColumnConstraint::Any);
+        assert_eq!(q.num_filtered_columns(3), 2);
+    }
+
+    #[test]
+    fn matches_row_is_conjunction() {
+        let q = Query::new(vec![Predicate::eq(0, 1), Predicate::ge(2, 5)]);
+        assert!(q.matches_row(&[1, 99, 5]));
+        assert!(q.matches_row(&[1, 0, 9]));
+        assert!(!q.matches_row(&[0, 0, 9]));
+        assert!(!q.matches_row(&[1, 0, 4]));
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let q = Query::all();
+        assert!(q.matches_row(&[0, 1, 2]));
+        assert_eq!(q.num_predicates(), 0);
+    }
+
+    #[test]
+    fn region_size_products_domain_counts() {
+        let schema = TableSchema::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![10, 100, 4],
+            1000,
+        );
+        let q = Query::new(vec![Predicate::le(0, 4), Predicate::from_op(1, Op::Ge, 90)]);
+        // a: ids 0..=4 -> 5; b: ids 90..=99 -> 10; c: wildcard -> 4.
+        assert_eq!(q.region_size(&schema), (5 * 10 * 4) as f64);
+        assert!((q.region_size_log10(&schema) - (200f64).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contradictory_predicates_produce_empty_region() {
+        let schema = TableSchema::new(vec!["a".into()], vec![10], 100);
+        let q = Query::new(vec![Predicate::le(0, 2), Predicate::ge(0, 5)]);
+        assert_eq!(q.region_size(&schema), 0.0);
+        assert!(!q.matches_row(&[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        let q = Query::new(vec![Predicate::eq(5, 0)]);
+        let _ = q.constraints(3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Workload generation (§6.1.3 of the paper).
+//!
+//! The generator reproduces the paper's protocol:
+//!
+//! * the number of (non-wildcard) filters `f` is drawn uniformly from
+//!   `[5, 11]` (clamped to the table's column count) — at least five filters
+//!   so that the trivially easy very-high-selectivity queries are avoided;
+//! * `f` distinct columns are drawn at random;
+//! * for columns with domain size ≥ 10 the operator is drawn uniformly from
+//!   `{=, ≤, ≥}`; small-domain (categorical) columns always get `=`;
+//! * filter literals come from a tuple sampled uniformly from the table, so
+//!   they follow the data distribution — except for the *out-of-distribution*
+//!   (OOD) workload of Table 5, where literals are drawn uniformly from the
+//!   whole domain (and therefore usually match nothing).
+//!
+//! True selectivities are computed by scanning the table
+//! ([`crate::executor::true_selectivity`]), playing the role Postgres plays
+//! in the paper.
+
+use naru_data::Table;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::executor::true_selectivity;
+use crate::metrics::SelectivityBucket;
+use crate::predicate::{Op, Predicate};
+use crate::query::Query;
+
+/// How filter literals are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteralSource {
+    /// Literals copied from a random data tuple (the macrobenchmark
+    /// setting: queries follow the data distribution).
+    FromData,
+    /// Literals drawn uniformly from each column's domain (the OOD setting
+    /// of Table 5; most such queries have zero true cardinality).
+    UniformDomain,
+}
+
+/// Configuration of the query generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Minimum number of filtered columns (paper: 5).
+    pub min_filters: usize,
+    /// Maximum number of filtered columns (paper: 11).
+    pub max_filters: usize,
+    /// Domain-size threshold below which only equality predicates are
+    /// placed (paper: 10).
+    pub range_domain_threshold: usize,
+    /// Where literals come from.
+    pub literal_source: LiteralSource,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            min_filters: 5,
+            max_filters: 11,
+            range_domain_threshold: 10,
+            literal_source: LiteralSource::FromData,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The OOD variant used for Table 5.
+    pub fn out_of_distribution() -> Self {
+        Self { literal_source: LiteralSource::UniformDomain, ..Self::default() }
+    }
+}
+
+/// A generated query together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledQuery {
+    /// The query.
+    pub query: Query,
+    /// True selectivity (fraction of rows).
+    pub selectivity: f64,
+    /// True cardinality (row count).
+    pub cardinality: u64,
+}
+
+impl LabeledQuery {
+    /// The selectivity bucket this query falls into.
+    pub fn bucket(&self) -> SelectivityBucket {
+        SelectivityBucket::classify(self.selectivity)
+    }
+}
+
+/// Generates one query according to the configuration. The query itself is
+/// returned without ground truth (use [`generate_workload`] to label).
+pub fn generate_query<R: Rng + ?Sized>(table: &Table, config: &WorkloadConfig, rng: &mut R) -> Query {
+    let num_cols = table.num_columns();
+    let min_f = config.min_filters.min(num_cols).max(1);
+    let max_f = config.max_filters.min(num_cols).max(min_f);
+    let f = rng.gen_range(min_f..=max_f);
+
+    let mut columns: Vec<usize> = (0..num_cols).collect();
+    columns.shuffle(rng);
+    columns.truncate(f);
+
+    // Literal source tuple (for the in-distribution setting).
+    let tuple_row = rng.gen_range(0..table.num_rows());
+
+    let mut predicates = Vec::with_capacity(f);
+    for &col in &columns {
+        let domain = table.column(col).domain_size();
+        let literal: u32 = match config.literal_source {
+            LiteralSource::FromData => table.column(col).id_at(tuple_row),
+            LiteralSource::UniformDomain => rng.gen_range(0..domain as u32),
+        };
+        let op = if domain >= config.range_domain_threshold {
+            *[Op::Eq, Op::Le, Op::Ge].choose(rng).expect("non-empty")
+        } else {
+            Op::Eq
+        };
+        predicates.push(Predicate::from_op(col, op, literal));
+    }
+    Query::new(predicates)
+}
+
+/// Generates `count` queries and labels each with its true selectivity.
+pub fn generate_workload<R: Rng + ?Sized>(
+    table: &Table,
+    config: &WorkloadConfig,
+    count: usize,
+    rng: &mut R,
+) -> Vec<LabeledQuery> {
+    (0..count)
+        .map(|_| {
+            let query = generate_query(table, config, rng);
+            let selectivity = true_selectivity(table, &query);
+            let cardinality = (selectivity * table.num_rows() as f64).round() as u64;
+            LabeledQuery { query, selectivity, cardinality }
+        })
+        .collect()
+}
+
+/// Splits a labeled workload by selectivity bucket, preserving order —
+/// the grouping used by the accuracy tables.
+pub fn split_by_bucket(workload: &[LabeledQuery]) -> Vec<(SelectivityBucket, Vec<&LabeledQuery>)> {
+    SelectivityBucket::ALL
+        .iter()
+        .map(|&bucket| {
+            let queries = workload.iter().filter(|q| q.bucket() == bucket).collect();
+            (bucket, queries)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_data::synthetic::{conviva_a_like, dmv_like};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_queries_respect_filter_count_bounds() {
+        let t = dmv_like(2000, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = WorkloadConfig::default();
+        for _ in 0..50 {
+            let q = generate_query(&t, &config, &mut rng);
+            let f = q.num_filtered_columns(t.num_columns());
+            assert!(f >= 5 && f <= 11, "got {f} filters");
+        }
+    }
+
+    #[test]
+    fn small_domains_only_get_equality() {
+        let t = dmv_like(2000, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = WorkloadConfig::default();
+        for _ in 0..100 {
+            let q = generate_query(&t, &config, &mut rng);
+            for p in q.predicates() {
+                let domain = t.column(p.column).domain_size();
+                if domain < config.range_domain_threshold {
+                    // Equality on small domains: constraint is a single id.
+                    match &p.constraint {
+                        crate::predicate::ColumnConstraint::Range { lo, hi } => assert_eq!(lo, hi),
+                        other => panic!("expected point constraint, got {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_distribution_queries_have_nonzero_selectivity() {
+        // Literals come from actual tuples, so each single predicate is
+        // satisfiable; the conjunction usually is too (it contains the
+        // generating tuple when all ops are = or ranges include it).
+        let t = dmv_like(3000, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let workload = generate_workload(&t, &WorkloadConfig::default(), 30, &mut rng);
+        let nonzero = workload.iter().filter(|q| q.cardinality > 0).count();
+        assert!(nonzero >= 25, "only {nonzero}/30 queries matched anything");
+    }
+
+    #[test]
+    fn ood_queries_are_mostly_empty() {
+        // Paper: 98% of OOD queries on DMV have zero true cardinality.
+        let t = dmv_like(3000, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let workload = generate_workload(&t, &WorkloadConfig::out_of_distribution(), 50, &mut rng);
+        let zero = workload.iter().filter(|q| q.cardinality == 0).count();
+        assert!(zero > 35, "only {zero}/50 OOD queries were empty");
+    }
+
+    #[test]
+    fn workload_covers_multiple_buckets() {
+        let t = conviva_a_like(3000, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let workload = generate_workload(&t, &WorkloadConfig::default(), 120, &mut rng);
+        let buckets = split_by_bucket(&workload);
+        assert_eq!(buckets.len(), 3);
+        let populated = buckets.iter().filter(|(_, qs)| !qs.is_empty()).count();
+        assert!(populated >= 2, "selectivity spectrum too narrow");
+        let total: usize = buckets.iter().map(|(_, qs)| qs.len()).sum();
+        assert_eq!(total, workload.len());
+    }
+
+    #[test]
+    fn workload_is_deterministic_given_seed() {
+        let t = dmv_like(500, 6);
+        let w1 = generate_workload(&t, &WorkloadConfig::default(), 10, &mut StdRng::seed_from_u64(9));
+        let w2 = generate_workload(&t, &WorkloadConfig::default(), 10, &mut StdRng::seed_from_u64(9));
+        for (a, b) in w1.iter().zip(w2.iter()) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.cardinality, b.cardinality);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the query layer: constraint algebra against
+//! brute force, executor consistency, workload generator guarantees, and
+//! metric invariants.
+
+use naru_data::{Column, Table};
+use naru_query::{
+    count_matches, generate_workload, q_error, true_selectivity, ColumnConstraint, ErrorQuantiles,
+    Op, Predicate, Query, SelectivityBucket, WorkloadConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn constraint_strategy() -> impl Strategy<Value = ColumnConstraint> {
+    prop_oneof![
+        Just(ColumnConstraint::Any),
+        Just(ColumnConstraint::Empty),
+        (0u32..20, 0u32..20).prop_map(|(a, b)| ColumnConstraint::Range { lo: a.min(b), hi: a.max(b) }),
+        proptest::collection::vec(0u32..20, 1..6).prop_map(|mut ids| {
+            ids.sort_unstable();
+            ids.dedup();
+            ColumnConstraint::Set(ids)
+        }),
+        (0u32..20).prop_map(ColumnConstraint::Exclude),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Intersection is commutative, matches logical AND, and never enlarges
+    /// either operand.
+    #[test]
+    fn intersection_algebra(a in constraint_strategy(), b in constraint_strategy()) {
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        for id in 0..20u32 {
+            let expected = a.matches(id) && b.matches(id);
+            prop_assert_eq!(ab.matches(id), expected);
+            prop_assert_eq!(ba.matches(id), expected);
+            if ab.matches(id) {
+                prop_assert!(a.matches(id) && b.matches(id));
+            }
+        }
+        prop_assert!(ab.count(20) <= a.count(20).min(b.count(20)));
+    }
+
+    /// `count` equals brute-force membership counting for any domain size.
+    #[test]
+    fn count_matches_bruteforce(c in constraint_strategy(), domain in 1usize..40) {
+        let brute = (0..domain as u32).filter(|&id| c.matches(id)).count() as u64;
+        prop_assert_eq!(c.count(domain), brute);
+        prop_assert_eq!(c.materialize(domain).len() as u64, brute);
+    }
+
+    /// Executor counting equals row-by-row predicate evaluation.
+    #[test]
+    fn executor_matches_row_scan(
+        rows in proptest::collection::vec((0u32..6, 0u32..5, 0u32..4), 1..150),
+        op_idx in 0usize..6, lit in 0u32..6, col in 0usize..3,
+    ) {
+        let t = Table::new("t", vec![
+            Column::from_ids("a", rows.iter().map(|r| r.0).collect(), 6),
+            Column::from_ids("b", rows.iter().map(|r| r.1).collect(), 5),
+            Column::from_ids("c", rows.iter().map(|r| r.2).collect(), 4),
+        ]);
+        let op = Op::ALL[op_idx];
+        let q = Query::new(vec![Predicate::from_op(col, op, lit), Predicate::ge(1, 1)]);
+        let by_scan = (0..t.num_rows()).filter(|&r| q.matches_row(&t.row(r))).count() as u64;
+        prop_assert_eq!(count_matches(&t, &q), by_scan);
+        let sel = true_selectivity(&t, &q);
+        prop_assert!((sel - by_scan as f64 / t.num_rows() as f64).abs() < 1e-12);
+    }
+
+    /// q-error invariants: >= 1, symmetric, equals the cardinality ratio when
+    /// both cardinalities are at least one.
+    #[test]
+    fn q_error_invariants(a in 1.0f64..1e8, b in 1.0f64..1e8) {
+        let e = q_error(a, b);
+        prop_assert!(e >= 1.0 - 1e-12);
+        prop_assert!((e - q_error(b, a)).abs() < 1e-9);
+        prop_assert!((e - (a / b).max(b / a)).abs() < 1e-9);
+    }
+
+    /// Error quantiles are ordered and bounded by the extremes of the data.
+    #[test]
+    fn quantiles_ordered(errors in proptest::collection::vec(1.0f64..1e6, 1..200)) {
+        let q = ErrorQuantiles::from_errors(&errors).unwrap();
+        prop_assert!(q.median <= q.p95 + 1e-9);
+        prop_assert!(q.p95 <= q.p99 + 1e-9);
+        prop_assert!(q.p99 <= q.max + 1e-9);
+        let min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(q.median >= min - 1e-9);
+        prop_assert_eq!(q.count, errors.len());
+    }
+
+    /// Bucket classification is consistent with the thresholds.
+    #[test]
+    fn bucket_thresholds(sel in 0.0f64..=1.0) {
+        match SelectivityBucket::classify(sel) {
+            SelectivityBucket::High => prop_assert!(sel > 0.02),
+            SelectivityBucket::Medium => prop_assert!(sel > 0.005 && sel <= 0.02),
+            SelectivityBucket::Low => prop_assert!(sel <= 0.005),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Workload generator guarantees: filter counts within bounds, literals
+    /// valid for their domains, and true selectivities consistent with a
+    /// re-execution.
+    #[test]
+    fn workload_generator_guarantees(seed in 0u64..500) {
+        let table = naru_data::synthetic::dmv_like(600, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = WorkloadConfig::default();
+        let workload = generate_workload(&table, &config, 5, &mut rng);
+        for lq in &workload {
+            let f = lq.query.num_filtered_columns(table.num_columns());
+            prop_assert!(f >= config.min_filters.min(table.num_columns()));
+            prop_assert!(f <= config.max_filters);
+            let re = true_selectivity(&table, &lq.query);
+            prop_assert!((re - lq.selectivity).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&lq.selectivity));
+        }
+    }
+}

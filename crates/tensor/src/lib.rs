@@ -1,0 +1,25 @@
+//! # naru-tensor
+//!
+//! Dense numeric kernels used by the rest of the workspace.
+//!
+//! This crate provides a deliberately small surface: a row-major [`Matrix`]
+//! of `f32`, the handful of BLAS-like kernels needed for multi-layer
+//! perceptron training (matrix multiplication in the three orientations
+//! required by forward and backward passes, row-wise softmax /
+//! log-softmax), and numeric helpers (log-sum-exp, quantiles, Box–Muller
+//! normal sampling) shared by the statistical estimators.
+//!
+//! Everything is written for clarity first and cache-friendliness second:
+//! all kernels iterate in row-major order over contiguous slices so the
+//! compiler can autovectorize the inner loops, which is sufficient for the
+//! laptop-scale models this workspace trains.
+
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use ops::{log_softmax_rows, log_sum_exp, matmul, matmul_a_bt, matmul_at_b, softmax_rows};
+pub use rng::NormalSampler;
+pub use stats::{mean, percentile, quantiles, variance};

@@ -1,0 +1,337 @@
+//! Row-major dense `f32` matrix.
+//!
+//! [`Matrix`] is the only tensor type in the workspace. It is intentionally
+//! minimal: a shape plus a contiguous `Vec<f32>`. All neural-network layers
+//! in `naru-nn` operate on batches laid out as one row per example.
+
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// Rows are contiguous in memory, so `data[r * cols + c]` addresses element
+/// `(r, c)`. The type deliberately exposes its backing storage through
+/// [`Matrix::data`] / [`Matrix::data_mut`] so hot loops in the layer
+/// implementations can iterate over slices directly.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a matrix from an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable view of row `r` as a contiguous slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sets every element to `value`, keeping the allocation.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// In-place element-wise addition: `self += other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// In-place scaled addition: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// In-place scaling: `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|v| *v *= alpha);
+    }
+
+    /// In-place element-wise (Hadamard) product: `self *= other`.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in hadamard_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= *b;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Maximum absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Returns true if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Stacks the given row slices into a new matrix.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Matrix {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "row length mismatch in from_rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>9.4} ", self.get(r, c))?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_values() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 3, vec![1.0]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::full(2, 2, 1.0);
+        let b = Matrix::full(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert!(a.data().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        a.scale(2.0);
+        assert!(a.data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        a.hadamard_assign(&b);
+        assert_eq!(a.data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn map_and_sum() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        let relu = m.map(|v| v.max(0.0));
+        assert_eq!(relu.data(), &[1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(relu.sum(), 4.0);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn from_rows_stacks() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m.set(1, 1, f32::NAN);
+        assert!(m.has_non_finite());
+    }
+}

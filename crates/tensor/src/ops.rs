@@ -1,0 +1,234 @@
+//! Matrix multiplication and row-wise softmax kernels.
+//!
+//! Three matmul orientations are provided because back-propagation through a
+//! linear layer `Y = X W^T + b` needs all of them:
+//!
+//! * forward:              `Y  = X  W^T`  → [`matmul_a_bt`]
+//! * gradient w.r.t. X:    `dX = dY W`    → [`matmul`]
+//! * gradient w.r.t. W:    `dW = dY^T X`  → [`matmul_at_b`]
+//!
+//! All kernels accumulate in `f32`; the models trained in this workspace are
+//! small enough that this is numerically adequate (verified by the
+//! gradient-check tests in `naru-nn`).
+
+use crate::matrix::Matrix;
+
+/// `C = A * B` where `A` is `m x k` and `B` is `k x n`.
+///
+/// # Panics
+/// Panics if inner dimensions do not match.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch: {:?} * {:?}", a.shape(), b.shape());
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    // i-k-j loop order keeps the innermost loop streaming over contiguous
+    // rows of both B and C, which autovectorizes well.
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for p in 0..k {
+            let a_ip = a_row[p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for j in 0..n {
+                c_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    c
+}
+
+/// `C = A * B^T` where `A` is `m x k` and `B` is `n x k`.
+///
+/// This is the forward-pass orientation: each output element is a dot
+/// product of two contiguous rows.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt inner dimension mismatch: {:?} * {:?}^T", a.shape(), b.shape());
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for p in 0..a_row.len() {
+                acc += a_row[p] * b_row[p];
+            }
+            c_row[j] = acc;
+        }
+    }
+    c
+}
+
+/// `C = A^T * B` where `A` is `k x m` and `B` is `k x n`.
+///
+/// This is the weight-gradient orientation (`dW = dY^T X`).
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b inner dimension mismatch: {:?}^T * {:?}", a.shape(), b.shape());
+    let k = a.rows();
+    let m = a.cols();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for i in 0..m {
+            let a_pi = a_row[i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = c.row_mut(i);
+            for j in 0..n {
+                c_row[j] += a_pi * b_row[j];
+            }
+        }
+    }
+    c
+}
+
+/// Numerically stable log-sum-exp of a slice.
+///
+/// Returns `-inf` for an empty slice, matching the convention that the sum
+/// of zero exponentials is zero.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f32 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Row-wise softmax, returning a new matrix whose rows each sum to 1.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place row-wise softmax.
+pub fn softmax_rows_inplace(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        softmax_slice(row);
+    }
+}
+
+/// In-place softmax over a single slice.
+pub fn softmax_slice(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    } else {
+        // All logits were -inf: fall back to uniform to stay a distribution.
+        let uniform = 1.0 / row.len() as f32;
+        for v in row.iter_mut() {
+            *v = uniform;
+        }
+    }
+}
+
+/// Row-wise log-softmax, returning a new matrix.
+pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let lse = log_sum_exp(row);
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_orientations_agree() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.5 - 1.0);
+        let b = Matrix::from_fn(3, 5, |r, c| (r as f32 - c as f32) * 0.25);
+        let c1 = matmul(&a, &b);
+        let c2 = matmul_a_bt(&a, &b.transpose());
+        let c3 = matmul_at_b(&a.transpose(), &b);
+        for i in 0..c1.len() {
+            assert!(approx_eq(c1.data()[i], c2.data()[i], 1e-5));
+            assert!(approx_eq(c1.data()[i], c3.data()[i], 1e-5));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!(approx_eq(s, 1.0, 1e-5));
+        }
+        assert!(p.get(0, 2) > p.get(0, 1) && p.get(0, 1) > p.get(0, 0));
+        // Large logit dominates without overflow.
+        assert!(p.get(1, 2) > 0.999);
+    }
+
+    #[test]
+    fn softmax_all_neg_inf_falls_back_to_uniform() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_slice(&mut row);
+        for v in row {
+            assert!(approx_eq(v, 0.25, 1e-6));
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let logits = Matrix::from_vec(1, 4, vec![0.3, -2.0, 1.5, 0.0]);
+        let p = softmax_rows(&logits);
+        let lp = log_softmax_rows(&logits);
+        for i in 0..4 {
+            assert!(approx_eq(lp.data()[i], p.data()[i].ln(), 1e-5));
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!(approx_eq(log_sum_exp(&[0.0, 0.0]), std::f32::consts::LN_2, 1e-6));
+        // Huge values should not overflow.
+        let v = log_sum_exp(&[1000.0, 1000.0]);
+        assert!(approx_eq(v, 1000.0 + std::f32::consts::LN_2, 1e-4));
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,119 @@
+//! Random-number helpers.
+//!
+//! `rand` (the only RNG dependency allowed in this workspace) does not ship
+//! a normal distribution without `rand_distr`, so the Gaussian sampling
+//! needed for weight initialization and for the KDE baseline is implemented
+//! here with the Box–Muller transform.
+
+use rand::Rng;
+
+/// Samples standard-normal variates via the Box–Muller transform, caching
+/// the spare variate so consecutive calls cost one transcendental pair per
+/// two samples.
+#[derive(Debug, Default, Clone)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self { spare: None }
+    }
+
+    /// Draws one sample from `N(0, 1)`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals.
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Draws one sample from `N(mean, std^2)`.
+    pub fn sample_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample(rng)
+    }
+}
+
+/// Draws an index from an unnormalized non-negative weight vector.
+///
+/// Returns `None` if the total weight is not positive. This is the core
+/// primitive behind progressive sampling's per-column draws.
+pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f32]) -> Option<usize> {
+    let total: f64 = weights.iter().map(|&w| w.max(0.0) as f64).sum();
+    if total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        let w = w.max(0.0) as f64;
+        if w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return Some(i);
+        }
+        target -= w;
+    }
+    // Floating-point slack: return the last positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_sampler_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = NormalSampler::new();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn scaled_sampler_shifts_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sampler = NormalSampler::new();
+        let n = 20_000;
+        let mean = (0..n).map(|_| sampler.sample_scaled(&mut rng, 5.0, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[sample_categorical(&mut rng, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn categorical_zero_weights_returns_none() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_categorical(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(sample_categorical(&mut rng, &[]), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Small statistics helpers shared by the evaluation harness.
+//!
+//! Percentiles here use the same convention as the paper's reporting code
+//! (NumPy's linear interpolation), so the q-error tables in `naru-bench`
+//! read exactly like Tables 3–5.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Percentile `p` in `[0, 100]` with linear interpolation between order
+/// statistics (NumPy's default `linear` method).
+///
+/// Returns `NaN` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile over an already-sorted slice. See [`percentile`].
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Convenience: computes several percentiles in one sort.
+pub fn quantiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    ps.iter().map(|&p| percentile_sorted(&sorted, p)).collect()
+}
+
+/// Maximum value; `NaN` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::NAN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_matches_percentile() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let qs = quantiles(&xs, &[0.0, 50.0, 95.0, 100.0]);
+        assert_eq!(qs[0], 1.0);
+        assert_eq!(qs[1], 5.0);
+        assert_eq!(qs[3], 9.0);
+        assert!((qs[2] - percentile(&xs, 95.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!(max(&[]).is_nan());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the tensor kernels.
+
+use naru_tensor::{log_softmax_rows, log_sum_exp, matmul, matmul_a_bt, matmul_at_b, softmax_rows, Matrix};
+use naru_tensor::stats::{percentile, quantiles};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A B) C == A (B C) within floating-point tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in matrix_strategy(6),
+        bc in (1usize..6, 1usize..6),
+    ) {
+        let (k2, n) = bc;
+        let b = Matrix::from_fn(a.cols(), k2, |r, c| ((r * 3 + c * 5) % 7) as f32 * 0.25 - 0.5);
+        let c = Matrix::from_fn(k2, n, |r, col| ((r + col * 2) % 5) as f32 * 0.5 - 1.0);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        for i in 0..left.len() {
+            prop_assert!((left.data()[i] - right.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    /// The three matmul orientations agree after transposition.
+    #[test]
+    fn matmul_orientations_agree(a in matrix_strategy(8), cols in 1usize..8) {
+        let b = Matrix::from_fn(a.cols(), cols, |r, c| ((r * 11 + c * 7) % 9) as f32 * 0.3 - 1.0);
+        let reference = matmul(&a, &b);
+        let via_abt = matmul_a_bt(&a, &b.transpose());
+        let via_atb = matmul_at_b(&a.transpose(), &b);
+        for i in 0..reference.len() {
+            prop_assert!((reference.data()[i] - via_abt.data()[i]).abs() < 1e-3);
+            prop_assert!((reference.data()[i] - via_atb.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows are valid probability distributions and invariant to a
+    /// constant shift of the logits.
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix_strategy(10), shift in -50.0f32..50.0) {
+        let p = softmax_rows(&m);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+        let shifted = softmax_rows(&m.map(|v| v + shift));
+        for i in 0..p.len() {
+            prop_assert!((p.data()[i] - shifted.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    /// exp(log_softmax) equals softmax.
+    #[test]
+    fn log_softmax_consistent_with_softmax(m in matrix_strategy(8)) {
+        let p = softmax_rows(&m);
+        let lp = log_softmax_rows(&m);
+        for i in 0..p.len() {
+            prop_assert!((lp.data()[i].exp() - p.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    /// log_sum_exp is at least the max and at most max + ln(n).
+    #[test]
+    fn log_sum_exp_bounds(xs in proptest::collection::vec(-100.0f32..100.0, 1..50)) {
+        let lse = log_sum_exp(&xs);
+        let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(lse >= max - 1e-4);
+        prop_assert!(lse <= max + (xs.len() as f32).ln() + 1e-4);
+    }
+
+    /// Transposition is an involution and preserves the multiset of values.
+    #[test]
+    fn transpose_involution(m in matrix_strategy(12)) {
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(tt, m);
+    }
+
+    /// Percentiles are monotone in p and bounded by the data range.
+    #[test]
+    fn percentiles_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let qs = quantiles(&xs, &[0.0, 25.0, 50.0, 75.0, 95.0, 100.0]);
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(percentile(&xs, 0.0) >= min - 1e-9);
+        prop_assert!(percentile(&xs, 100.0) <= max + 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! # naru
+//!
+//! A Rust reproduction of **Naru** — *Deep Unsupervised Cardinality
+//! Estimation* (Yang et al., VLDB 2019): selectivity estimation with deep
+//! autoregressive likelihood models and progressive sampling.
+//!
+//! This facade crate re-exports the workspace's sub-crates so downstream
+//! users can depend on a single package:
+//!
+//! * [`tensor`] — dense matrix kernels,
+//! * [`nn`] — the neural-network substrate (masked linear layers, MADE
+//!   masks, embeddings, Adam),
+//! * [`data`] — columnar tables, dictionary encoding, synthetic datasets,
+//! * [`query`] — predicates, workload generation, q-error metrics, the
+//!   [`query::SelectivityEstimator`] trait,
+//! * [`baselines`] — the estimators the paper compares against,
+//! * [`core`] — Naru itself: autoregressive density models, training, and
+//!   progressive sampling.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use naru::prelude::*;
+//!
+//! // 1. Get a table (here: a small synthetic one).
+//! let table = naru::data::synthetic::dmv_like(10_000, 42);
+//!
+//! // 2. Train a Naru estimator on it (unsupervised: it only reads tuples).
+//! let config = NaruConfig::small();
+//! let (model, _report) = NaruEstimator::train(&table, &config);
+//!
+//! // 3. Ask for a selectivity.
+//! let query = Query::new(vec![Predicate::eq(0, 1), Predicate::le(6, 500)]);
+//! let estimate = model.estimate(&query);
+//! println!("estimated selectivity: {estimate}");
+//! ```
+
+pub use naru_baselines as baselines;
+pub use naru_core as core;
+pub use naru_data as data;
+pub use naru_nn as nn;
+pub use naru_query as query;
+pub use naru_tensor as tensor;
+
+/// Commonly used types, importable with `use naru::prelude::*`.
+pub mod prelude {
+    pub use naru_core::{NaruConfig, NaruEstimator};
+    pub use naru_data::{Column, Table, Value};
+    pub use naru_query::{Predicate, Query, SelectivityEstimator};
+}

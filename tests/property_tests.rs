@@ -1,0 +1,151 @@
+//! Property-based tests over the core invariants of the system, spanning
+//! crates: dictionary encoding, predicate algebra, the q-error metric,
+//! probability outputs of density models, and the unbiasedness of
+//! progressive sampling against exact enumeration.
+
+use naru::core::{
+    enumerate_exact, IndependentDensity, OracleDensity, ProgressiveSampler, SamplerConfig,
+};
+use naru::data::{Column, Table, Value};
+use naru::query::{
+    q_error, ColumnConstraint, Op, Predicate, Query, SelectivityBucket,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dictionary encoding round-trips every value and preserves order.
+    #[test]
+    fn dictionary_round_trips(values in proptest::collection::vec(-500i64..500, 1..200)) {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::Int(v)).collect();
+        let col = Column::from_values("c", &vals);
+        for v in &vals {
+            let id = col.encode(v).expect("present value must encode");
+            prop_assert_eq!(col.decode(id), v);
+        }
+        // Order preservation: ids sorted the same way as values.
+        for w in col.domain().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// q-error is symmetric, at least 1, and multiplicative in the ratio.
+    #[test]
+    fn q_error_properties(est in 0.0f64..1e7, act in 0.0f64..1e7) {
+        let e = q_error(est, act);
+        prop_assert!(e >= 1.0);
+        prop_assert!((q_error(act, est) - e).abs() < 1e-9);
+        prop_assert!((q_error(est.max(1.0) * 10.0, act) - q_error(est.max(1.0), act) * 10.0).abs() / e < 10.0);
+    }
+
+    /// Selectivity buckets partition [0, 1]: every value falls in exactly one.
+    #[test]
+    fn buckets_partition_unit_interval(sel in 0.0f64..=1.0) {
+        let bucket = SelectivityBucket::classify(sel);
+        let count = SelectivityBucket::ALL.iter().filter(|&&b| b == bucket).count();
+        prop_assert_eq!(count, 1);
+    }
+
+    /// Constraint intersection equals logical AND of membership, and `count`
+    /// equals the number of matching ids, for arbitrary range/point pairs.
+    #[test]
+    fn constraint_algebra(
+        domain in 1usize..60,
+        a_lo in 0u32..60, a_hi in 0u32..60,
+        b in 0u32..60,
+        use_exclude in proptest::bool::ANY,
+    ) {
+        let a = ColumnConstraint::Range { lo: a_lo.min(a_hi), hi: a_lo.max(a_hi) };
+        let bc = if use_exclude { ColumnConstraint::Exclude(b) } else { ColumnConstraint::Range { lo: b, hi: b } };
+        let inter = a.intersect(&bc);
+        let mut expected = 0u64;
+        for id in 0..domain as u32 {
+            let both = a.matches(id) && bc.matches(id);
+            prop_assert_eq!(inter.matches(id), both);
+            if inter.matches(id) { expected += 1; }
+        }
+        prop_assert_eq!(inter.count(domain), expected);
+    }
+
+    /// A query's region size equals the product of per-column allowed counts
+    /// and matching a random row implies the row is inside the region.
+    #[test]
+    fn query_region_consistency(
+        ids in proptest::collection::vec(0u32..8, 3),
+        lo in 0u32..8, hi in 0u32..8,
+    ) {
+        let table = Table::new("t", vec![
+            Column::from_ids("a", vec![ids[0]], 8),
+            Column::from_ids("b", vec![ids[1]], 8),
+            Column::from_ids("c", vec![ids[2]], 8),
+        ]);
+        let q = Query::new(vec![
+            Predicate::between(0, lo.min(hi), lo.max(hi)),
+            Predicate::from_op(1, Op::Ge, 2),
+        ]);
+        let schema = table.schema();
+        let expected: f64 = q.constraints(3).iter().enumerate()
+            .map(|(i, c)| c.count(schema.domain_size(i)) as f64)
+            .product();
+        prop_assert_eq!(q.region_size(&schema), expected);
+        if q.matches_row(&[ids[0], ids[1], ids[2]]) {
+            prop_assert!(q.constraints(3).iter().zip([ids[0], ids[1], ids[2]]).all(|(c, id)| c.matches(id)));
+        }
+    }
+
+    /// Progressive sampling over an independent density is exact for
+    /// arbitrary marginals and range queries (zero-variance case).
+    #[test]
+    fn progressive_sampling_exact_on_independent_densities(
+        weights_a in proptest::collection::vec(0.01f32..1.0, 4),
+        weights_b in proptest::collection::vec(0.01f32..1.0, 6),
+        a_hi in 0u32..4, b_lo in 0u32..6,
+    ) {
+        let norm = |w: &[f32]| {
+            let s: f32 = w.iter().sum();
+            w.iter().map(|x| x / s).collect::<Vec<f32>>()
+        };
+        let marg_a = norm(&weights_a);
+        let marg_b = norm(&weights_b);
+        let expected: f64 = marg_a.iter().take(a_hi as usize + 1).map(|&p| p as f64).sum::<f64>()
+            * marg_b.iter().skip(b_lo as usize).map(|&p| p as f64).sum::<f64>();
+        let density = IndependentDensity::new(vec![marg_a, marg_b]);
+        let q = Query::new(vec![Predicate::le(0, a_hi), Predicate::ge(1, b_lo)]);
+        let sampler = ProgressiveSampler::new(SamplerConfig { num_samples: 32, seed: 0 });
+        let est = sampler.estimate(&density, &q.constraints(2));
+        prop_assert!((est - expected).abs() < 1e-4, "est {} vs expected {}", est, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On randomly generated small tables, progressive sampling with many
+    /// paths stays close to exact enumeration (unbiasedness, Theorem 1), and
+    /// enumeration over an oracle equals the true selectivity.
+    #[test]
+    fn sampling_close_to_enumeration_on_random_tables(
+        rows in proptest::collection::vec((0u32..5, 0u32..4, 0u32..3), 20..120),
+        a_hi in 0u32..5, b_lo in 0u32..4, c_eq in 0u32..3,
+    ) {
+        let table = Table::new("t", vec![
+            Column::from_ids("a", rows.iter().map(|r| r.0).collect(), 5),
+            Column::from_ids("b", rows.iter().map(|r| r.1).collect(), 4),
+            Column::from_ids("c", rows.iter().map(|r| r.2).collect(), 3),
+        ]);
+        let oracle = OracleDensity::new(&table);
+        let q = Query::new(vec![
+            Predicate::le(0, a_hi),
+            Predicate::ge(1, b_lo),
+            Predicate::eq(2, c_eq),
+        ]);
+        let constraints = q.constraints(3);
+        let exact = enumerate_exact(&oracle, &constraints, 10_000).expect("tiny region").selectivity;
+        let truth = naru::query::true_selectivity(&table, &q);
+        prop_assert!((exact - truth).abs() < 1e-5, "oracle enumeration {} vs truth {}", exact, truth);
+        let sampled = ProgressiveSampler::new(SamplerConfig { num_samples: 800, seed: 1 })
+            .estimate(&oracle, &constraints);
+        prop_assert!((sampled - exact).abs() < 0.05, "sampled {} vs exact {}", sampled, exact);
+    }
+}
