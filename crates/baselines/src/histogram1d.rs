@@ -80,8 +80,7 @@ impl ColumnStats {
             ColumnConstraint::Empty => 0.0,
             _ => {
                 // Exact contribution from the MCV list.
-                let mcv_part: f64 =
-                    self.mcv.iter().filter(|(id, _)| constraint.matches(*id)).map(|&(_, f)| f).sum();
+                let mcv_part: f64 = self.mcv.iter().filter(|(id, _)| constraint.matches(*id)).map(|&(_, f)| f).sum();
                 // Histogram contribution: fraction of each bucket's id range
                 // that intersects the constraint, times the bucket mass.
                 let mut hist_part = 0.0;
@@ -98,15 +97,17 @@ impl ColumnStats {
                                 (o_hi - o_lo) as f64 + 1.0
                             }
                         }
-                        ColumnConstraint::Set(ids) => {
-                            ids.iter().filter(|&&id| id >= lo && id <= hi).count() as f64
-                        }
+                        ColumnConstraint::Set(ids) => ids.iter().filter(|&&id| id >= lo && id <= hi).count() as f64,
                         ColumnConstraint::Exclude(v) => {
                             if *v >= lo && *v <= hi {
                                 width - 1.0
                             } else {
                                 width
                             }
+                        }
+                        ColumnConstraint::ExcludeSet(ids) => {
+                            let holes = ids.iter().filter(|&&id| id >= lo && id <= hi).count();
+                            width - holes as f64
                         }
                         _ => 0.0,
                     };
@@ -179,19 +180,11 @@ impl SelectivityEstimator for PostgresEstimator {
 
     fn estimate(&self, query: &Query) -> f64 {
         let constraints = query.constraints(self.stats.len());
-        constraints
-            .iter()
-            .enumerate()
-            .map(|(col, c)| self.stats[col].selectivity(c))
-            .product::<f64>()
-            .clamp(0.0, 1.0)
+        constraints.iter().enumerate().map(|(col, c)| self.stats[col].selectivity(c)).product::<f64>().clamp(0.0, 1.0)
     }
 
     fn size_bytes(&self) -> usize {
-        self.stats
-            .iter()
-            .map(|s| (s.mcv.len() * 12) + (s.bucket_bounds.len() * 4) + 32)
-            .sum()
+        self.stats.iter().map(|s| (s.mcv.len() * 12) + (s.bucket_bounds.len() * 4) + 32).sum()
     }
 }
 
@@ -210,11 +203,8 @@ impl Dbms1Estimator {
     /// joint distinct count (commercial systems only keep a few).
     pub fn build(table: &Table, config: &Histogram1dConfig, max_pairs: usize) -> Self {
         let base = PostgresEstimator::build(table, config);
-        let distinct: Vec<f64> = table
-            .columns()
-            .iter()
-            .map(|c| c.value_counts().iter().filter(|&&cnt| cnt > 0).count() as f64)
-            .collect();
+        let distinct: Vec<f64> =
+            table.columns().iter().map(|c| c.value_counts().iter().filter(|&&cnt| cnt > 0).count() as f64).collect();
 
         // Score pairs by the strength of the correction and keep the top ones.
         let n_cols = table.num_columns();
@@ -243,11 +233,8 @@ impl SelectivityEstimator for Dbms1Estimator {
 
     fn estimate(&self, query: &Query) -> f64 {
         let constraints = query.constraints(self.base.stats.len());
-        let mut estimate: f64 = constraints
-            .iter()
-            .enumerate()
-            .map(|(col, c)| self.base.stats[col].selectivity(c))
-            .product();
+        let mut estimate: f64 =
+            constraints.iter().enumerate().map(|(col, c)| self.base.stats[col].selectivity(c)).product();
         // Apply the distinct-count correction for every tracked pair whose
         // two columns are both filtered: the independence product is too low
         // by roughly (d_a * d_b) / d_ab for correlated pairs.

@@ -18,11 +18,8 @@ impl IndepEstimator {
     /// Builds the estimator by scanning each column once.
     pub fn build(table: &Table) -> Self {
         let n = table.num_rows().max(1) as f64;
-        let marginals = table
-            .columns()
-            .iter()
-            .map(|c| c.value_counts().iter().map(|&cnt| cnt as f64 / n).collect())
-            .collect();
+        let marginals =
+            table.columns().iter().map(|c| c.value_counts().iter().map(|&cnt| cnt as f64 / n).collect()).collect();
         Self { marginals }
     }
 
@@ -47,12 +44,7 @@ impl SelectivityEstimator for IndepEstimator {
 
     fn estimate(&self, query: &Query) -> f64 {
         let constraints = query.constraints(self.marginals.len());
-        constraints
-            .iter()
-            .enumerate()
-            .map(|(col, c)| self.column_selectivity(col, c))
-            .product::<f64>()
-            .clamp(0.0, 1.0)
+        constraints.iter().enumerate().map(|(col, c)| self.column_selectivity(col, c)).product::<f64>().clamp(0.0, 1.0)
     }
 
     fn size_bytes(&self) -> usize {

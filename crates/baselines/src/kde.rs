@@ -57,10 +57,8 @@ impl KdeEstimator {
         let mut rng = StdRng::seed_from_u64(seed);
         let rows = table.sample_row_indices(&mut rng, sample_rows.min(table.num_rows()));
         let d = table.num_columns();
-        let points: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|&r| (0..d).map(|c| table.column(c).id_at(r) as f64).collect())
-            .collect();
+        let points: Vec<Vec<f64>> =
+            rows.iter().map(|&r| (0..d).map(|c| table.column(c).id_at(r) as f64).collect()).collect();
         let n = points.len().max(1) as f64;
 
         // Scott's rule: h_i = sigma_i * n^(-1 / (d + 4)).
@@ -113,6 +111,15 @@ impl KdeEstimator {
             ColumnConstraint::Exclude(v) => {
                 let full = interval(-0.5, domain as f64 - 0.5);
                 (full - interval(*v as f64 - 0.5, *v as f64 + 0.5)).max(0.0)
+            }
+            ColumnConstraint::ExcludeSet(ids) => {
+                let full = interval(-0.5, domain as f64 - 0.5);
+                let holes: f64 = ids
+                    .iter()
+                    .filter(|&&id| (id as usize) < domain)
+                    .map(|&id| interval(id as f64 - 0.5, id as f64 + 0.5))
+                    .sum();
+                (full - holes).max(0.0)
             }
         }
     }
@@ -229,7 +236,12 @@ mod tests {
         let t = correlated_pair(2000, 12, 0.9, 3);
         let kde = KdeEstimator::build(&t, 300, 4);
         let mut rng = StdRng::seed_from_u64(1);
-        let workload = generate_workload(&t, &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() }, 20, &mut rng);
+        let workload = generate_workload(
+            &t,
+            &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() },
+            20,
+            &mut rng,
+        );
         for lq in workload {
             let s = kde.estimate(&lq.query);
             assert!((0.0..=1.0).contains(&s));

@@ -125,10 +125,7 @@ impl MscnEstimator {
         // Pre-compute features and targets.
         let features: Vec<Vec<f32>> =
             training.iter().map(|lq| featurize(&lq.query, &domains, sample.as_ref())).collect();
-        let targets: Vec<f32> = training
-            .iter()
-            .map(|lq| (lq.selectivity.max(1.0 / num_rows)).ln() as f32)
-            .collect();
+        let targets: Vec<f32> = training.iter().map(|lq| (lq.selectivity.max(1.0 / num_rows)).ln() as f32).collect();
 
         let adam = AdamConfig { lr: config.learning_rate, ..Default::default() };
         let mut order: Vec<usize> = (0..training.len()).collect();
@@ -185,6 +182,11 @@ fn featurize(query: &Query, domains: &[usize], sample: Option<&Table>) -> Vec<f3
             ColumnConstraint::Exclude(v) => {
                 features.extend_from_slice(&[1.0, 0.0, 0.0, 0.0, *v as f32 / domain, *v as f32 / domain]);
             }
+            ColumnConstraint::ExcludeSet(ids) => {
+                let lo = ids.first().copied().unwrap_or(0) as f32;
+                let hi = ids.last().copied().unwrap_or(0) as f32;
+                features.extend_from_slice(&[1.0, 0.0, 0.0, 0.0, lo / domain, hi / domain]);
+            }
         }
     }
     let hit_fraction = match sample {
@@ -209,11 +211,7 @@ impl SelectivityEstimator for MscnEstimator {
     }
 
     fn size_bytes(&self) -> usize {
-        let sample_bytes = self
-            .sample
-            .as_ref()
-            .map(|s| s.num_rows() * s.num_columns() * 4)
-            .unwrap_or(0);
+        let sample_bytes = self.sample.as_ref().map(|s| s.num_rows() * s.num_columns() * 4).unwrap_or(0);
         self.net.size_bytes() + sample_bytes
     }
 }
@@ -226,10 +224,8 @@ mod tests {
     use naru_tensor::stats::percentile;
 
     fn median_qerror(est: &dyn SelectivityEstimator, workload: &[LabeledQuery], rows: usize) -> f64 {
-        let errs: Vec<f64> = workload
-            .iter()
-            .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, rows))
-            .collect();
+        let errs: Vec<f64> =
+            workload.iter().map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, rows)).collect();
         percentile(&errs, 50.0)
     }
 
@@ -251,8 +247,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let training = generate_workload(&t, &WorkloadConfig::default(), 250, &mut rng);
         let test = generate_workload(&t, &WorkloadConfig::default(), 50, &mut rng);
-        let with_sample = MscnEstimator::train(&t, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
-        let without = MscnEstimator::train(&t, &training, &MscnConfig { sample_rows: 0, epochs: 30, ..Default::default() });
+        let with_sample =
+            MscnEstimator::train(&t, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
+        let without =
+            MscnEstimator::train(&t, &training, &MscnConfig { sample_rows: 0, epochs: 30, ..Default::default() });
         let med_with = median_qerror(&with_sample, &test, t.num_rows());
         let med_without = median_qerror(&without, &test, t.num_rows());
         assert!(med_with <= med_without * 1.5, "sample variant {med_with} should not be much worse than {med_without}");

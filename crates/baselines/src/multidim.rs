@@ -36,11 +36,8 @@ impl MultiDimHistogram {
     pub fn build(table: &Table, bins: usize) -> Self {
         let domains: Vec<usize> = table.columns().iter().map(|c| c.domain_size()).collect();
         let bins_per_column: Vec<usize> = domains.iter().map(|&d| bins.clamp(1, d)).collect();
-        let widths: Vec<usize> = domains
-            .iter()
-            .zip(bins_per_column.iter())
-            .map(|(&d, &b)| (d as f64 / b as f64).ceil() as usize)
-            .collect();
+        let widths: Vec<usize> =
+            domains.iter().zip(bins_per_column.iter()).map(|(&d, &b)| (d as f64 / b as f64).ceil() as usize).collect();
 
         let mut cells: HashMap<Vec<u16>, u64> = HashMap::new();
         for row in 0..table.num_rows() {

@@ -81,12 +81,7 @@ mod tests {
         let est = SampleEstimator::build(&t, 0.01, 3);
         // A very selective conjunction: the 80-row sample almost surely has
         // no hits, so the estimate collapses to 0.
-        let q = Query::new(vec![
-            Predicate::eq(1, 3),
-            Predicate::eq(4, 7),
-            Predicate::eq(6, 100),
-            Predicate::eq(7, 3),
-        ]);
+        let q = Query::new(vec![Predicate::eq(1, 3), Predicate::eq(4, 7), Predicate::eq(6, 100), Predicate::eq(7, 3)]);
         let est_sel = est.estimate(&q);
         assert!(est_sel == 0.0 || est_sel < 0.01);
     }

@@ -25,9 +25,7 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_softmax(c: &mut Criterion) {
     let logits = Matrix::from_fn(256, 512, |r, col| ((r + col) % 37) as f32 * 0.05 - 1.0);
-    c.bench_function("softmax_rows_256x512", |b| {
-        b.iter(|| softmax_rows(std::hint::black_box(&logits)))
-    });
+    c.bench_function("softmax_rows_256x512", |b| b.iter(|| softmax_rows(std::hint::black_box(&logits))));
 }
 
 criterion_group!(benches, bench_matmul, bench_softmax);

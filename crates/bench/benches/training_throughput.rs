@@ -30,9 +30,7 @@ fn bench_training_step(c: &mut Criterion) {
         table.schema().domain_sizes(),
         &ColumnwiseConfig { hidden_sizes: vec![32, 32], ..Default::default() },
     );
-    group.bench_function("columnwise_32x32", |b| {
-        b.iter(|| columnwise.train_step(std::hint::black_box(&batch), &adam))
-    });
+    group.bench_function("columnwise_32x32", |b| b.iter(|| columnwise.train_step(std::hint::black_box(&batch), &adam)));
     group.finish();
 }
 

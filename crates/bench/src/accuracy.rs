@@ -7,9 +7,7 @@
 
 use std::time::Instant;
 
-use naru_query::{
-    q_error_from_selectivity, ErrorQuantiles, LabeledQuery, SelectivityBucket, SelectivityEstimator,
-};
+use naru_query::{q_error_from_selectivity, ErrorQuantiles, LabeledQuery, SelectivityBucket, SelectivityEstimator};
 
 use crate::report::AccuracyRow;
 
@@ -31,13 +29,8 @@ pub struct EstimatorResult {
 impl EstimatorResult {
     /// q-error quantiles restricted to one selectivity bucket.
     pub fn quantiles_for(&self, bucket: SelectivityBucket) -> Option<ErrorQuantiles> {
-        let errs: Vec<f64> = self
-            .q_errors
-            .iter()
-            .zip(self.buckets.iter())
-            .filter(|(_, &b)| b == bucket)
-            .map(|(&e, _)| e)
-            .collect();
+        let errs: Vec<f64> =
+            self.q_errors.iter().zip(self.buckets.iter()).filter(|(_, &b)| b == bucket).map(|(&e, _)| e).collect();
         ErrorQuantiles::from_errors(&errs)
     }
 
@@ -78,13 +71,7 @@ pub fn evaluate_estimator(
         q_errors.push(q_error_from_selectivity(estimate, lq.selectivity, num_rows));
         buckets.push(lq.bucket());
     }
-    EstimatorResult {
-        name: estimator.name(),
-        size_bytes: estimator.size_bytes(),
-        q_errors,
-        buckets,
-        latencies_ms,
-    }
+    EstimatorResult { name: estimator.name(), size_bytes: estimator.size_bytes(), q_errors, buckets, latencies_ms }
 }
 
 /// Runs a whole estimator line-up over the workload.
@@ -109,7 +96,12 @@ mod tests {
     fn exact_estimator_has_unit_qerrors() {
         let t = correlated_pair(2000, 8, 0.9, 1);
         let mut rng = StdRng::seed_from_u64(1);
-        let workload = generate_workload(&t, &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() }, 25, &mut rng);
+        let workload = generate_workload(
+            &t,
+            &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() },
+            25,
+            &mut rng,
+        );
         let exact = ExactScanEstimator::build(&t);
         let result = evaluate_estimator(&exact, &workload, t.num_rows());
         assert_eq!(result.q_errors.len(), 25);
@@ -123,7 +115,12 @@ mod tests {
     fn indep_is_worse_than_exact_on_correlated_data() {
         let t = correlated_pair(3000, 10, 0.95, 2);
         let mut rng = StdRng::seed_from_u64(2);
-        let workload = generate_workload(&t, &WorkloadConfig { min_filters: 2, max_filters: 2, ..Default::default() }, 40, &mut rng);
+        let workload = generate_workload(
+            &t,
+            &WorkloadConfig { min_filters: 2, max_filters: 2, ..Default::default() },
+            40,
+            &mut rng,
+        );
         let exact = ExactScanEstimator::build(&t);
         let indep = IndepEstimator::build(&t);
         let results = evaluate_all(&[&exact, &indep], &workload, t.num_rows());

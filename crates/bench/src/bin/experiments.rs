@@ -15,8 +15,19 @@ use naru_bench::config::{ExperimentConfig, Scale};
 use naru_bench::experiments as exp;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig4", "table3", "table4", "table5", "fig5", "fig6", "table6", "table7", "fig7", "fig8",
-    "table8", "ablation-arch", "ablation-sampling",
+    "fig4",
+    "table3",
+    "table4",
+    "table5",
+    "fig5",
+    "fig6",
+    "table6",
+    "table7",
+    "fig7",
+    "fig8",
+    "table8",
+    "ablation-arch",
+    "ablation-sampling",
 ];
 
 fn run_one(name: &str, cfg: &ExperimentConfig) -> Option<String> {
@@ -70,7 +81,10 @@ fn main() {
     }
 
     let cfg = ExperimentConfig::new(scale);
-    println!("scale: {scale:?}  (dmv rows: {}, conviva-a rows: {}, queries: {})", cfg.dmv_rows, cfg.conviva_a_rows, cfg.workload_queries);
+    println!(
+        "scale: {scale:?}  (dmv rows: {}, conviva-a rows: {}, queries: {})",
+        cfg.dmv_rows, cfg.conviva_a_rows, cfg.workload_queries
+    );
 
     let mut full_report = String::new();
     for name in &selected {

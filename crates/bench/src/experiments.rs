@@ -8,19 +8,17 @@
 use std::time::Instant;
 
 use naru_baselines::{
-    Dbms1Estimator, Histogram1dConfig, IndepEstimator, KdeEstimator, KdeSupervised, MscnConfig,
-    MscnEstimator, MultiDimHistogram, PostgresEstimator, SampleEstimator,
+    Dbms1Estimator, Histogram1dConfig, IndepEstimator, KdeEstimator, KdeSupervised, MscnConfig, MscnEstimator,
+    MultiDimHistogram, PostgresEstimator, SampleEstimator,
 };
 use naru_core::{
-    entropy_gap_bits, table_tuples, train_model, ColumnwiseConfig, ColumnwiseModel, MadeModel,
-    NaruConfig, NaruEstimator, NoisyOracle, OracleDensity, ProgressiveSampler, SamplerConfig,
-    SamplingEstimator, TrainConfig,
+    entropy_gap_bits, table_tuples, train_model, ColumnwiseConfig, ColumnwiseModel, MadeModel, NaruConfig,
+    NaruEstimator, NoisyOracle, OracleDensity, ProgressiveSampler, SamplerConfig, SamplingEstimator, TrainConfig,
 };
 use naru_data::synthetic::{conviva_a_like, conviva_b_like, dmv_like};
 use naru_data::{shift, Table};
 use naru_query::{
-    generate_workload, q_error_from_selectivity, ErrorQuantiles, LabeledQuery,
-    SelectivityEstimator, WorkloadConfig,
+    generate_workload, q_error_from_selectivity, ErrorQuantiles, LabeledQuery, SelectivityEstimator, WorkloadConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,8 +135,10 @@ fn accuracy_experiment(
     let kde = KdeEstimator::build(data, cfg.kde_points, cfg.seed);
     let kde_superv = KdeSupervised::build(data, cfg.kde_points, cfg.seed, &training[..training.len().min(200)]);
     println!("  training MSCN...");
-    let mscn_base = MscnEstimator::train(data, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
-    let mscn_zero = MscnEstimator::train(data, &training, &MscnConfig { sample_rows: 0, epochs: 30, ..Default::default() });
+    let mscn_base =
+        MscnEstimator::train(data, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
+    let mscn_zero =
+        MscnEstimator::train(data, &training, &MscnConfig { sample_rows: 0, epochs: 30, ..Default::default() });
 
     println!("  training Naru...");
     let naru = train_naru(data, naru_config);
@@ -212,7 +212,8 @@ pub fn table5_ood(cfg: &ExperimentConfig) -> String {
     // In-distribution training queries, as in the paper (that is the point:
     // supervised methods never saw queries like these).
     let training = generate_workload(&data, &WorkloadConfig::default(), cfg.training_queries, &mut rng);
-    let mscn = MscnEstimator::train(&data, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
+    let mscn =
+        MscnEstimator::train(&data, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
     let kde_superv = KdeSupervised::build(&data, cfg.kde_points, cfg.seed, &training[..training.len().min(200)]);
     let sample = SampleEstimator::build(&data, cfg.sample_fraction, cfg.seed);
     let (naru, _) = NaruEstimator::train(&data, &cfg.naru_dmv());
@@ -232,10 +233,9 @@ pub fn table5_ood(cfg: &ExperimentConfig) -> String {
 /// q-error after each epoch).
 pub fn fig5_training_quality(cfg: &ExperimentConfig) -> String {
     let mut out = section("Figure 5: training time vs quality");
-    for (name, data, naru_config) in [
-        ("DMV", Datasets::dmv(cfg), cfg.naru_dmv()),
-        ("Conviva-A", Datasets::conviva_a(cfg), cfg.naru_conviva_a()),
-    ] {
+    for (name, data, naru_config) in
+        [("DMV", Datasets::dmv(cfg), cfg.naru_dmv()), ("Conviva-A", Datasets::conviva_a(cfg), cfg.naru_conviva_a())]
+    {
         let mut rng = StdRng::seed_from_u64(cfg.seed + 40);
         let eval_queries = generate_workload(&data, &WorkloadConfig::default(), 30, &mut rng);
         let mut model = MadeModel::new(data.schema().domain_sizes(), &naru_config.model);
@@ -247,7 +247,13 @@ pub fn fig5_training_quality(cfg: &ExperimentConfig) -> String {
         let mut total_seconds = 0.0;
         let epochs = naru_config.train.epochs;
         for epoch in 1..=epochs {
-            let one = TrainConfig { epochs: 1, compute_data_entropy: false, eval_tuples: 0, seed: cfg.seed + epoch as u64, ..naru_config.train.clone() };
+            let one = TrainConfig {
+                epochs: 1,
+                compute_data_entropy: false,
+                eval_tuples: 0,
+                seed: cfg.seed + epoch as u64,
+                ..naru_config.train.clone()
+            };
             let report = train_model(&mut model, &data, &one);
             total_seconds += report.epochs[0].seconds;
             let gap = entropy_gap_bits(&model, &eval_tuples, data_entropy);
@@ -286,7 +292,8 @@ pub fn fig6_latency(cfg: &ExperimentConfig) -> String {
     let dbms1 = Dbms1Estimator::build(&data, &Histogram1dConfig::default(), 4);
     let sample = SampleEstimator::build(&data, cfg.sample_fraction, cfg.seed);
     let kde = KdeEstimator::build(&data, cfg.kde_points, cfg.seed);
-    let mscn = MscnEstimator::train(&data, &training, &MscnConfig { sample_rows: 1000, epochs: 15, ..Default::default() });
+    let mscn =
+        MscnEstimator::train(&data, &training, &MscnConfig { sample_rows: 1000, epochs: 15, ..Default::default() });
     let (naru, _) = NaruEstimator::train(&data, &cfg.naru_dmv());
     let naru_small = NaruVariant { inner: &naru, samples: cfg.naru_sample_counts[0] };
 
@@ -312,10 +319,9 @@ pub fn fig6_latency(cfg: &ExperimentConfig) -> String {
 pub fn table6_region_size(cfg: &ExperimentConfig) -> String {
     let mut out = section("Table 6: query region size vs enumeration cost");
     let mut table = TextTable::new(&["dataset", "99%-tile region size", "enum (est.)", "Naru (measured)"]);
-    for (name, data, naru_config) in [
-        ("DMV", Datasets::dmv(cfg), cfg.naru_dmv()),
-        ("Conviva-A", Datasets::conviva_a(cfg), cfg.naru_conviva_a()),
-    ] {
+    for (name, data, naru_config) in
+        [("DMV", Datasets::dmv(cfg), cfg.naru_dmv()), ("Conviva-A", Datasets::conviva_a(cfg), cfg.naru_conviva_a())]
+    {
         let mut rng = StdRng::seed_from_u64(cfg.seed + 60);
         let workload = generate_workload(&data, &WorkloadConfig::default(), cfg.workload_queries.min(200), &mut rng);
         let schema = data.schema();
@@ -373,11 +379,7 @@ pub fn table7_model_size(cfg: &ExperimentConfig) -> String {
         let train = TrainConfig { epochs, compute_data_entropy: false, eval_tuples: 0, ..base.train.clone() };
         train_model(&mut model, &data, &train);
         let gap = entropy_gap_bits(&model, &eval, data_entropy);
-        table.add_row(vec![
-            format!("{w}x{w}x{w}x{w}"),
-            fmt_size(model.size_bytes()),
-            format!("{gap:.2}"),
-        ]);
+        table.add_row(vec![format!("{w}x{w}x{w}x{w}"), fmt_size(model.size_bytes()), format!("{gap:.2}")]);
     }
     out.push_str(&table.render());
     out
@@ -507,7 +509,8 @@ pub fn table8_data_shift(cfg: &ExperimentConfig) -> String {
         let visible = shift::ingested_prefix(&parts, k);
         if k > 1 {
             // Fine-tune the refreshed model on the newly ingested partition.
-            let ft = TrainConfig { epochs: 2, compute_data_entropy: false, eval_tuples: 0, ..naru_config.train.clone() };
+            let ft =
+                TrainConfig { epochs: 2, compute_data_entropy: false, eval_tuples: 0, ..naru_config.train.clone() };
             naru_core::fine_tune(refreshed.model_mut(), &parts[k - 1], 2, &ft);
         }
         // Queries: literals drawn from the first partition, truths on all
@@ -567,7 +570,11 @@ pub fn ablation_architectures(cfg: &ExperimentConfig) -> String {
 
     let mut table = TextTable::new(&["architecture", "params", "entropy gap (bits)"]);
     table.add_row(vec!["B: masked MLP".to_string(), made.param_count().to_string(), format!("{made_gap:.2}")]);
-    table.add_row(vec!["A: per-column nets".to_string(), columnwise.param_count().to_string(), format!("{col_gap:.2}")]);
+    table.add_row(vec![
+        "A: per-column nets".to_string(),
+        columnwise.param_count().to_string(),
+        format!("{col_gap:.2}"),
+    ]);
     out.push_str(&table.render());
     out
 }
@@ -589,7 +596,8 @@ pub fn ablation_sampling(cfg: &ExperimentConfig) -> String {
             .map(|lq| {
                 let constraints = lq.query.constraints(data.num_columns());
                 let est = if progressive {
-                    ProgressiveSampler::new(SamplerConfig { num_samples: samples, seed: 0 }).estimate(&oracle, &constraints)
+                    ProgressiveSampler::new(SamplerConfig { num_samples: samples, seed: 0 })
+                        .estimate(&oracle, &constraints)
                 } else {
                     naru_core::uniform_sampling_estimate(&oracle, &constraints, samples, 0)
                 };

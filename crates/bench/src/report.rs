@@ -110,7 +110,7 @@ pub fn render_accuracy_table(rows: &[AccuracyRow]) -> String {
                     cells.push(fmt_err(q.p99));
                     cells.push(fmt_err(q.max));
                 }
-                None => cells.extend(std::iter::repeat("-".to_string()).take(4)),
+                None => cells.extend(std::iter::repeat_n("-".to_string(), 4)),
             }
         }
         table.add_row(cells);

@@ -65,8 +65,7 @@ impl ColumnwiseModel {
                 other => other,
             })
             .collect();
-        let widths: Vec<usize> =
-            domain_sizes.iter().zip(encodings.iter()).map(|(&d, e)| e.width(d)).collect();
+        let widths: Vec<usize> = domain_sizes.iter().zip(encodings.iter()).map(|(&d, e)| e.width(d)).collect();
         let mut offsets = Vec::with_capacity(widths.len() + 1);
         let mut acc = 0;
         for &w in &widths {
@@ -215,7 +214,8 @@ mod tests {
                 data.push(vec![i, i]);
             }
         }
-        let mut model = ColumnwiseModel::new(&[4, 4], &ColumnwiseConfig { hidden_sizes: vec![16], ..Default::default() });
+        let mut model =
+            ColumnwiseModel::new(&[4, 4], &ColumnwiseConfig { hidden_sizes: vec![16], ..Default::default() });
         let adam = AdamConfig { lr: 5e-3, ..Default::default() };
         let first = model.train_step(&data, &adam);
         let mut last = first;

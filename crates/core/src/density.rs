@@ -167,10 +167,7 @@ mod tests {
 
     #[test]
     fn from_table_matches_counts() {
-        let t = naru_data::Table::new(
-            "t",
-            vec![naru_data::Column::from_ids("a", vec![0, 0, 1, 1, 1, 1], 2)],
-        );
+        let t = naru_data::Table::new("t", vec![naru_data::Column::from_ids("a", vec![0, 0, 1, 1, 1, 1], 2)]);
         let d = IndependentDensity::from_table(&t);
         let c = d.conditionals(&[vec![0]], 0);
         assert!((c.get(0, 0) - 2.0 / 6.0).abs() < 1e-6);

@@ -43,9 +43,7 @@ pub fn enumerate_exact<D: ConditionalDensity + ?Sized>(
         None => return Some(EnumerationResult { selectivity: 1.0, points_evaluated: 0 }),
     };
 
-    let allowed: Vec<Vec<u32>> = (0..=last_filtered)
-        .map(|i| constraints[i].materialize(domains[i]))
-        .collect();
+    let allowed: Vec<Vec<u32>> = (0..=last_filtered).map(|i| constraints[i].materialize(domains[i])).collect();
     if allowed.iter().any(Vec::is_empty) {
         return Some(EnumerationResult { selectivity: 0.0, points_evaluated: 0 });
     }
@@ -142,8 +140,8 @@ mod tests {
         let oracle = OracleDensity::new(&t);
         let q = Query::new(vec![Predicate::le(0, 2), Predicate::ge(1, 1)]);
         let exact = enumerate_exact(&oracle, &q.constraints(2), 10_000).unwrap().selectivity;
-        let sampled = ProgressiveSampler::new(SamplerConfig { num_samples: 2000, seed: 3 })
-            .estimate(&oracle, &q.constraints(2));
+        let sampled =
+            ProgressiveSampler::new(SamplerConfig { num_samples: 2000, seed: 3 }).estimate(&oracle, &q.constraints(2));
         assert!((exact - sampled).abs() < 0.02, "exact {exact} vs sampled {sampled}");
     }
 }

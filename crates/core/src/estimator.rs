@@ -182,7 +182,12 @@ mod tests {
         // learned joint beats the independence assumption.
         let table = correlated_pair(3000, 6, 0.95, 9);
         let config = NaruConfig {
-            model: ModelConfig { hidden_sizes: vec![32, 32], encoding: crate::encoding::EncodingPolicy::compact(8), embedding_reuse: true, seed: 2 },
+            model: ModelConfig {
+                hidden_sizes: vec![32, 32],
+                encoding: crate::encoding::EncodingPolicy::compact(8),
+                embedding_reuse: true,
+                seed: 2,
+            },
             train: TrainConfig { epochs: 6, batch_size: 128, eval_tuples: 0, ..Default::default() },
             num_samples: 300,
         };
@@ -242,7 +247,12 @@ mod tests {
         let (est, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(100));
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         use rand::SeedableRng;
-        let workload = naru_query::generate_workload(&table, &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() }, 20, &mut rng);
+        let workload = naru_query::generate_workload(
+            &table,
+            &WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() },
+            20,
+            &mut rng,
+        );
         for lq in &workload {
             let sel = est.estimate(&lq.query);
             assert!((0.0..=1.0).contains(&sel), "selectivity {sel} out of range");

@@ -52,12 +52,7 @@ impl Default for ModelConfig {
 impl ModelConfig {
     /// A small configuration suited to unit tests and quick experiments.
     pub fn tiny() -> Self {
-        Self {
-            hidden_sizes: vec![32, 32],
-            encoding: EncodingPolicy::compact(8),
-            embedding_reuse: true,
-            seed: 0,
-        }
+        Self { hidden_sizes: vec![32, 32], encoding: EncodingPolicy::compact(8), embedding_reuse: true, seed: 0 }
     }
 }
 
@@ -137,7 +132,8 @@ impl MadeModel {
             hidden.push(Linear::new_masked(&mut rng, in_dim, h, masks[i].clone()));
             in_dim = h;
         }
-        let output = Linear::new_masked(&mut rng, in_dim, spec.total_output(), masks[config.hidden_sizes.len()].clone());
+        let output =
+            Linear::new_masked(&mut rng, in_dim, spec.total_output(), masks[config.hidden_sizes.len()].clone());
 
         let input_offsets = spec.input_offsets();
         let output_offsets = spec.output_offsets();
@@ -440,7 +436,12 @@ mod tests {
                 data.push(vec![i, i, 0]);
             }
         }
-        let config = ModelConfig { hidden_sizes: vec![32, 32], encoding: EncodingPolicy::compact(8), embedding_reuse: true, seed: 3 };
+        let config = ModelConfig {
+            hidden_sizes: vec![32, 32],
+            encoding: EncodingPolicy::compact(8),
+            embedding_reuse: true,
+            seed: 3,
+        };
         let mut model = MadeModel::new(&[4, 4, 3], &config);
         let adam = AdamConfig { lr: 5e-3, ..Default::default() };
         let first = model.train_step(&data, &adam);

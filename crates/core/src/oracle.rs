@@ -50,9 +50,7 @@ impl OracleDensity {
     /// Rows matching `prefix` (the first `col` values of `tuple`).
     fn matching_rows(&self, tuple: &[u32], col: usize) -> Vec<u32> {
         let mut rows: Vec<u32> = (0..self.num_rows() as u32).collect();
-        for c in 0..col {
-            let want = tuple[c];
-            let ids = &self.columns[c];
+        for (&want, ids) in tuple[..col].iter().zip(&self.columns) {
             rows.retain(|&r| ids[r as usize] == want);
             if rows.is_empty() {
                 break;
@@ -152,11 +150,7 @@ impl<D: ConditionalDensity> ConditionalDensity for NoisyOracle<D> {
 /// Finds the mixing weight `ε` whose [`NoisyOracle`] over `oracle` has an
 /// entropy gap (measured on `tuples`) closest to `target_gap_bits`, by
 /// bisection on `ε ∈ [0, 1]`.
-pub fn calibrate_epsilon(
-    table: &Table,
-    tuples: &[Vec<u32>],
-    target_gap_bits: f64,
-) -> f64 {
+pub fn calibrate_epsilon(table: &Table, tuples: &[Vec<u32>], target_gap_bits: f64) -> f64 {
     if target_gap_bits <= 0.0 {
         return 0.0;
     }

@@ -148,11 +148,7 @@ impl ProgressiveSampler {
     }
 
     /// Convenience wrapper returning only the selectivity.
-    pub fn estimate<D: ConditionalDensity + ?Sized>(
-        &self,
-        density: &D,
-        constraints: &[ColumnConstraint],
-    ) -> f64 {
+    pub fn estimate<D: ConditionalDensity + ?Sized>(&self, density: &D, constraints: &[ColumnConstraint]) -> f64 {
         self.estimate_detailed(density, constraints).selectivity
     }
 }
@@ -171,11 +167,7 @@ pub fn uniform_sampling_estimate<D: ConditionalDensity + ?Sized>(
     let mut rng = StdRng::seed_from_u64(seed);
     // Materialize the allowed ids per column (query regions in this
     // workspace are per-column ranges, so this stays small per column).
-    let allowed: Vec<Vec<u32>> = constraints
-        .iter()
-        .enumerate()
-        .map(|(i, c)| c.materialize(domains[i]))
-        .collect();
+    let allowed: Vec<Vec<u32>> = constraints.iter().enumerate().map(|(i, c)| c.materialize(domains[i])).collect();
     if allowed.iter().any(Vec::is_empty) {
         return 0.0;
     }
@@ -275,7 +267,8 @@ mod tests {
         // over half of each domain. Uniform sampling with few samples keeps
         // missing the mass; progressive sampling nails it.
         let domain = 64;
-        let rows: Vec<u32> = (0..4000).map(|i| if i % 100 < 99 { (i % 3) as u32 } else { (i % domain) as u32 }).collect();
+        let rows: Vec<u32> =
+            (0..4000).map(|i| if i % 100 < 99 { (i % 3) as u32 } else { (i % domain) as u32 }).collect();
         let col_a = Column::from_ids("a", rows.clone(), domain as usize);
         let col_b = Column::from_ids("b", rows, domain as usize);
         let t = Table::new("skew", vec![col_a, col_b]);
@@ -283,15 +276,18 @@ mod tests {
         let q = Query::new(vec![Predicate::le(0, (domain / 2) as u32), Predicate::le(1, (domain / 2) as u32)]);
         let truth = count_matches(&t, &q) as f64 / t.num_rows() as f64;
 
-        let progressive = ProgressiveSampler::new(SamplerConfig { num_samples: 200, seed: 2 })
-            .estimate(&oracle, &q.constraints(2));
+        let progressive =
+            ProgressiveSampler::new(SamplerConfig { num_samples: 200, seed: 2 }).estimate(&oracle, &q.constraints(2));
         let uniform = uniform_sampling_estimate(&oracle, &q.constraints(2), 200, 2);
 
         let qerr = |est: f64| {
             let est = est.max(1e-9);
             (est / truth).max(truth / est)
         };
-        assert!(qerr(progressive) < qerr(uniform) + 1e-9, "progressive {progressive} vs uniform {uniform} (truth {truth})");
+        assert!(
+            qerr(progressive) < qerr(uniform) + 1e-9,
+            "progressive {progressive} vs uniform {uniform} (truth {truth})"
+        );
         assert!(qerr(progressive) < 1.2);
     }
 
@@ -300,8 +296,10 @@ mod tests {
         let t = correlated_pair(500, 6, 0.8, 1);
         let oracle = OracleDensity::new(&t);
         let q = Query::new(vec![Predicate::le(0, 3), Predicate::ge(1, 1)]);
-        let a = ProgressiveSampler::new(SamplerConfig { num_samples: 100, seed: 9 }).estimate(&oracle, &q.constraints(2));
-        let b = ProgressiveSampler::new(SamplerConfig { num_samples: 100, seed: 9 }).estimate(&oracle, &q.constraints(2));
+        let a =
+            ProgressiveSampler::new(SamplerConfig { num_samples: 100, seed: 9 }).estimate(&oracle, &q.constraints(2));
+        let b =
+            ProgressiveSampler::new(SamplerConfig { num_samples: 100, seed: 9 }).estimate(&oracle, &q.constraints(2));
         assert_eq!(a, b);
     }
 
@@ -315,8 +313,7 @@ mod tests {
         let spread = |num_samples: usize| {
             let ests: Vec<f64> = (0..6)
                 .map(|seed| {
-                    ProgressiveSampler::new(SamplerConfig { num_samples, seed })
-                        .estimate(&oracle, &q.constraints(2))
+                    ProgressiveSampler::new(SamplerConfig { num_samples, seed }).estimate(&oracle, &q.constraints(2))
                 })
                 .collect();
             let max = ests.iter().cloned().fold(f64::MIN, f64::max);

@@ -160,7 +160,12 @@ pub fn train_model<M: TrainableDensity>(model: &mut M, table: &Table, config: &T
 
 /// Continues training an existing model on (possibly new) data — the
 /// fine-tuning path used to absorb data shifts (§6.7.3, Table 8).
-pub fn fine_tune<M: TrainableDensity>(model: &mut M, table: &Table, epochs: usize, config: &TrainConfig) -> TrainReport {
+pub fn fine_tune<M: TrainableDensity>(
+    model: &mut M,
+    table: &Table,
+    epochs: usize,
+    config: &TrainConfig,
+) -> TrainReport {
     let cfg = TrainConfig { epochs, ..config.clone() };
     train_model(model, table, &cfg)
 }

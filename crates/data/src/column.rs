@@ -25,10 +25,8 @@ impl Column {
         let mut domain: Vec<Value> = values.to_vec();
         domain.sort();
         domain.dedup();
-        let ids = values
-            .iter()
-            .map(|v| domain.binary_search(v).expect("value must be in its own domain") as u32)
-            .collect();
+        let ids =
+            values.iter().map(|v| domain.binary_search(v).expect("value must be in its own domain") as u32).collect();
         Self { name: name.into(), domain, ids }
     }
 
@@ -40,10 +38,7 @@ impl Column {
     /// Panics if any id is out of range.
     pub fn from_ids(name: impl Into<String>, ids: Vec<u32>, domain_size: usize) -> Self {
         assert!(domain_size > 0, "domain must be non-empty");
-        assert!(
-            ids.iter().all(|&id| (id as usize) < domain_size),
-            "id out of range for domain size {domain_size}"
-        );
+        assert!(ids.iter().all(|&id| (id as usize) < domain_size), "id out of range for domain size {domain_size}");
         let domain = (0..domain_size as i64).map(Value::Int).collect();
         Self { name: name.into(), domain, ids }
     }

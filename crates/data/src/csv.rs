@@ -76,12 +76,7 @@ fn split_record(line: &str) -> Vec<String> {
 ///
 /// `columns`: optional subset of header names to keep, in the given order;
 /// `limit`: optional maximum number of data rows to read.
-pub fn parse_csv(
-    name: &str,
-    text: &str,
-    columns: Option<&[&str]>,
-    limit: Option<usize>,
-) -> Result<Table, CsvError> {
+pub fn parse_csv(name: &str, text: &str, columns: Option<&[&str]>, limit: Option<usize>) -> Result<Table, CsvError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let header_line = lines.next().ok_or_else(|| CsvError::Malformed("empty file".into()))?;
     let header = split_record(header_line);
@@ -117,20 +112,13 @@ pub fn parse_csv(
         return Err(CsvError::Malformed("no data rows".into()));
     }
 
-    let columns = selected
-        .iter()
-        .zip(raw.iter())
-        .map(|((_, name), values)| Column::from_values(name.clone(), values))
-        .collect();
+    let columns =
+        selected.iter().zip(raw.iter()).map(|((_, name), values)| Column::from_values(name.clone(), values)).collect();
     Ok(Table::new(name, columns))
 }
 
 /// Loads a CSV file from disk. See [`parse_csv`].
-pub fn load_csv(
-    path: impl AsRef<Path>,
-    columns: Option<&[&str]>,
-    limit: Option<usize>,
-) -> Result<Table, CsvError> {
+pub fn load_csv(path: impl AsRef<Path>, columns: Option<&[&str]>, limit: Option<usize>) -> Result<Table, CsvError> {
     let path = path.as_ref();
     let text = fs::read_to_string(path)?;
     let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table");

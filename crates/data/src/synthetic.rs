@@ -126,9 +126,8 @@ pub fn dmv_like(rows: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rows;
 
-    let d = |name: &str| -> usize {
-        DMV_COLUMNS.iter().find(|(c, _)| *c == name).map(|(_, d)| *d).expect("known column")
-    };
+    let d =
+        |name: &str| -> usize { DMV_COLUMNS.iter().find(|(c, _)| *c == name).map(|(_, d)| *d).expect("known column") };
 
     let record_type_dist = ZipfSampler::new(d("record_type"), 1.2);
     let reg_class_dist = ZipfSampler::new(d("reg_class"), 1.4);
@@ -139,7 +138,7 @@ pub fn dmv_like(rows: usize, seed: u64) -> Table {
     let date_dist = ZipfSampler::new(300, 1.05);
     let color_dist = ZipfSampler::new(d("color"), 1.6);
 
-    let mut cols: Vec<Vec<u32>> = vec![Vec::with_capacity(n); 11];
+    let mut cols: Vec<Vec<u32>> = (0..11).map(|_| Vec::with_capacity(n)).collect();
     for _ in 0..n {
         let record_type = record_type_dist.sample(&mut rng) as u32;
         // reg_class correlates with record_type: each record type "owns" a
@@ -177,35 +176,21 @@ pub fn dmv_like(rows: usize, seed: u64) -> Table {
         let color = ((color_dist.sample(&mut rng) + color_band) % d("color")) as u32;
 
         // Indicator flags: rare, and more likely for specific reg classes.
-        let risky = reg_class % 11 == 0;
+        let risky = reg_class.is_multiple_of(11);
         let p_flag = if risky { 0.18 } else { 0.01 };
         let sco_ind = u32::from(rng.gen_bool(p_flag));
         let sus_ind = u32::from(rng.gen_bool(if sco_ind == 1 { 0.5 } else { p_flag }));
         let rev_ind = u32::from(rng.gen_bool(if sus_ind == 1 { 0.3 } else { 0.005 }));
 
-        let row = [
-            record_type,
-            reg_class,
-            state,
-            county,
-            body_type,
-            fuel_type,
-            valid_date,
-            color,
-            sco_ind,
-            sus_ind,
-            rev_ind,
-        ];
+        let row =
+            [record_type, reg_class, state, county, body_type, fuel_type, valid_date, color, sco_ind, sus_ind, rev_ind];
         for (c, v) in row.into_iter().enumerate() {
             cols[c].push(v);
         }
     }
 
-    let columns = DMV_COLUMNS
-        .iter()
-        .zip(cols)
-        .map(|((name, domain), ids)| Column::from_ids(*name, ids, *domain))
-        .collect();
+    let columns =
+        DMV_COLUMNS.iter().zip(cols).map(|((name, domain), ids)| Column::from_ids(*name, ids, *domain)).collect();
     Table::new("dmv", columns)
 }
 
@@ -235,12 +220,10 @@ pub const CONVIVA_A_COLUMNS: [(&str, usize); 15] = [
 /// Generates a Conviva-A-like table.
 pub fn conviva_a_like(rows: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
-    let dists: Vec<ZipfSampler> = CONVIVA_A_COLUMNS
-        .iter()
-        .map(|(_, d)| ZipfSampler::new(*d, if *d > 100 { 1.15 } else { 1.4 }))
-        .collect();
+    let dists: Vec<ZipfSampler> =
+        CONVIVA_A_COLUMNS.iter().map(|(_, d)| ZipfSampler::new(*d, if *d > 100 { 1.15 } else { 1.4 })).collect();
 
-    let mut cols: Vec<Vec<u32>> = vec![Vec::with_capacity(rows); CONVIVA_A_COLUMNS.len()];
+    let mut cols: Vec<Vec<u32>> = (0..CONVIVA_A_COLUMNS.len()).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         // Latent session quality in [0, 1): drives bandwidth, bitrate,
         // startup time, buffering and the error flag.
@@ -295,11 +278,8 @@ pub fn conviva_a_like(rows: usize, seed: u64) -> Table {
         }
     }
 
-    let columns = CONVIVA_A_COLUMNS
-        .iter()
-        .zip(cols)
-        .map(|((name, domain), ids)| Column::from_ids(*name, ids, *domain))
-        .collect();
+    let columns =
+        CONVIVA_A_COLUMNS.iter().zip(cols).map(|((name, domain), ids)| Column::from_ids(*name, ids, *domain)).collect();
     Table::new("conviva_a", columns)
 }
 
@@ -317,7 +297,7 @@ pub fn conviva_b_like(rows: usize, cols: usize, seed: u64) -> Table {
     let dists: Vec<ZipfSampler> = domains.iter().map(|&d| ZipfSampler::new(d, 1.3)).collect();
 
     const LATENTS: usize = 6;
-    let mut col_ids: Vec<Vec<u32>> = vec![Vec::with_capacity(rows); cols];
+    let mut col_ids: Vec<Vec<u32>> = (0..cols).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         let latents: Vec<f64> = (0..LATENTS).map(|_| rng.gen::<f64>()).collect();
         for c in 0..cols {
@@ -330,9 +310,7 @@ pub fn conviva_b_like(rows: usize, cols: usize, seed: u64) -> Table {
         }
     }
 
-    let columns = (0..cols)
-        .map(|c| Column::from_ids(format!("m{c:03}"), col_ids[c].clone(), domains[c]))
-        .collect();
+    let columns = (0..cols).map(|c| Column::from_ids(format!("m{c:03}"), col_ids[c].clone(), domains[c])).collect();
     Table::new("conviva_b", columns)
 }
 
@@ -349,10 +327,7 @@ pub fn correlated_pair(rows: usize, domain: usize, corr: f64, seed: u64) -> Tabl
         a_ids.push(a);
         b_ids.push(b);
     }
-    Table::new(
-        "pair",
-        vec![Column::from_ids("a", a_ids, domain), Column::from_ids("b", b_ids, domain)],
-    )
+    Table::new("pair", vec![Column::from_ids("a", a_ids, domain), Column::from_ids("b", b_ids, domain)])
 }
 
 /// A small table whose columns are fully independent; useful as a control
@@ -390,12 +365,12 @@ mod tests {
         let z = ZipfSampler::new(10, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
         let n = 50_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
-            let freq = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / n as f64;
             assert!((freq - z.pmf(k)).abs() < 0.01, "rank {k}: {freq} vs {}", z.pmf(k));
         }
     }

@@ -173,10 +173,7 @@ impl Table {
 
     /// Returns a new table containing only the selected rows.
     pub fn take_rows(&self, rows: &[usize]) -> Table {
-        Table {
-            name: self.name.clone(),
-            columns: self.columns.iter().map(|c| c.take_rows(rows)).collect(),
-        }
+        Table { name: self.name.clone(), columns: self.columns.iter().map(|c| c.take_rows(rows)).collect() }
     }
 
     /// Returns a new table with only the first `k` columns (used by the
@@ -189,10 +186,7 @@ impl Table {
     /// Returns a new table with exactly the named column indices.
     pub fn select_columns(&self, cols: &[usize]) -> Table {
         assert!(!cols.is_empty(), "must select at least one column");
-        Table {
-            name: self.name.clone(),
-            columns: cols.iter().map(|&c| self.columns[c].clone()).collect(),
-        }
+        Table { name: self.name.clone(), columns: cols.iter().map(|&c| self.columns[c].clone()).collect() }
     }
 
     /// Appends the rows of `other` (same schema / shared dictionaries).
@@ -213,10 +207,7 @@ mod tests {
     fn small_table() -> Table {
         Table::new(
             "t",
-            vec![
-                Column::from_ids("a", vec![0, 0, 1, 1, 2, 2], 3),
-                Column::from_ids("b", vec![0, 1, 0, 1, 0, 1], 2),
-            ],
+            vec![Column::from_ids("a", vec![0, 0, 1, 1, 2, 2], 3), Column::from_ids("b", vec![0, 1, 0, 1, 0, 1], 2)],
         )
     }
 
@@ -249,10 +240,7 @@ mod tests {
 
     #[test]
     fn entropy_of_duplicated_rows_is_lower() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_ids("a", vec![0, 0, 0, 1], 2)],
-        );
+        let t = Table::new("t", vec![Column::from_ids("a", vec![0, 0, 0, 1], 2)]);
         // P = {0: 3/4, 1: 1/4}
         let expected = -(0.75f64 * 0.75f64.log2() + 0.25 * 0.25f64.log2());
         assert!((t.data_entropy_bits() - expected).abs() < 1e-9);
@@ -295,9 +283,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "equal length")]
     fn unequal_columns_rejected() {
-        let _ = Table::new(
-            "t",
-            vec![Column::from_ids("a", vec![0], 1), Column::from_ids("b", vec![0, 1], 2)],
-        );
+        let _ = Table::new("t", vec![Column::from_ids("a", vec![0], 1), Column::from_ids("b", vec![0, 1], 2)]);
     }
 }

@@ -153,14 +153,14 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vals = vec![Value::Int(0), Value::Null, Value::from("x")];
+        let mut vals = [Value::Int(0), Value::Null, Value::from("x")];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
     }
 
     #[test]
     fn float_total_order_handles_nan() {
-        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        let mut vals = [Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
         vals.sort();
         assert_eq!(vals[0], Value::Float(-1.0));
         assert_eq!(vals[1], Value::Float(1.0));

@@ -27,11 +27,7 @@ pub struct Embedding {
 impl Embedding {
     /// Creates a table for `vocab` ids with `dim`-dimensional vectors.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, vocab: usize, dim: usize) -> Self {
-        Self {
-            table: embedding_normal(rng, vocab, dim),
-            grad: Matrix::zeros(vocab, dim),
-            adam: Adam::new(vocab * dim),
-        }
+        Self { table: embedding_normal(rng, vocab, dim), grad: Matrix::zeros(vocab, dim), adam: Adam::new(vocab * dim) }
     }
 
     /// Number of ids in the vocabulary.

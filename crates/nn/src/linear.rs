@@ -1,6 +1,6 @@
 //! Dense (optionally masked) linear layers with manual back-propagation.
 
-use naru_tensor::{matmul, matmul_at_b, matmul_a_bt, Matrix};
+use naru_tensor::{matmul, matmul_a_bt, matmul_at_b, Matrix};
 use rand::Rng;
 
 use crate::init::he_normal;
@@ -296,8 +296,8 @@ mod tests {
             let y = layer.forward(&x);
             let mut grad = Matrix::zeros(32, 1);
             let mut loss = 0.0;
-            for r in 0..32 {
-                let d = y.get(r, 0) - target[r];
+            for (r, &t) in target.iter().enumerate() {
+                let d = y.get(r, 0) - t;
                 loss += d * d;
                 grad.set(r, 0, 2.0 * d / 32.0);
             }

@@ -93,7 +93,7 @@ impl GroupSpec {
 fn expand_degrees(widths: &[usize]) -> Vec<usize> {
     let mut degrees = Vec::with_capacity(widths.iter().sum());
     for (col, &w) in widths.iter().enumerate() {
-        degrees.extend(std::iter::repeat(col + 1).take(w));
+        degrees.extend(std::iter::repeat_n(col + 1, w));
     }
     degrees
 }
@@ -118,18 +118,13 @@ pub fn build_made_masks(spec: &GroupSpec, hidden_sizes: &[usize]) -> Vec<Matrix>
     let mut masks = Vec::with_capacity(hidden_sizes.len() + 1);
     let mut prev_degrees = spec.input_degrees();
 
-    for (layer, &size) in hidden_sizes.iter().enumerate() {
+    for &size in hidden_sizes {
         let degrees = hidden_degrees(size, n);
-        // Hidden units may see inputs of degree <= their own degree. For
-        // the first layer the comparison is strictly >= the *input* degree,
-        // which matches the standard MADE formulation.
+        // Hidden units may see inputs of degree <= their own degree — the
+        // standard MADE rule, which applies uniformly to the input-to-hidden
+        // and hidden-to-hidden masks (strictness lives in the output mask).
         let mask = Matrix::from_fn(size, prev_degrees.len(), |out_unit, in_unit| {
-            let allowed = if layer == 0 {
-                degrees[out_unit] >= prev_degrees[in_unit]
-            } else {
-                degrees[out_unit] >= prev_degrees[in_unit]
-            };
-            if allowed {
+            if degrees[out_unit] >= prev_degrees[in_unit] {
                 1.0
             } else {
                 0.0
@@ -172,9 +167,7 @@ pub fn verify_autoregressive(spec: &GroupSpec, masks: &[Matrix]) -> Result<(), S
             for o in out_offsets[out_col]..out_offsets[out_col + 1] {
                 for i in in_offsets[in_col]..in_offsets[in_col + 1] {
                     if reach.get(o, i) != 0.0 {
-                        return Err(format!(
-                            "information leak: output column {out_col} can see input column {in_col}"
-                        ));
+                        return Err(format!("information leak: output column {out_col} can see input column {in_col}"));
                     }
                 }
             }

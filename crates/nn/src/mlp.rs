@@ -65,7 +65,10 @@ impl Mlp {
     /// Forward pass that records activations for a subsequent
     /// [`Mlp::backward`].
     pub fn forward_train(&self, x: &Matrix) -> (Matrix, MlpTrace) {
-        let mut trace = MlpTrace { inputs: Vec::with_capacity(self.layers.len()), pre_activations: Vec::with_capacity(self.layers.len()) };
+        let mut trace = MlpTrace {
+            inputs: Vec::with_capacity(self.layers.len()),
+            pre_activations: Vec::with_capacity(self.layers.len()),
+        };
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {

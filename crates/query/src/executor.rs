@@ -14,11 +14,8 @@ pub fn count_matches(table: &Table, query: &Query) -> u64 {
     let constraints = query.constraints(table.num_columns());
     // Scan column-at-a-time over the filtered columns only: cheaper than
     // materializing each row when most columns are wildcards.
-    let filtered: Vec<(usize, &crate::predicate::ColumnConstraint)> = constraints
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| !matches!(c, crate::predicate::ColumnConstraint::Any))
-        .collect();
+    let filtered: Vec<(usize, &crate::predicate::ColumnConstraint)> =
+        constraints.iter().enumerate().filter(|(_, c)| !matches!(c, crate::predicate::ColumnConstraint::Any)).collect();
     if filtered.is_empty() {
         return table.num_rows() as u64;
     }

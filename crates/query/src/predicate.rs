@@ -199,6 +199,9 @@ pub enum ColumnConstraint {
     Set(Vec<u32>),
     /// Everything except one id (`≠`).
     Exclude(u32),
+    /// Everything except the given sorted set of ids (the intersection of
+    /// two or more distinct `≠` predicates).
+    ExcludeSet(Vec<u32>),
 }
 
 impl ColumnConstraint {
@@ -210,6 +213,7 @@ impl ColumnConstraint {
             ColumnConstraint::Range { lo, hi } => id >= *lo && id <= *hi,
             ColumnConstraint::Set(ids) => ids.binary_search(&id).is_ok(),
             ColumnConstraint::Exclude(v) => id != *v,
+            ColumnConstraint::ExcludeSet(ids) => ids.binary_search(&id).is_err(),
         }
     }
 
@@ -234,6 +238,10 @@ impl ColumnConstraint {
                 } else {
                     domain as u64
                 }
+            }
+            ColumnConstraint::ExcludeSet(ids) => {
+                let excluded = ids.iter().filter(|&&id| (id as usize) < domain).count() as u64;
+                domain as u64 - excluded
             }
         }
     }
@@ -266,29 +274,92 @@ impl ColumnConstraint {
                 if a == b {
                     Exclude(*a)
                 } else {
-                    // Two exclusions cannot be represented exactly without a
-                    // general set; fall back to the weaker single exclusion.
-                    // Conjunctive workloads in this repo never produce this
-                    // shape (one predicate per column at most for ≠).
-                    Exclude(*a)
+                    ExcludeSet(vec![(*a).min(*b), (*a).max(*b)])
                 }
+            }
+            (Exclude(a), ExcludeSet(ids)) | (ExcludeSet(ids), Exclude(a)) => {
+                let mut merged = ids.clone();
+                if let Err(pos) = merged.binary_search(a) {
+                    merged.insert(pos, *a);
+                }
+                ExcludeSet(merged)
+            }
+            (ExcludeSet(a), ExcludeSet(b)) => {
+                let mut merged = a.clone();
+                for id in b {
+                    if let Err(pos) = merged.binary_search(id) {
+                        merged.insert(pos, *id);
+                    }
+                }
+                ExcludeSet(merged)
             }
             (Exclude(v), Range { lo, hi }) | (Range { lo, hi }, Exclude(v)) => {
-                if v < lo || v > hi {
-                    Range { lo: *lo, hi: *hi }
-                } else if lo == hi {
-                    Empty
-                } else if v == lo {
-                    Range { lo: lo + 1, hi: *hi }
-                } else if v == hi {
-                    Range { lo: *lo, hi: hi - 1 }
-                } else {
-                    // A hole in the middle: enumerate as a set.
-                    let ids: Vec<u32> = (*lo..=*hi).filter(|id| id != v).collect();
-                    Set(ids)
-                }
+                Self::range_minus(*lo, *hi, std::slice::from_ref(v))
+            }
+            (ExcludeSet(ids), Range { lo, hi }) | (Range { lo, hi }, ExcludeSet(ids)) => {
+                Self::range_minus(*lo, *hi, ids)
             }
         }
+    }
+
+    /// Materialization budget for `range_minus` (64M ids ≈ 256 MB): the
+    /// smaller of the in-range and complement representations is always
+    /// chosen, so this only guards pathological synthetic literals —
+    /// dictionary domains are orders of magnitude smaller.
+    const RANGE_ENUM_LIMIT: u64 = 1 << 26;
+
+    /// `[lo, hi] \ excluded` (with `excluded` sorted), as an exact
+    /// constraint. Small ranges with interior holes materialize as a `Set`;
+    /// huge ranges (e.g. `>=` constraints with `hi == u32::MAX`) flip to the
+    /// complement representation `ExcludeSet([0, lo) ∪ holes ∪ (hi, MAX])`,
+    /// which is small whenever the range's edges are near the id-space
+    /// boundaries.
+    fn range_minus(lo: u32, hi: u32, excluded: &[u32]) -> ColumnConstraint {
+        use ColumnConstraint::*;
+        let mut lo = lo;
+        let mut hi = hi;
+        // Trim exclusions sitting exactly on the bounds.
+        loop {
+            if lo > hi {
+                return Empty;
+            }
+            if excluded.binary_search(&lo).is_ok() {
+                if lo == hi {
+                    return Empty;
+                }
+                lo += 1;
+            } else if excluded.binary_search(&hi).is_ok() {
+                hi -= 1;
+            } else {
+                break;
+            }
+        }
+        let interior: Vec<u32> = excluded.iter().copied().filter(|&v| v > lo && v < hi).collect();
+        if interior.is_empty() {
+            return Range { lo, hi };
+        }
+        let span = hi as u64 - lo as u64 + 1;
+        let outside = lo as u64 + (u32::MAX as u64 - hi as u64) + interior.len() as u64;
+        if span <= outside {
+            // A hole strictly inside a bounded range: enumerate the
+            // surviving ids as a set.
+            assert!(
+                span - interior.len() as u64 <= Self::RANGE_ENUM_LIMIT,
+                "hole-punched range [{lo}, {hi}] is too large to materialize"
+            );
+            return Set((lo..=hi).filter(|id| interior.binary_search(id).is_err()).collect());
+        }
+        // Complement form, exact over the whole id space: excluded ids are
+        // everything below `lo`, the interior holes, and everything above
+        // `hi` (the pieces are disjoint and appended in ascending order).
+        // This keeps `>=`-style ranges (`hi == u32::MAX`) symbolic.
+        assert!(outside <= Self::RANGE_ENUM_LIMIT, "hole-punched range [{lo}, {hi}] is too large to materialize");
+        let mut excl: Vec<u32> = (0..lo).collect();
+        excl.extend(interior);
+        if hi < u32::MAX {
+            excl.extend(hi + 1..=u32::MAX);
+        }
+        ExcludeSet(excl)
     }
 
     /// The ids in `[0, domain)` satisfying the constraint, materialized.
@@ -322,6 +393,7 @@ mod tests {
             ColumnConstraint::Range { lo: 8, hi: 200 },
             ColumnConstraint::Set(vec![1, 3, 9, 42]),
             ColumnConstraint::Exclude(4),
+            ColumnConstraint::ExcludeSet(vec![2, 7, 42]),
         ];
         for c in constraints {
             let brute = (0..domain as u32).filter(|&id| c.matches(id)).count() as u64;
@@ -340,17 +412,60 @@ mod tests {
             (ColumnConstraint::Any, ColumnConstraint::Exclude(3)),
             (ColumnConstraint::Empty, ColumnConstraint::Any),
             (ColumnConstraint::Range { lo: 5, hi: 5 }, ColumnConstraint::Exclude(5)),
+            (ColumnConstraint::Exclude(3), ColumnConstraint::Exclude(0)),
+            (ColumnConstraint::Exclude(3), ColumnConstraint::Exclude(3)),
+            (ColumnConstraint::ExcludeSet(vec![0, 3]), ColumnConstraint::Exclude(7)),
+            (ColumnConstraint::ExcludeSet(vec![0, 3]), ColumnConstraint::ExcludeSet(vec![3, 9])),
+            (ColumnConstraint::ExcludeSet(vec![2, 4]), ColumnConstraint::Range { lo: 2, hi: 9 }),
+            (ColumnConstraint::ExcludeSet(vec![2, 9]), ColumnConstraint::Range { lo: 2, hi: 9 }),
+            (ColumnConstraint::ExcludeSet(vec![5, 6]), ColumnConstraint::Range { lo: 5, hi: 6 }),
+            (ColumnConstraint::ExcludeSet(vec![1, 8]), ColumnConstraint::Set(vec![1, 4, 8])),
         ];
         for (a, b) in cases {
             let inter = a.intersect(&b);
             for id in 0..domain as u32 {
-                assert_eq!(
-                    inter.matches(id),
-                    a.matches(id) && b.matches(id),
-                    "a={a:?} b={b:?} id={id}"
-                );
+                assert_eq!(inter.matches(id), a.matches(id) && b.matches(id), "a={a:?} b={b:?} id={id}");
             }
         }
+    }
+
+    #[test]
+    fn unbounded_range_intersect_exclusion_stays_symbolic() {
+        // `x >= 5 AND x != 10` must not try to materialize [5, u32::MAX];
+        // it flips to the complement representation instead.
+        let ge = Predicate::ge(0, 5).constraint;
+        let inter = ge.intersect(&ColumnConstraint::Exclude(10));
+        assert_eq!(inter, ColumnConstraint::ExcludeSet(vec![0, 1, 2, 3, 4, 10]));
+        for id in 0..100u32 {
+            assert_eq!(inter.matches(id), id >= 5 && id != 10);
+        }
+        assert_eq!(inter.count(20), 14);
+        // Same through the query-compilation surface, plus a bounded upper
+        // edge (`x > 2 AND x <= MAX-3` style holes near both boundaries).
+        let q = crate::Query::new(vec![Predicate::ge(0, 5), Predicate::neq(0, 10), Predicate::neq(0, 7)]);
+        let c = &q.constraints(1)[0];
+        for id in 0..100u32 {
+            assert_eq!(c.matches(id), id >= 5 && id != 10 && id != 7);
+        }
+        let le = ColumnConstraint::Range { lo: 3, hi: u32::MAX - 2 };
+        let inter = le.intersect(&ColumnConstraint::Exclude(9));
+        for id in [0, 3, 8, 9, 10, u32::MAX - 2, u32::MAX - 1, u32::MAX] {
+            assert_eq!(inter.matches(id), (3..=u32::MAX - 2).contains(&id) && id != 9, "id {id}");
+        }
+    }
+
+    #[test]
+    fn wide_bounded_range_intersect_exclusion_materializes() {
+        // A bounded range wider than any dictionary domain still intersects
+        // an interior exclusion without panicking (regression: the first
+        // complement-form implementation rejected this shape).
+        let wide = ColumnConstraint::Range { lo: 0, hi: 69_999 };
+        let inter = wide.intersect(&ColumnConstraint::Exclude(5));
+        match &inter {
+            ColumnConstraint::Set(ids) => assert_eq!(ids.len(), 69_999),
+            other => panic!("expected Set, got {other:?}"),
+        }
+        assert!(!inter.matches(5) && inter.matches(4) && inter.matches(69_999));
     }
 
     #[test]

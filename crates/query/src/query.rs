@@ -36,10 +36,7 @@ impl Query {
 
     /// Number of distinct columns with at least one (non-`Any`) filter.
     pub fn num_filtered_columns(&self, num_columns: usize) -> usize {
-        self.constraints(num_columns)
-            .iter()
-            .filter(|c| !matches!(c, ColumnConstraint::Any))
-            .count()
+        self.constraints(num_columns).iter().filter(|c| !matches!(c, ColumnConstraint::Any)).count()
     }
 
     /// Compiles the query into one constraint per table column, treating
@@ -136,11 +133,7 @@ mod tests {
 
     #[test]
     fn region_size_products_domain_counts() {
-        let schema = TableSchema::new(
-            vec!["a".into(), "b".into(), "c".into()],
-            vec![10, 100, 4],
-            1000,
-        );
+        let schema = TableSchema::new(vec!["a".into(), "b".into(), "c".into()], vec![10, 100, 4], 1000);
         let q = Query::new(vec![Predicate::le(0, 4), Predicate::from_op(1, Op::Ge, 90)]);
         // a: ids 0..=4 -> 5; b: ids 90..=99 -> 10; c: wildcard -> 4.
         assert_eq!(q.region_size(&schema), (5 * 10 * 4) as f64);

@@ -53,12 +53,7 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        Self {
-            min_filters: 5,
-            max_filters: 11,
-            range_domain_threshold: 10,
-            literal_source: LiteralSource::FromData,
-        }
+        Self { min_filters: 5, max_filters: 11, range_domain_threshold: 10, literal_source: LiteralSource::FromData }
     }
 }
 
@@ -163,7 +158,7 @@ mod tests {
         for _ in 0..50 {
             let q = generate_query(&t, &config, &mut rng);
             let f = q.num_filtered_columns(t.num_columns());
-            assert!(f >= 5 && f <= 11, "got {f} filters");
+            assert!((5..=11).contains(&f), "got {f} filters");
         }
     }
 

@@ -4,8 +4,8 @@
 
 use naru_data::{Column, Table};
 use naru_query::{
-    count_matches, generate_workload, q_error, true_selectivity, ColumnConstraint, ErrorQuantiles,
-    Op, Predicate, Query, SelectivityBucket, WorkloadConfig,
+    count_matches, generate_workload, q_error, true_selectivity, ColumnConstraint, ErrorQuantiles, Op, Predicate,
+    Query, SelectivityBucket, WorkloadConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -22,6 +22,11 @@ fn constraint_strategy() -> impl Strategy<Value = ColumnConstraint> {
             ColumnConstraint::Set(ids)
         }),
         (0u32..20).prop_map(ColumnConstraint::Exclude),
+        proptest::collection::vec(0u32..20, 1..6).prop_map(|mut ids| {
+            ids.sort_unstable();
+            ids.dedup();
+            ColumnConstraint::ExcludeSet(ids)
+        }),
     ]
 }
 

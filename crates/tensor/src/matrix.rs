@@ -35,14 +35,7 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "buffer length {} does not match shape {}x{}",
-            data.len(),
-            rows,
-            cols
-        );
+        assert_eq!(data.len(), rows * cols, "buffer length {} does not match shape {}x{}", data.len(), rows, cols);
         Self { rows, cols, data }
     }
 

@@ -19,7 +19,7 @@ use crate::matrix::Matrix;
 /// Panics if inner dimensions do not match.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch: {:?} * {:?}", a.shape(), b.shape());
-    let (m, k) = a.shape();
+    let m = a.rows();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
     // i-k-j loop order keeps the innermost loop streaming over contiguous
@@ -27,8 +27,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     for i in 0..m {
         let a_row = a.row(i);
         let c_row = c.row_mut(i);
-        for p in 0..k {
-            let a_ip = a_row[p];
+        for (p, &a_ip) in a_row.iter().enumerate() {
             if a_ip == 0.0 {
                 continue;
             }
@@ -53,13 +52,13 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     for i in 0..m {
         let a_row = a.row(i);
         let c_row = c.row_mut(i);
-        for j in 0..n {
+        for (j, out) in c_row.iter_mut().enumerate() {
             let b_row = b.row(j);
             let mut acc = 0.0f32;
             for p in 0..a_row.len() {
                 acc += a_row[p] * b_row[p];
             }
-            c_row[j] = acc;
+            *out = acc;
         }
     }
     c
@@ -77,8 +76,7 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
     for p in 0..k {
         let a_row = a.row(p);
         let b_row = b.row(p);
-        for i in 0..m {
-            let a_pi = a_row[i];
+        for (i, &a_pi) in a_row.iter().enumerate() {
             if a_pi == 0.0 {
                 continue;
             }

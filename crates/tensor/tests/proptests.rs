@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor kernels.
 
-use naru_tensor::{log_softmax_rows, log_sum_exp, matmul, matmul_a_bt, matmul_at_b, softmax_rows, Matrix};
 use naru_tensor::stats::{percentile, quantiles};
+use naru_tensor::{log_softmax_rows, log_sum_exp, matmul, matmul_a_bt, matmul_at_b, softmax_rows, Matrix};
 use proptest::prelude::*;
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {

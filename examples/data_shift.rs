@@ -10,8 +10,7 @@ use naru::core::{fine_tune, NaruConfig, NaruEstimator, TrainConfig};
 use naru::data::shift::{ingested_prefix, partition_by_column};
 use naru::data::synthetic::dmv_like;
 use naru::query::{
-    generate_workload, q_error_from_selectivity, true_selectivity, SelectivityEstimator,
-    WorkloadConfig,
+    generate_workload, q_error_from_selectivity, true_selectivity, SelectivityEstimator, WorkloadConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -9,8 +9,8 @@ use naru::baselines::{Histogram1dConfig, IndepEstimator, PostgresEstimator, Samp
 use naru::core::{NaruConfig, NaruEstimator};
 use naru::data::synthetic::dmv_like;
 use naru::query::{
-    generate_workload, q_error_from_selectivity, ErrorQuantiles, SelectivityBucket,
-    SelectivityEstimator, WorkloadConfig,
+    generate_workload, q_error_from_selectivity, ErrorQuantiles, SelectivityBucket, SelectivityEstimator,
+    WorkloadConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -10,10 +10,7 @@
 use naru::baselines::{MscnConfig, MscnEstimator, SampleEstimator};
 use naru::core::{NaruConfig, NaruEstimator};
 use naru::data::synthetic::dmv_like;
-use naru::query::{
-    generate_workload, q_error_from_selectivity, ErrorQuantiles, SelectivityEstimator,
-    WorkloadConfig,
-};
+use naru::query::{generate_workload, q_error_from_selectivity, ErrorQuantiles, SelectivityEstimator, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,7 +25,8 @@ fn main() {
     println!("{empty} of {} OOD queries have zero true cardinality", ood.len());
 
     println!("building estimators...");
-    let mscn = MscnEstimator::train(&table, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
+    let mscn =
+        MscnEstimator::train(&table, &training, &MscnConfig { sample_rows: 1000, epochs: 30, ..Default::default() });
     let sample = SampleEstimator::build(&table, 0.013, 0);
     let (naru, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(1000));
 

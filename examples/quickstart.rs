@@ -8,8 +8,7 @@ use naru::baselines::IndepEstimator;
 use naru::core::{NaruConfig, NaruEstimator};
 use naru::data::synthetic::dmv_like;
 use naru::query::{
-    generate_workload, q_error_from_selectivity, Predicate, Query, SelectivityEstimator,
-    WorkloadConfig,
+    generate_workload, q_error_from_selectivity, Predicate, Query, SelectivityEstimator, WorkloadConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,9 +37,9 @@ fn main() {
     // 3. Ask for selectivities. Predicates address columns by index and
     //    dictionary id; `Predicate::from_value` converts raw literals.
     let query = Query::new(vec![
-        Predicate::eq(0, 0),      // record_type = 0
-        Predicate::le(6, 1000),   // valid_date <= id 1000
-        Predicate::ge(7, 5),      // color >= id 5
+        Predicate::eq(0, 0),    // record_type = 0
+        Predicate::le(6, 1000), // valid_date <= id 1000
+        Predicate::ge(7, 5),    // color >= id 5
     ]);
     let estimate = naru.estimate(&query);
     let truth = naru::query::true_selectivity(&table, &query);

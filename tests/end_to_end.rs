@@ -1,13 +1,11 @@
 //! Cross-crate integration tests: data → training → estimation → metrics.
 
 use naru::baselines::{IndepEstimator, PostgresEstimator, SampleEstimator};
-use naru::core::{
-    enumerate_exact, NaruConfig, NaruEstimator, OracleDensity, ProgressiveSampler, SamplerConfig,
-};
+use naru::core::{enumerate_exact, NaruConfig, NaruEstimator, OracleDensity, ProgressiveSampler, SamplerConfig};
 use naru::data::synthetic::{conviva_b_like, correlated_pair, dmv_like};
 use naru::query::{
-    generate_workload, q_error_from_selectivity, true_selectivity, Predicate, Query,
-    SelectivityEstimator, WorkloadConfig,
+    generate_workload, q_error_from_selectivity, true_selectivity, Predicate, Query, SelectivityEstimator,
+    WorkloadConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,12 +112,8 @@ fn value_level_and_id_level_predicates_agree() {
     let table = dmv_like(2_000, 17);
     let col = table.column_index("valid_date").unwrap();
     let literal = table.column(col).decode(500).clone();
-    let by_value = Query::new(vec![naru::query::Predicate::from_value(
-        col,
-        table.column(col),
-        naru::query::Op::Le,
-        &literal,
-    )]);
+    let by_value =
+        Query::new(vec![naru::query::Predicate::from_value(col, table.column(col), naru::query::Op::Le, &literal)]);
     let by_id = Query::new(vec![Predicate::le(col, 500)]);
     assert_eq!(true_selectivity(&table, &by_value), true_selectivity(&table, &by_id));
 }

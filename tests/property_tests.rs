@@ -3,13 +3,9 @@
 //! probability outputs of density models, and the unbiasedness of
 //! progressive sampling against exact enumeration.
 
-use naru::core::{
-    enumerate_exact, IndependentDensity, OracleDensity, ProgressiveSampler, SamplerConfig,
-};
+use naru::core::{enumerate_exact, IndependentDensity, OracleDensity, ProgressiveSampler, SamplerConfig};
 use naru::data::{Column, Table, Value};
-use naru::query::{
-    q_error, ColumnConstraint, Op, Predicate, Query, SelectivityBucket,
-};
+use naru::query::{q_error, ColumnConstraint, Op, Predicate, Query, SelectivityBucket};
 use proptest::prelude::*;
 
 proptest! {

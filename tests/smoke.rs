@@ -1,0 +1,18 @@
+//! Workspace-wiring smoke test: the facade crate can train a small model on
+//! a tiny synthetic table and produce a sane estimate, quickly enough for CI.
+
+use naru::prelude::*;
+
+#[test]
+fn train_and_estimate_on_tiny_table() {
+    let table = naru::data::synthetic::dmv_like(400, 7);
+    let config = NaruConfig::small();
+    let (model, report) = NaruEstimator::train(&table, &config);
+    let final_epoch = report.epochs.last().expect("training must record epochs");
+    assert!(final_epoch.eval_nll_bits.is_finite(), "training NLL must be finite");
+
+    let query = Query::new(vec![Predicate::eq(0, 1)]);
+    let estimate = model.estimate(&query);
+    assert!(estimate.is_finite(), "estimate must be finite, got {estimate}");
+    assert!((0.0..=1.0).contains(&estimate), "estimate must be a selectivity in [0, 1], got {estimate}");
+}

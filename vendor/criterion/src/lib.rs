@@ -1,0 +1,182 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds offline, so the benchmarking surface it uses is
+//! vendored: `Criterion`, `benchmark_group` with `sample_size` /
+//! `throughput` / `bench_function` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs one
+//! warm-up iteration followed by `sample_size` timed iterations and prints
+//! the mean wall-clock time per iteration (plus throughput when configured).
+//! That is enough to compare kernels locally; it makes no outlier analysis
+//! or regression claims.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `matmul/a_bt/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs closures and measures them.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_mean: Option<Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `sample` iterations of `routine` (after one warm-up call) and
+    /// records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let iters = self.iters.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / iters);
+    }
+}
+
+fn report(id: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
+    let Some(mean) = mean else {
+        println!("{id:<48} (no measurement)");
+        return;
+    };
+    let per_iter = mean.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} {:>12.3} us/iter{rate}", per_iter * 1e6);
+}
+
+/// A named set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let mut bencher = Bencher { last_mean: None, iters: self.sample_size };
+        f(&mut bencher);
+        report(&id, bencher.last_mean, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let mut bencher = Bencher { last_mean: None, iters: self.sample_size };
+        f(&mut bencher, input);
+        report(&id, bencher.last_mean, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: u32,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { last_mean: None, iters: self.default_sample_size.max(1) };
+        f(&mut bencher);
+        report(name, bencher.last_mean, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup { name: name.into(), sample_size, throughput: None, _criterion: self }
+    }
+}
+
+/// Restates its argument; kept for API compatibility with real criterion.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

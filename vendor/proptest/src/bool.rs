@@ -1,0 +1,20 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// The strategy behind [`ANY`]: a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// Generates `true` and `false` with equal probability.
+pub const ANY: Any = Any;

@@ -1,0 +1,63 @@
+//! Configuration, the deterministic per-case RNG, and the error type used by
+//! the `prop_assert*` macros.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. An alias so test code can name it.
+pub type TestRng = StdRng;
+
+/// Run configuration. Only `cases` matters for this shim; construction mirrors
+/// real proptest (`ProptestConfig::with_cases(n)` or struct update syntax over
+/// `Default`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Builds the deterministic RNG for one case of one test: FNV-1a over the
+/// test name, mixed with the case index. Stable across runs and platforms so
+/// tier-1 results are reproducible.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
