@@ -1,0 +1,62 @@
+//! End-to-end progressive-sampling benchmark: the optimized
+//! (zero-allocation, compacting) walk versus the pre-optimization reference
+//! walk, over both a trained MADE model and an oracle density — so kernel
+//! and sampler wins are visible in the context that actually matters
+//! (per-query estimation latency), complementing the isolated kernel
+//! numbers in `tensor_kernels`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naru_core::{NaruConfig, NaruEstimator, OracleDensity, ProgressiveSampler, SamplerConfig};
+use naru_data::synthetic::dmv_like;
+use naru_query::{generate_workload, LabeledQuery, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_progressive_sampling(c: &mut Criterion) {
+    let table = dmv_like(2000, 42);
+    let n = table.num_columns();
+    let mut rng = StdRng::seed_from_u64(5);
+    let workload: Vec<LabeledQuery> = generate_workload(&table, &WorkloadConfig::default(), 4, &mut rng);
+
+    let mut config = NaruConfig::small().with_samples(300);
+    config.train.epochs = 2;
+    config.train.compute_data_entropy = false;
+    config.train.eval_tuples = 0;
+    let (estimator, _) = NaruEstimator::train(&table, &config);
+    let oracle = OracleDensity::new(&table);
+    let sampler = ProgressiveSampler::new(SamplerConfig { num_samples: 300, seed: 0 });
+
+    let mut group = c.benchmark_group("progressive_sampling");
+    group.sample_size(10);
+    group.bench_function("made_optimized", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for lq in &workload {
+                acc += sampler.estimate_detailed(estimator.model(), &lq.query.constraints(n)).selectivity;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("made_reference", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for lq in &workload {
+                acc += sampler.estimate_detailed_reference(estimator.model(), &lq.query.constraints(n)).selectivity;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("oracle_optimized", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for lq in &workload {
+                acc += sampler.estimate_detailed(&oracle, &lq.query.constraints(n)).selectivity;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_progressive_sampling);
+criterion_main!(benches);

@@ -1,7 +1,14 @@
 //! Micro-benchmarks for the tensor kernels that dominate training and
-//! inference time (matmul in its three orientations, softmax).
+//! inference time: the three matmul orientations in every implementation
+//! tier (naive reference, blocked serial, row-partitioned parallel), plus
+//! softmax. The `_into` variants are measured with a pre-allocated output
+//! so the numbers isolate kernel arithmetic from allocator traffic.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use naru_tensor::ops::{
+    matmul_a_bt_into_blocked, matmul_a_bt_into_parallel, matmul_at_b_into_blocked, matmul_at_b_into_parallel,
+    matmul_into_blocked, matmul_into_parallel, naive,
+};
 use naru_tensor::{matmul, matmul_a_bt, matmul_at_b, softmax_rows, Matrix};
 
 fn bench_matmul(c: &mut Criterion) {
@@ -10,6 +17,9 @@ fn bench_matmul(c: &mut Criterion) {
     for &n in &[64usize, 128, 256] {
         let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.1);
         let b = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.1);
+        let mut out = Matrix::zeros(n, n);
+
+        // Dispatching entry points (what the layers actually call).
         group.bench_with_input(BenchmarkId::new("a_b", n), &n, |bench, _| {
             bench.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
         });
@@ -18,6 +28,39 @@ fn bench_matmul(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("at_b", n), &n, |bench, _| {
             bench.iter(|| matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+
+        // Naive reference tier.
+        group.bench_with_input(BenchmarkId::new("a_b_naive", n), &n, |bench, _| {
+            bench.iter(|| naive::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt_naive", n), &n, |bench, _| {
+            bench.iter(|| naive::matmul_a_bt(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b_naive", n), &n, |bench, _| {
+            bench.iter(|| naive::matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+
+        // Blocked serial tier, allocation-free.
+        group.bench_with_input(BenchmarkId::new("a_b_blocked_into", n), &n, |bench, _| {
+            bench.iter(|| matmul_into_blocked(std::hint::black_box(&a), std::hint::black_box(&b), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt_blocked_into", n), &n, |bench, _| {
+            bench.iter(|| matmul_a_bt_into_blocked(std::hint::black_box(&a), std::hint::black_box(&b), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b_blocked_into", n), &n, |bench, _| {
+            bench.iter(|| matmul_at_b_into_blocked(std::hint::black_box(&a), std::hint::black_box(&b), &mut out))
+        });
+
+        // Threaded tier, allocation-free.
+        group.bench_with_input(BenchmarkId::new("a_b_parallel_into", n), &n, |bench, _| {
+            bench.iter(|| matmul_into_parallel(std::hint::black_box(&a), std::hint::black_box(&b), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("a_bt_parallel_into", n), &n, |bench, _| {
+            bench.iter(|| matmul_a_bt_into_parallel(std::hint::black_box(&a), std::hint::black_box(&b), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("at_b_parallel_into", n), &n, |bench, _| {
+            bench.iter(|| matmul_at_b_into_parallel(std::hint::black_box(&a), std::hint::black_box(&b), &mut out))
         });
     }
     group.finish();

@@ -5,6 +5,8 @@
 //!
 //! * [`config`] — the `--quick` / `--full` experiment scales,
 //! * [`accuracy`] — the shared accuracy/latency measurement loop,
+//! * [`latency`] — the end-to-end estimator-latency harness behind the
+//!   `bench_infer` binary and its `BENCH_infer.json` artifact,
 //! * [`experiments`] — one function per table/figure (see DESIGN.md §5 for
 //!   the index),
 //! * [`report`] — plain-text table rendering matching the paper's layout.
@@ -18,7 +20,9 @@
 pub mod accuracy;
 pub mod config;
 pub mod experiments;
+pub mod latency;
 pub mod report;
 
 pub use accuracy::{evaluate_all, evaluate_estimator, EstimatorResult};
 pub use config::{ExperimentConfig, Scale};
+pub use latency::LatencyStats;

@@ -9,6 +9,90 @@
 
 use naru_tensor::Matrix;
 
+/// Reusable scratch state for [`ConditionalDensity::conditionals_into`].
+///
+/// Progressive sampling calls `conditionals_into` once per column step; the
+/// scratch carries everything a density may want to keep warm between
+/// steps so the hot path is allocation-free at steady state:
+///
+/// * the neural model's forward-pass activation buffers (`nn`),
+/// * the encoded-input batch (`enc`), maintained *incrementally* — the
+///   encoding of column `c`'s block is written once, right before the first
+///   step that needs it, instead of re-encoding the whole prefix from
+///   scratch every step,
+/// * a bridge buffer (`tuple_vecs`) used by the default (allocating)
+///   implementation so oracles and baselines keep working unchanged.
+///
+/// The sampler owns one scratch per sampler instance, calls
+/// [`InferenceScratch::reset`] at the start of every estimate, and
+/// [`InferenceScratch::compact_rows`] whenever it compacts dead sample
+/// paths so the cached encodings stay aligned with the live batch.
+#[derive(Debug)]
+pub struct InferenceScratch {
+    /// Forward-pass activation buffers (ping-pong + per-block scratch).
+    pub(crate) nn: naru_nn::Workspace,
+    /// Encoded network input for the current batch of sample paths.
+    pub(crate) enc: Matrix,
+    /// Number of leading per-column blocks of `enc` that are up to date.
+    pub(crate) enc_cols: usize,
+    /// Whether `enc` describes the current batch at all.
+    pub(crate) enc_valid: bool,
+    /// Scratch for bridging flat tuples to the allocating `conditionals`.
+    tuple_vecs: Vec<Vec<u32>>,
+}
+
+impl Default for InferenceScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InferenceScratch {
+    /// Creates an empty scratch; buffers materialize on first use.
+    pub fn new() -> Self {
+        Self {
+            nn: naru_nn::Workspace::new(),
+            enc: Matrix::zeros(0, 0),
+            enc_cols: 0,
+            enc_valid: false,
+            tuple_vecs: Vec::new(),
+        }
+    }
+
+    /// Invalidates cached per-query state (keeps allocations). Must be
+    /// called before reusing the scratch for a new batch of tuples.
+    pub fn reset(&mut self) {
+        self.enc_valid = false;
+        self.enc_cols = 0;
+    }
+
+    /// Compacts the cached encoded rows to the surviving paths: row `i` of
+    /// the compacted batch is old row `keep[i]`. `keep` must be strictly
+    /// increasing. No-op when nothing is cached.
+    pub fn compact_rows(&mut self, keep: &[u32]) {
+        if !self.enc_valid {
+            return;
+        }
+        for (dst, &src) in keep.iter().enumerate() {
+            self.enc.copy_row_within(src as usize, dst);
+        }
+        let cols = self.enc.cols();
+        self.enc.resize(keep.len(), cols);
+    }
+
+    /// Rebuilds `tuples` as per-row `Vec`s for the allocating bridge,
+    /// reusing buffers across calls.
+    fn bridge_tuples(&mut self, flat: &[u32], num_cols: usize) -> &[Vec<u32>] {
+        let rows = flat.len().checked_div(num_cols).unwrap_or(0);
+        self.tuple_vecs.resize_with(rows, Vec::new);
+        for (r, tuple) in self.tuple_vecs.iter_mut().enumerate() {
+            tuple.clear();
+            tuple.extend_from_slice(&flat[r * num_cols..(r + 1) * num_cols]);
+        }
+        &self.tuple_vecs
+    }
+}
+
 /// A factorized distribution over the rows of a table, exposed through its
 /// chain-rule conditionals.
 pub trait ConditionalDensity {
@@ -27,6 +111,30 @@ pub trait ConditionalDensity {
     /// value has one row per tuple and `domain_sizes()[col]` columns, each
     /// row summing to 1.
     fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix;
+
+    /// Buffer-reusing variant of [`ConditionalDensity::conditionals`] for
+    /// the sampling hot path.
+    ///
+    /// `tuples` is a flat row-major batch (`rows * num_cols` ids); the
+    /// result is written into `out` (resized in place). The default
+    /// implementation delegates to the allocating [`conditionals`]
+    /// (via `scratch`'s bridge buffers) so oracles and baseline densities
+    /// work unchanged; models with a buffer-reusing forward pass override
+    /// it to run allocation-free at steady state.
+    ///
+    /// [`conditionals`]: ConditionalDensity::conditionals
+    fn conditionals_into(
+        &self,
+        tuples: &[u32],
+        num_cols: usize,
+        col: usize,
+        out: &mut Matrix,
+        scratch: &mut InferenceScratch,
+    ) {
+        let probs = self.conditionals(scratch.bridge_tuples(tuples, num_cols), col);
+        out.resize(probs.rows(), probs.cols());
+        out.data_mut().copy_from_slice(probs.data());
+    }
 
     /// Log-likelihood (natural log) of each fully-specified tuple.
     ///
@@ -163,6 +271,41 @@ mod tests {
         let tuples: Vec<Vec<u32>> = (0..4).flat_map(|a| (0..8).map(move |b| vec![a, b])).collect();
         let gap = entropy_gap_bits(&d, &tuples, 5.0);
         assert!(gap.abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_conditionals_into_bridges_to_allocating_path() {
+        let d = IndependentDensity::new(vec![vec![0.25, 0.75], vec![0.1, 0.2, 0.7]]);
+        let mut scratch = InferenceScratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        // Flat batch of two tuples.
+        d.conditionals_into(&[0, 0, 1, 2], 2, 1, &mut out, &mut scratch);
+        assert_eq!(out.shape(), (2, 3));
+        assert_eq!(out.row(0), &[0.1, 0.2, 0.7]);
+        assert_eq!(out.row(1), &[0.1, 0.2, 0.7]);
+        // Second call with fewer rows reuses the buffers.
+        d.conditionals_into(&[1, 0], 2, 0, &mut out, &mut scratch);
+        assert_eq!(out.shape(), (1, 2));
+        assert_eq!(out.row(0), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn scratch_compact_rows_keeps_selected_rows() {
+        let mut scratch = InferenceScratch::new();
+        scratch.enc.resize(4, 3);
+        for r in 0..4 {
+            scratch.enc.row_mut(r).iter_mut().for_each(|v| *v = r as f32);
+        }
+        scratch.enc_valid = true;
+        scratch.compact_rows(&[0, 2, 3]);
+        assert_eq!(scratch.enc.shape(), (3, 3));
+        assert_eq!(scratch.enc.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(scratch.enc.row(1), &[2.0, 2.0, 2.0]);
+        assert_eq!(scratch.enc.row(2), &[3.0, 3.0, 3.0]);
+        // Invalid scratch: compaction is a no-op.
+        let mut idle = InferenceScratch::new();
+        idle.compact_rows(&[0]);
+        assert_eq!(idle.enc.shape(), (0, 0));
     }
 
     #[test]

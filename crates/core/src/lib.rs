@@ -34,7 +34,7 @@ pub mod sampler;
 pub mod train;
 
 pub use columnwise::{ColumnwiseConfig, ColumnwiseModel};
-pub use density::{average_nll_bits, entropy_gap_bits, ConditionalDensity, IndependentDensity};
+pub use density::{average_nll_bits, entropy_gap_bits, ConditionalDensity, IndependentDensity, InferenceScratch};
 pub use encoding::{ColumnEncoding, EncodingPolicy};
 pub use enumeration::{enumerate_exact, EnumerationResult};
 pub use estimator::{NaruConfig, NaruEstimator, SamplingEstimator};

@@ -21,7 +21,7 @@ use naru_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::density::ConditionalDensity;
+use crate::density::{ConditionalDensity, InferenceScratch};
 use crate::encoding::{encode_binary, ColumnEncoding, EncodingPolicy};
 
 /// Hyper-parameters of the MADE model.
@@ -169,27 +169,81 @@ impl MadeModel {
         &self.encodings
     }
 
+    /// Encodes one id into column `col`'s input block of a row slice.
+    #[inline]
+    fn encode_slot(&self, col: usize, id: u32, row: &mut [f32]) {
+        let off = self.input_offsets[col];
+        let width = self.spec.input_widths[col];
+        let slot = &mut row[off..off + width];
+        match &self.encodings[col] {
+            ColumnEncoding::OneHot => slot[id as usize] = 1.0,
+            ColumnEncoding::Binary => encode_binary(id, width, slot),
+            ColumnEncoding::Embedding { .. } => {
+                let emb = self.embeddings[col].as_ref().expect("embedding present");
+                slot.copy_from_slice(emb.table().row(id as usize));
+            }
+        }
+    }
+
     /// Encodes a batch of id tuples into the network input matrix.
     fn encode_input(&self, tuples: &[Vec<u32>]) -> Matrix {
         let mut x = Matrix::zeros(tuples.len(), self.spec.total_input());
         for (r, tuple) in tuples.iter().enumerate() {
             debug_assert_eq!(tuple.len(), self.domain_sizes.len(), "tuple width mismatch");
             let row = x.row_mut(r);
-            for (col, (&id, encoding)) in tuple.iter().zip(self.encodings.iter()).enumerate() {
-                let off = self.input_offsets[col];
-                let width = self.spec.input_widths[col];
-                let slot = &mut row[off..off + width];
-                match encoding {
-                    ColumnEncoding::OneHot => slot[id as usize] = 1.0,
-                    ColumnEncoding::Binary => encode_binary(id, width, slot),
-                    ColumnEncoding::Embedding { .. } => {
-                        let emb = self.embeddings[col].as_ref().expect("embedding present");
-                        slot.copy_from_slice(emb.table().row(id as usize));
-                    }
-                }
+            for (col, &id) in tuple.iter().enumerate() {
+                self.encode_slot(col, id, row);
             }
         }
         x
+    }
+
+    /// Incrementally maintains the encoded batch in `scratch.enc` so that
+    /// the leading `col` column blocks are valid for the flat `tuples`
+    /// batch. Blocks already encoded on a previous step are left untouched —
+    /// the sampler's prefixes never change once sampled (only compact) —
+    /// so each step encodes exactly one new block instead of re-encoding
+    /// the whole prefix.
+    ///
+    /// Blocks `>= col` stay zero; the MADE masks hold the weights out of
+    /// those blocks at exactly 0, so this is equivalent to encoding the
+    /// full tuple as the allocating path does.
+    fn encode_prefix_into(&self, tuples: &[u32], rows: usize, col: usize, scratch: &mut InferenceScratch) {
+        let total = self.spec.total_input();
+        let n = self.domain_sizes.len();
+        let fresh = !scratch.enc_valid || scratch.enc.shape() != (rows, total);
+        if fresh {
+            scratch.enc.resize(rows, total);
+            scratch.enc.fill_zero();
+            scratch.enc_cols = 0;
+            scratch.enc_valid = true;
+        }
+        for c in scratch.enc_cols..col {
+            for r in 0..rows {
+                let id = tuples[r * n + c];
+                self.encode_slot(c, id, scratch.enc.row_mut(r));
+            }
+        }
+        scratch.enc_cols = scratch.enc_cols.max(col);
+    }
+
+    /// Runs the hidden stack over `input` using workspace buffers 0 and 1
+    /// (ping-pong), returning the buffer index holding the final hidden
+    /// activation. Allocation-free once the buffers are warm.
+    fn forward_hidden_ws(&self, input: &Matrix, ws: &mut naru_nn::Workspace) -> usize {
+        let mut cur = 0usize;
+        for (i, layer) in self.hidden.iter().enumerate() {
+            if i == 0 {
+                layer.forward_into(input, ws.buf_mut(0));
+            } else {
+                let next = 1 - cur;
+                let (read, write) = ws.pair_mut(cur, next);
+                layer.forward_into(read, write);
+                cur = next;
+            }
+            self.relu.forward_inplace(ws.buf_mut(cur));
+        }
+        cur
     }
 
     /// Runs the trunk, retaining activations when `trace` is requested.
@@ -319,16 +373,36 @@ impl MadeModel {
     }
 
     /// Per-tuple log-likelihood in nats, computed in a single forward pass.
+    ///
+    /// Runs through a local workspace: one trunk pass, then one output
+    /// *block* per column (log-softmaxed in place), so no per-column
+    /// matrices are allocated.
     pub fn log_likelihood_batch(&self, tuples: &[Vec<u32>]) -> Vec<f64> {
         if tuples.is_empty() {
             return Vec::new();
         }
         let input = self.encode_input(tuples);
-        let (trunk_out, _) = self.forward_trunk(input, false);
+        let mut ws = naru_nn::Workspace::new();
+        let h = self.forward_hidden_ws(&input, &mut ws);
         let mut ll = vec![0.0f64; tuples.len()];
         for col in 0..self.num_columns() {
-            let logits = self.logits_for_column(&trunk_out, col);
-            let log_probs = naru_tensor::log_softmax_rows(&logits);
+            let lo = self.output_offsets[col];
+            let hi = self.output_offsets[col + 1];
+            {
+                let (hidden, block) = ws.pair_mut(h, 2);
+                self.output.forward_block_into(hidden, lo..hi, block);
+            }
+            let logit_buf = match self.output_kinds[col] {
+                OutputKind::Direct => 2,
+                OutputKind::EmbeddingReuse => {
+                    let emb = self.embeddings[col].as_ref().expect("embedding present");
+                    let (block, logits) = ws.pair_mut(2, 3);
+                    emb.decode_logits_into(block, logits);
+                    3
+                }
+            };
+            let log_probs = ws.buf_mut(logit_buf);
+            naru_tensor::log_softmax_rows_inplace(log_probs);
             for (t, tuple) in tuples.iter().enumerate() {
                 ll[t] += log_probs.get(t, tuple[col] as usize) as f64;
             }
@@ -351,6 +425,40 @@ impl ConditionalDensity for MadeModel {
         let (trunk_out, _) = self.forward_trunk(input, false);
         let logits = self.logits_for_column(&trunk_out, col);
         naru_tensor::softmax_rows(&logits)
+    }
+
+    /// The zero-allocation hot path behind progressive sampling: reuses the
+    /// incrementally-encoded input batch and the workspace activation
+    /// buffers, and computes only column `col`'s output block instead of the
+    /// whole output layer.
+    fn conditionals_into(
+        &self,
+        tuples: &[u32],
+        num_cols: usize,
+        col: usize,
+        out: &mut Matrix,
+        scratch: &mut InferenceScratch,
+    ) {
+        assert_eq!(num_cols, self.num_columns(), "tuple width mismatch");
+        let rows = tuples.len().checked_div(num_cols).unwrap_or(0);
+        self.encode_prefix_into(tuples, rows, col, scratch);
+        let h = self.forward_hidden_ws(&scratch.enc, &mut scratch.nn);
+        let lo = self.output_offsets[col];
+        let hi = self.output_offsets[col + 1];
+        match self.output_kinds[col] {
+            OutputKind::Direct => {
+                self.output.forward_block_into(scratch.nn.buf(h), lo..hi, out);
+            }
+            OutputKind::EmbeddingReuse => {
+                let emb = self.embeddings[col].as_ref().expect("embedding present");
+                {
+                    let (hidden, block) = scratch.nn.pair_mut(h, 2);
+                    self.output.forward_block_into(hidden, lo..hi, block);
+                }
+                emb.decode_logits_into(scratch.nn.buf(2), out);
+            }
+        }
+        naru_tensor::softmax_rows_inplace(out);
     }
 
     fn log_likelihood(&self, tuples: &[Vec<u32>]) -> Vec<f64> {
@@ -453,6 +561,42 @@ mod tests {
         // The learned conditional P(X1 | X0=2) should concentrate on 2.
         let probs = model.conditionals(&[vec![2, 0, 0]], 1);
         assert!(probs.get(0, 2) > 0.7, "P(X1=2 | X0=2) = {}", probs.get(0, 2));
+    }
+
+    #[test]
+    fn conditionals_into_matches_allocating_path() {
+        // The workspace hot path (incremental prefix encoding + per-block
+        // output) must agree with the reference allocating path for every
+        // column, including after simulated dead-path compaction.
+        let model = MadeModel::new(&[3, 70, 4], &ModelConfig::tiny());
+        let mut tuples = tuples_from3(&[[1, 30, 2], [2, 69, 0], [0, 5, 3]]);
+        let mut flat: Vec<u32> = tuples.iter().flatten().copied().collect();
+        let mut scratch = InferenceScratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        for col in 0..3 {
+            let expected = model.conditionals(&tuples, col);
+            model.conditionals_into(&flat, 3, col, &mut out, &mut scratch);
+            assert_eq!(out.shape(), expected.shape());
+            for i in 0..out.len() {
+                assert!(
+                    (out.data()[i] - expected.data()[i]).abs() < 1e-5,
+                    "col {col} elem {i}: {} vs {}",
+                    out.data()[i],
+                    expected.data()[i]
+                );
+            }
+            if col == 0 {
+                // Drop the middle path, as the sampler does after a column:
+                // the cached encodings must follow the compaction.
+                scratch.compact_rows(&[0, 2]);
+                tuples.remove(1);
+                flat = tuples.iter().flatten().copied().collect();
+            }
+        }
+    }
+
+    fn tuples_from3(table: &[[u32; 3]]) -> Vec<Vec<u32>> {
+        table.iter().map(|row| row.to_vec()).collect()
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //! network forward pass — exactly the paper's "as many forward passes as
 //! columns" cost model.
 
+use std::sync::Mutex;
+
 use naru_query::ColumnConstraint;
 use naru_tensor::rng::sample_categorical;
+use naru_tensor::Matrix;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::density::ConditionalDensity;
+use crate::density::{ConditionalDensity, InferenceScratch};
 
 /// Configuration of the progressive sampler.
 #[derive(Debug, Clone)]
@@ -47,20 +50,51 @@ pub struct SampleEstimate {
     /// Number of sample paths whose weight collapsed to zero (they hit a
     /// conditional with no mass inside the query range).
     pub dead_paths: usize,
-    /// Number of columns actually walked (trailing wildcards are skipped,
-    /// matching the reference implementation's optimization).
+    /// Number of columns actually walked. Trailing wildcards are skipped,
+    /// and the optimized walk stops as soon as every path is dead — so when
+    /// `dead_paths` equals the path count this may be smaller than the
+    /// value [`ProgressiveSampler::estimate_detailed_reference`] reports
+    /// (the reference keeps walking the remaining constrained columns).
     pub columns_walked: usize,
 }
 
+/// Reusable buffers for [`ProgressiveSampler::estimate_detailed`]: after
+/// the first estimate at a given path count, repeated estimates make no
+/// heap allocations.
+#[derive(Debug, Default)]
+struct SamplerScratch {
+    /// Density-side scratch (activation buffers, incremental encodings).
+    infer: InferenceScratch,
+    /// Flat `live x n` row-major tuple buffer (compacted in place).
+    tuples: Vec<u32>,
+    /// Per-live-path accumulated weights, compacted alongside `tuples`.
+    weights: Vec<f64>,
+    /// Conditional distributions of the current column, one row per path.
+    probs: Matrix,
+    /// Ids allowed by the current column's constraint, precomputed once per
+    /// column instead of calling `constraint.matches` per path x id.
+    allowed: Vec<u32>,
+    /// Surviving path indices of the current column (compaction map).
+    keep: Vec<u32>,
+}
+
 /// Progressive sampler over any [`ConditionalDensity`].
+///
+/// The sampler owns its scratch buffers (behind a `Mutex`, so `estimate`
+/// keeps its `&self` signature and the sampler stays `Sync`); a sampler
+/// instance reused across queries runs allocation-free at steady state.
+/// The lock is uncontended in single-threaded use; concurrent serving
+/// should give each worker its own sampler rather than share one, or
+/// estimates will serialize on the scratch.
 pub struct ProgressiveSampler {
     config: SamplerConfig,
+    scratch: Mutex<SamplerScratch>,
 }
 
 impl ProgressiveSampler {
     /// Creates a sampler with the given configuration.
     pub fn new(config: SamplerConfig) -> Self {
-        Self { config }
+        Self { config, scratch: Mutex::new(SamplerScratch::default()) }
     }
 
     /// Number of sample paths used per estimate.
@@ -73,6 +107,13 @@ impl ProgressiveSampler {
     ///
     /// Columns after the last constrained one contribute a factor of 1 and
     /// are skipped. Returns the estimate together with diagnostics.
+    ///
+    /// The walk keeps all live paths in one flat `live x n` buffer, asks the
+    /// density for conditionals through the buffer-reusing
+    /// [`ConditionalDensity::conditionals_into`], and *compacts* dead paths
+    /// out of the batch after every column — later forward passes shrink
+    /// with the live-path count, and the estimate returns early when every
+    /// path dies. Estimates remain deterministic given the seed.
     pub fn estimate_detailed<D: ConditionalDensity + ?Sized>(
         &self,
         density: &D,
@@ -95,6 +136,113 @@ impl ProgressiveSampler {
             return SampleEstimate { selectivity: 1.0, dead_paths: 0, columns_walked: 0 };
         };
 
+        let scratch = &mut *self.scratch.lock().expect("sampler scratch poisoned");
+        scratch.infer.reset();
+        scratch.tuples.clear();
+        scratch.tuples.resize(s * n, 0);
+        scratch.weights.clear();
+        scratch.weights.resize(s, 1.0);
+        let mut live = s;
+
+        for col in 0..=last_filtered {
+            let constraint = &constraints[col];
+            let domain = domains[col];
+            let is_any = matches!(constraint, ColumnConstraint::Any);
+            // Materialize the allowed ids once per column; the per-path loop
+            // then only touches in-range probabilities.
+            scratch.allowed.clear();
+            if !is_any {
+                for id in 0..domain as u32 {
+                    if constraint.matches(id) {
+                        scratch.allowed.push(id);
+                    }
+                }
+            }
+
+            density.conditionals_into(&scratch.tuples[..live * n], n, col, &mut scratch.probs, &mut scratch.infer);
+            debug_assert_eq!(scratch.probs.shape(), (live, domain));
+
+            scratch.keep.clear();
+            let mut write = 0usize;
+            for path in 0..live {
+                let row = scratch.probs.row(path);
+                let sampled = if is_any {
+                    // Unfiltered column inside the prefix: mass is 1, but we
+                    // still have to sample a value for later conditionals.
+                    sample_categorical(&mut rng, row).map(|id| id as u32)
+                } else {
+                    // Restrict to the query range, record the in-range mass,
+                    // and sample from the restricted conditional.
+                    let mut mass = 0.0f64;
+                    for &id in &scratch.allowed {
+                        mass += row[id as usize].max(0.0) as f64;
+                    }
+                    // The finiteness check mirrors sample_categorical's
+                    // guard in the reference path: a non-finite conditional
+                    // kills the path rather than poisoning the estimate.
+                    if !mass.is_finite() || mass <= 0.0 {
+                        None
+                    } else {
+                        scratch.weights[path] *= mass;
+                        sample_allowed(&mut rng, row, &scratch.allowed, mass)
+                    }
+                };
+                match sampled {
+                    Some(id) => {
+                        scratch.tuples[path * n + col] = id;
+                        if write != path {
+                            scratch.tuples.copy_within(path * n..(path + 1) * n, write * n);
+                            scratch.weights[write] = scratch.weights[path];
+                        }
+                        scratch.keep.push(path as u32);
+                        write += 1;
+                    }
+                    None => {
+                        // Dead path: dropped from the batch by compaction.
+                    }
+                }
+            }
+
+            if write < live {
+                live = write;
+                if live == 0 {
+                    return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: col + 1 };
+                }
+                scratch.infer.compact_rows(&scratch.keep);
+            }
+        }
+
+        let selectivity = (scratch.weights[..live].iter().sum::<f64>() / s as f64).clamp(0.0, 1.0);
+        SampleEstimate { selectivity, dead_paths: s - live, columns_walked: last_filtered + 1 }
+    }
+
+    /// The pre-optimization implementation of progressive sampling, kept
+    /// verbatim as the baseline: per-column allocating `conditionals`
+    /// (re-encoding the batch from scratch each step), a fresh
+    /// masked-probability vector per path x column, no compaction. Used by
+    /// the `bench_infer` harness to measure the speedup of the hot path and
+    /// by tests as a semantic reference for [`estimate_detailed`].
+    ///
+    /// [`estimate_detailed`]: ProgressiveSampler::estimate_detailed
+    pub fn estimate_detailed_reference<D: ConditionalDensity + ?Sized>(
+        &self,
+        density: &D,
+        constraints: &[ColumnConstraint],
+    ) -> SampleEstimate {
+        let n = density.num_columns();
+        assert_eq!(constraints.len(), n, "one constraint per column required");
+        let domains = density.domain_sizes();
+        let s = self.config.num_samples.max(1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        if constraints.iter().enumerate().any(|(i, c)| c.count(domains[i]) == 0) {
+            return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: 0 };
+        }
+        let last_filtered = constraints.iter().rposition(|c| !matches!(c, ColumnConstraint::Any));
+        let Some(last_filtered) = last_filtered else {
+            return SampleEstimate { selectivity: 1.0, dead_paths: 0, columns_walked: 0 };
+        };
+
         let mut tuples: Vec<Vec<u32>> = vec![vec![0u32; n]; s];
         let mut weights: Vec<f64> = vec![1.0; s];
 
@@ -108,17 +256,11 @@ impl ProgressiveSampler {
                 }
                 let row = probs.row(path);
                 match constraint {
-                    ColumnConstraint::Any => {
-                        // Unfiltered column inside the prefix: mass is 1, but we
-                        // still have to sample a value for later conditionals.
-                        match sample_categorical(&mut rng, row) {
-                            Some(id) => tuples[path][col] = id as u32,
-                            None => weights[path] = 0.0,
-                        }
-                    }
+                    ColumnConstraint::Any => match sample_categorical(&mut rng, row) {
+                        Some(id) => tuples[path][col] = id as u32,
+                        None => weights[path] = 0.0,
+                    },
                     _ => {
-                        // Restrict to the query range, record the in-range mass,
-                        // and renormalize for sampling.
                         let mut masked: Vec<f32> = vec![0.0; domain];
                         let mut mass = 0.0f64;
                         for id in 0..domain {
@@ -151,6 +293,26 @@ impl ProgressiveSampler {
     pub fn estimate<D: ConditionalDensity + ?Sized>(&self, density: &D, constraints: &[ColumnConstraint]) -> f64 {
         self.estimate_detailed(density, constraints).selectivity
     }
+}
+
+/// Draws an id from the restricted conditional: walks `allowed` subtracting
+/// each id's (clamped) probability from a uniform draw over `mass` — the
+/// same arithmetic as [`sample_categorical`] over the masked vector the old
+/// implementation materialized, without building it.
+fn sample_allowed<R: Rng + ?Sized>(rng: &mut R, row: &[f32], allowed: &[u32], mass: f64) -> Option<u32> {
+    let mut target = rng.gen::<f64>() * mass;
+    for &id in allowed {
+        let w = row[id as usize].max(0.0) as f64;
+        if w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return Some(id);
+        }
+        target -= w;
+    }
+    // Floating-point slack: return the last positive-weight allowed id.
+    allowed.iter().rev().copied().find(|&id| row[id as usize] > 0.0)
 }
 
 /// The naive uniform Monte-Carlo integrator (the "first attempt" of §5.1),
@@ -289,6 +451,46 @@ mod tests {
             "progressive {progressive} vs uniform {uniform} (truth {truth})"
         );
         assert!(qerr(progressive) < 1.2);
+    }
+
+    #[test]
+    fn optimized_sampler_matches_reference_exactly_on_oracle() {
+        // With an oracle density (whose conditionals are identical through
+        // both paths) the compacted zero-allocation walk consumes the RNG in
+        // the same order as the reference, so estimates agree exactly.
+        let t = correlated_pair(1500, 8, 0.85, 11);
+        let oracle = OracleDensity::new(&t);
+        let queries = [
+            Query::new(vec![Predicate::le(0, 3), Predicate::ge(1, 2)]),
+            Query::new(vec![Predicate::eq(0, 0), Predicate::eq(1, 0)]),
+            Query::new(vec![Predicate::ge(0, 6), Predicate::le(1, 1)]),
+            Query::new(vec![Predicate::le(1, 4)]),
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let sampler = ProgressiveSampler::new(SamplerConfig { num_samples: 300, seed: 40 + i as u64 });
+            let fast = sampler.estimate_detailed(&oracle, &q.constraints(2));
+            let slow = sampler.estimate_detailed_reference(&oracle, &q.constraints(2));
+            assert_eq!(fast.selectivity, slow.selectivity, "query {i}");
+            assert_eq!(fast.dead_paths, slow.dead_paths, "query {i}");
+            assert_eq!(fast.columns_walked, slow.columns_walked, "query {i}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_is_clean() {
+        // Re-using one sampler (and thus one scratch) across queries of
+        // different shapes must not leak state between estimates.
+        let t = correlated_pair(800, 6, 0.9, 13);
+        let oracle = OracleDensity::new(&t);
+        let sampler = ProgressiveSampler::new(SamplerConfig { num_samples: 150, seed: 3 });
+        let q1 = Query::new(vec![Predicate::le(0, 2), Predicate::le(1, 2)]);
+        let q2 = Query::new(vec![Predicate::ge(1, 4)]);
+        let first_q1 = sampler.estimate(&oracle, &q1.constraints(2));
+        let first_q2 = sampler.estimate(&oracle, &q2.constraints(2));
+        // Interleave and repeat: results must be stable.
+        assert_eq!(sampler.estimate(&oracle, &q1.constraints(2)), first_q1);
+        assert_eq!(sampler.estimate(&oracle, &q2.constraints(2)), first_q2);
+        assert_eq!(sampler.estimate(&oracle, &q1.constraints(2)), first_q1);
     }
 
     #[test]

@@ -16,6 +16,12 @@ impl Relu {
         x.map(|v| if v > 0.0 { v } else { 0.0 })
     }
 
+    /// Applies ReLU element-wise in place — the allocation-free variant used
+    /// by the inference workspaces (no trace is needed when not training).
+    pub fn forward_inplace(&self, x: &mut Matrix) {
+        x.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
+    }
+
     /// Back-propagates through ReLU: `dx = dy * 1[x > 0]`.
     ///
     /// `pre_activation` must be the input that was passed to `forward`.

@@ -84,6 +84,13 @@ impl Embedding {
         matmul_a_bt(features, &self.table)
     }
 
+    /// Buffer-reusing variant of [`Embedding::decode_logits`]: writes the
+    /// `batch x vocab` logits into `out`, resizing it in place.
+    pub fn decode_logits_into(&self, features: &Matrix, out: &mut Matrix) {
+        assert_eq!(features.cols(), self.dim(), "feature dim mismatch in decode_logits");
+        naru_tensor::matmul_a_bt_into(features, &self.table, out);
+    }
+
     /// Back-propagates through [`Embedding::decode_logits`].
     ///
     /// Accumulates the table gradient and returns the gradient with respect

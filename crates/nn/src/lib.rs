@@ -29,6 +29,7 @@ pub mod loss;
 pub mod made;
 pub mod mlp;
 pub mod optimizer;
+pub mod workspace;
 
 pub use activation::Relu;
 pub use embedding::Embedding;
@@ -36,6 +37,7 @@ pub use linear::Linear;
 pub use made::{build_made_masks, GroupSpec};
 pub use mlp::Mlp;
 pub use optimizer::{Adam, AdamConfig};
+pub use workspace::Workspace;
 
 /// Number of bytes used by `n` `f32` parameters; used for the storage-budget
 /// accounting that the paper applies to every estimator (Table 1).

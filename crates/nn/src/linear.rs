@@ -1,6 +1,6 @@
 //! Dense (optionally masked) linear layers with manual back-propagation.
 
-use naru_tensor::{matmul, matmul_a_bt, matmul_at_b, Matrix};
+use naru_tensor::{matmul, matmul_a_bt_into, matmul_at_b, Matrix};
 use rand::Rng;
 
 use crate::init::he_normal;
@@ -104,15 +104,45 @@ impl Linear {
     /// Forward pass: `y = x W^T + b` for a batch `x` of shape
     /// `batch x in_dim`; returns `batch x out_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Buffer-reusing forward pass: writes `x W^T + b` into `y`, resizing it
+    /// in place. Allocation-free once `y`'s capacity suffices — the variant
+    /// the inference workspaces use for repeated passes.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
         assert_eq!(x.cols(), self.in_dim(), "input width {} != layer in_dim {}", x.cols(), self.in_dim());
-        let mut y = matmul_a_bt(x, &self.w);
+        matmul_a_bt_into(x, &self.w, y);
         for r in 0..y.rows() {
             let row = y.row_mut(r);
             for (v, b) in row.iter_mut().zip(self.b.iter()) {
                 *v += *b;
             }
         }
-        y
+    }
+
+    /// Forward pass restricted to output units `rows` (a contiguous block of
+    /// `W`'s rows): writes `x W[rows]^T + b[rows]` into `y`.
+    ///
+    /// Autoregressive models partition this layer's output into per-column
+    /// blocks; during progressive sampling only one column's block is needed
+    /// per step, so computing just that block cuts the output-layer cost by
+    /// the number of columns.
+    pub fn forward_block_into(&self, x: &Matrix, rows: std::ops::Range<usize>, y: &mut Matrix) {
+        assert_eq!(x.cols(), self.in_dim(), "input width {} != layer in_dim {}", x.cols(), self.in_dim());
+        assert!(rows.end <= self.out_dim(), "output block {rows:?} exceeds out_dim {}", self.out_dim());
+        let width = rows.len();
+        y.resize(x.rows(), width);
+        let bias = &self.b[rows.start..rows.end];
+        for r in 0..x.rows() {
+            let x_row = x.row(r);
+            let y_row = y.row_mut(r);
+            for (j, out) in y_row.iter_mut().enumerate() {
+                *out = naru_tensor::dot(x_row, self.w.row(rows.start + j)) + bias[j];
+            }
+        }
     }
 
     /// Backward pass. Accumulates parameter gradients internally and
@@ -269,6 +299,30 @@ mod tests {
         assert_eq!(y.shape(), (4, 2));
         for r in 0..4 {
             assert_eq!(y.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn forward_into_and_block_match_forward() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let layer = Linear::new(&mut rng, 6, 10);
+        let x = Matrix::from_fn(5, 6, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.4 - 1.0);
+        let full = layer.forward(&x);
+
+        // Buffer-reusing variant, starting from a mis-shaped dirty buffer.
+        let mut y = Matrix::full(2, 3, 99.0);
+        layer.forward_into(&x, &mut y);
+        assert_eq!(y.shape(), full.shape());
+        assert_eq!(y.data(), full.data());
+
+        // Block variant must match the corresponding slice of the full output.
+        let mut block = Matrix::zeros(0, 0);
+        layer.forward_block_into(&x, 3..7, &mut block);
+        assert_eq!(block.shape(), (5, 4));
+        for r in 0..5 {
+            for (j, &v) in block.row(r).iter().enumerate() {
+                assert!((v - full.get(r, 3 + j)).abs() < 1e-5);
+            }
         }
     }
 

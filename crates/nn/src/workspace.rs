@@ -1,0 +1,114 @@
+//! Reusable forward-pass activation buffers.
+//!
+//! Inference hot paths (progressive sampling runs one network forward pass
+//! per column step, thousands of times per query batch) must not allocate
+//! per pass. A [`Workspace`] owns a small pool of [`Matrix`] buffers that
+//! layers write into via the `_into` methods ([`crate::linear::Linear::forward_into`],
+//! [`crate::embedding::Embedding::decode_logits_into`]); buffers are resized
+//! in place, so after the first pass at a given batch size the whole trunk
+//! runs allocation-free.
+
+use naru_tensor::Matrix;
+
+/// A pool of indexed scratch matrices for repeated forward passes.
+///
+/// Buffers are created on first use and retain their allocation across
+/// passes. Callers address buffers by index and ping-pong between two of
+/// them when walking a layer stack (the input of layer `i + 1` is the
+/// output of layer `i`).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    bufs: Vec<Matrix>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers materialize on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers materialized so far.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Whether no buffer has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Mutable access to buffer `idx`, growing the pool as needed.
+    pub fn buf_mut(&mut self, idx: usize) -> &mut Matrix {
+        self.ensure(idx);
+        &mut self.bufs[idx]
+    }
+
+    /// Immutable access to buffer `idx`, growing the pool as needed.
+    pub fn buf(&mut self, idx: usize) -> &Matrix {
+        self.ensure(idx);
+        &self.bufs[idx]
+    }
+
+    /// Simultaneous `(read, write)` access to two distinct buffers — the
+    /// ping-pong pattern of a layer stack (`forward_into(ws.pair_mut(a, b))`).
+    ///
+    /// # Panics
+    /// Panics if `read == write`.
+    pub fn pair_mut(&mut self, read: usize, write: usize) -> (&Matrix, &mut Matrix) {
+        assert_ne!(read, write, "pair_mut needs two distinct buffers");
+        self.ensure(read.max(write));
+        if read < write {
+            let (lo, hi) = self.bufs.split_at_mut(write);
+            (&lo[read], &mut hi[0])
+        } else {
+            let (lo, hi) = self.bufs.split_at_mut(read);
+            (&hi[0], &mut lo[write])
+        }
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        while self.bufs.len() <= idx {
+            self.bufs.push(Matrix::zeros(0, 0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_materialize_on_demand_and_persist() {
+        let mut ws = Workspace::new();
+        assert!(ws.is_empty());
+        ws.buf_mut(2).resize(3, 4);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws.buf(2).shape(), (3, 4));
+        // Resizing smaller keeps the allocation; shape reflects the request.
+        ws.buf_mut(2).resize(1, 2);
+        assert_eq!(ws.buf(2).shape(), (1, 2));
+    }
+
+    #[test]
+    fn pair_mut_returns_disjoint_buffers() {
+        let mut ws = Workspace::new();
+        ws.buf_mut(0).resize(2, 2);
+        ws.buf_mut(0).fill(7.0);
+        {
+            let (read, write) = ws.pair_mut(0, 1);
+            write.resize(read.rows(), read.cols());
+            write.data_mut().copy_from_slice(read.data());
+        }
+        assert_eq!(ws.buf(1).data(), &[7.0, 7.0, 7.0, 7.0]);
+        let (read, write) = ws.pair_mut(1, 0);
+        assert_eq!(read.data(), &[7.0; 4]);
+        write.fill_zero();
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct buffers")]
+    fn pair_mut_rejects_aliasing() {
+        let mut ws = Workspace::new();
+        let _ = ws.pair_mut(1, 1);
+    }
+}

@@ -9,10 +9,12 @@
 //! log-softmax), and numeric helpers (log-sum-exp, quantiles, Box–Muller
 //! normal sampling) shared by the statistical estimators.
 //!
-//! Everything is written for clarity first and cache-friendliness second:
-//! all kernels iterate in row-major order over contiguous slices so the
-//! compiler can autovectorize the inner loops, which is sufficient for the
-//! laptop-scale models this workspace trains.
+//! The matmul kernels come in three tiers — naive reference loops
+//! ([`ops::naive`]), cache-blocked serial kernels with an unrolled dot
+//! product, and row-partitioned `std::thread::scope` parallel kernels —
+//! dispatched by a process-wide [`KernelPolicy`] plus a FLOP threshold.
+//! The `_into` variants write into caller-provided buffers so inference
+//! hot paths run allocation-free at steady state; see `ops` for details.
 
 pub mod matrix;
 pub mod ops;
@@ -20,6 +22,9 @@ pub mod rng;
 pub mod stats;
 
 pub use matrix::Matrix;
-pub use ops::{log_softmax_rows, log_sum_exp, matmul, matmul_a_bt, matmul_at_b, softmax_rows};
+pub use ops::{
+    dot, kernel_policy, log_softmax_rows, log_softmax_rows_inplace, log_sum_exp, matmul, matmul_a_bt, matmul_a_bt_into,
+    matmul_at_b, matmul_at_b_into, matmul_into, set_kernel_policy, softmax_rows, softmax_rows_inplace, KernelPolicy,
+};
 pub use rng::NormalSampler;
 pub use stats::{mean, percentile, quantiles, variance};

@@ -130,6 +130,27 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Reshapes to `rows x cols`, reusing the existing allocation where
+    /// possible (no allocation when the new element count fits capacity).
+    ///
+    /// The element contents after a resize are unspecified — callers are
+    /// expected to overwrite them (this is the buffer-reuse primitive behind
+    /// the `_into` kernels and the inference workspaces).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies row `src` over row `dst` (used for in-place compaction of
+    /// batch buffers). No-op when `src == dst`.
+    pub fn copy_row_within(&mut self, src: usize, dst: usize) {
+        debug_assert!(src < self.rows && dst < self.rows);
+        if src != dst {
+            self.data.copy_within(src * self.cols..(src + 1) * self.cols, dst * self.cols);
+        }
+    }
+
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
@@ -226,6 +247,14 @@ impl Matrix {
             data.extend_from_slice(r);
         }
         Matrix { rows: rows.len(), cols, data }
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix — the natural starting state for `_into`
+    /// output buffers, which are resized on first use.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 

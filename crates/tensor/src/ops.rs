@@ -7,36 +7,413 @@
 //! * gradient w.r.t. X:    `dX = dY W`    → [`matmul`]
 //! * gradient w.r.t. W:    `dW = dY^T X`  → [`matmul_at_b`]
 //!
+//! Every orientation exists in three implementations:
+//!
+//! * the **naive** textbook loops in [`naive`], kept as the reference the
+//!   property tests compare against;
+//! * **blocked** serial kernels ([`matmul_into_blocked`] and friends) that
+//!   tile the output so the working set stays cache-resident and unroll the
+//!   dot-product inner loop into eight independent accumulators ([`dot`]) so
+//!   the compiler can vectorize it;
+//! * **parallel** kernels ([`matmul_into_parallel`] and friends) that
+//!   partition the output rows across `std::thread::scope` threads, each
+//!   running the blocked kernel on its slice. Because every output element
+//!   is still accumulated in exactly the same order, the parallel kernels
+//!   are bit-identical to the blocked ones.
+//!
+//! The public entry points ([`matmul`], [`matmul_into`], …) dispatch between
+//! the implementations according to the global [`KernelPolicy`] and a
+//! FLOP-count threshold ([`PARALLEL_FLOPS_THRESHOLD`]); the `_into` variants
+//! write into a caller-provided [`Matrix`] so steady-state inference makes
+//! no allocations at all.
+//!
 //! All kernels accumulate in `f32`; the models trained in this workspace are
 //! small enough that this is numerically adequate (verified by the
 //! gradient-check tests in `naru-nn`).
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
 use crate::matrix::Matrix;
+
+/// Which kernel implementations the public entry points use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Always run the naive reference loops. Used by benchmarks to measure
+    /// the pre-optimization baseline; never faster.
+    Naive,
+    /// Blocked serial kernels only, regardless of size.
+    Blocked,
+    /// Blocked kernels, switching to the threaded path for large products
+    /// (the default).
+    Auto,
+}
+
+static KERNEL_POLICY: AtomicU8 = AtomicU8::new(2);
+
+/// Sets the process-wide kernel policy. Intended for benchmarks and tests;
+/// production code leaves the default ([`KernelPolicy::Auto`]) in place.
+pub fn set_kernel_policy(policy: KernelPolicy) {
+    KERNEL_POLICY.store(policy as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide kernel policy.
+pub fn kernel_policy() -> KernelPolicy {
+    match KERNEL_POLICY.load(Ordering::Relaxed) {
+        0 => KernelPolicy::Naive,
+        1 => KernelPolicy::Blocked,
+        _ => KernelPolicy::Auto,
+    }
+}
+
+/// Minimum number of multiply-adds (`m * n * k`) before [`KernelPolicy::Auto`]
+/// switches to the threaded kernels. Below this, thread-spawn overhead
+/// (~tens of microseconds per `std::thread::scope`) outweighs the win.
+pub const PARALLEL_FLOPS_THRESHOLD: usize = 1 << 21;
+
+/// Rows of the output tile processed per cache block.
+const TILE_ROWS: usize = 64;
+/// Columns of the output tile processed per cache block.
+const TILE_COLS: usize = 64;
+/// Minimum output rows a worker thread must receive to be worth spawning.
+const MIN_ROWS_PER_THREAD: usize = 16;
+
+fn max_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8))
+}
+
+/// Textbook reference implementations of the three matmul orientations.
+///
+/// These are the exact kernels the workspace shipped with before the blocked
+/// and parallel variants existed. They are deliberately kept (and exercised
+/// by the property tests in `crates/tensor/tests/proptests.rs`) as the
+/// ground truth every optimized kernel must match.
+pub mod naive {
+    use crate::matrix::Matrix;
+
+    /// `C = A * B` where `A` is `m x k` and `B` is `k x n`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions do not match.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch: {:?} * {:?}", a.shape(), b.shape());
+        let m = a.rows();
+        let n = b.cols();
+        let mut c = Matrix::zeros(m, n);
+        // i-k-j loop order keeps the innermost loop streaming over contiguous
+        // rows of both B and C.
+        for i in 0..m {
+            let a_row = a.row(i);
+            let c_row = c.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(p);
+                for j in 0..n {
+                    c_row[j] += a_ip * b_row[j];
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A * B^T` where `A` is `m x k` and `B` is `n x k`.
+    pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_a_bt inner dimension mismatch: {:?} * {:?}^T", a.shape(), b.shape());
+        let m = a.rows();
+        let n = b.rows();
+        let mut c = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let c_row = c.row_mut(i);
+            for (j, out) in c_row.iter_mut().enumerate() {
+                let b_row = b.row(j);
+                let mut acc = 0.0f32;
+                for p in 0..a_row.len() {
+                    acc += a_row[p] * b_row[p];
+                }
+                *out = acc;
+            }
+        }
+        c
+    }
+
+    /// `C = A^T * B` where `A` is `k x m` and `B` is `k x n`.
+    pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_at_b inner dimension mismatch: {:?}^T * {:?}", a.shape(), b.shape());
+        let k = a.rows();
+        let m = a.cols();
+        let n = b.cols();
+        let mut c = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = a.row(p);
+            let b_row = b.row(p);
+            for (i, &a_pi) in a_row.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = c.row_mut(i);
+                for j in 0..n {
+                    c_row[j] += a_pi * b_row[j];
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Dot product with the inner loop unrolled into eight independent
+/// accumulator lanes, breaking the loop-carried dependence of the naive
+/// `acc += a[p] * b[p]` form so the compiler can keep several FMAs in
+/// flight (and vectorize the lanes).
+///
+/// # Panics
+/// Panics (in debug builds) if the slices differ in length.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len(), "dot length mismatch");
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let chunks = x.len() / LANES;
+    let (x_main, x_tail) = x.split_at(chunks * LANES);
+    let (y_main, y_tail) = y.split_at(chunks * LANES);
+    for (xc, yc) in x_main.chunks_exact(LANES).zip(y_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += xc[l] * yc[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (xv, yv) in x_tail.iter().zip(y_tail.iter()) {
+        tail += xv * yv;
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// `out[j] += s * x[j]` with a contiguous streaming inner loop.
+#[inline]
+fn axpy_slice(out: &mut [f32], s: f32, x: &[f32]) {
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o += s * v;
+    }
+}
+
+// --- blocked serial kernels (operate on a row range of C) ---------------
+
+/// `C[lo..hi] = A[lo..hi] * B`, i-k-j order with the k loop tiled so the
+/// touched rows of `B` stay cache-resident. `c_rows` holds rows `lo..hi` of
+/// the output contiguously and is overwritten.
+fn matmul_rows(a: &Matrix, b: &Matrix, c_rows: &mut [f32], lo: usize, hi: usize) {
+    let n = b.cols();
+    let k = a.cols();
+    c_rows.iter_mut().for_each(|v| *v = 0.0);
+    for kb in (0..k).step_by(TILE_COLS) {
+        let kb_hi = (kb + TILE_COLS).min(k);
+        for i in lo..hi {
+            let a_row = &a.row(i)[kb..kb_hi];
+            let c_row = &mut c_rows[(i - lo) * n..(i - lo + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                // One-hot / masked inputs are mostly zero; skipping them is a
+                // big win and never changes the result.
+                if a_ip == 0.0 {
+                    continue;
+                }
+                axpy_slice(c_row, a_ip, b.row(kb + p));
+            }
+        }
+    }
+}
+
+/// `C[lo..hi] = A[lo..hi] * B^T` with the output tiled `TILE_ROWS x
+/// TILE_COLS` so each tile's `A` and `B` rows stay in L1/L2 while every
+/// element is computed with the unrolled [`dot`].
+fn matmul_a_bt_rows(a: &Matrix, b: &Matrix, c_rows: &mut [f32], lo: usize, hi: usize) {
+    let n = b.rows();
+    for ib in (lo..hi).step_by(TILE_ROWS) {
+        let ib_hi = (ib + TILE_ROWS).min(hi);
+        for jb in (0..n).step_by(TILE_COLS) {
+            let jb_hi = (jb + TILE_COLS).min(n);
+            for i in ib..ib_hi {
+                let a_row = a.row(i);
+                let c_row = &mut c_rows[(i - lo) * n..(i - lo + 1) * n];
+                for (j, out) in c_row[jb..jb_hi].iter_mut().enumerate() {
+                    *out = dot(a_row, b.row(jb + j));
+                }
+            }
+        }
+    }
+}
+
+/// `C[lo..hi] = (A^T * B)[lo..hi]`: output row `i` is column `i` of `A`.
+/// The p (reduction) loop stays outermost so `B` is streamed once per call
+/// while the active block of `C` stays cache-resident.
+fn matmul_at_b_rows(a: &Matrix, b: &Matrix, c_rows: &mut [f32], lo: usize, hi: usize) {
+    let k = a.rows();
+    let n = b.cols();
+    c_rows.iter_mut().for_each(|v| *v = 0.0);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for i in lo..hi {
+            let a_pi = a_row[i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            axpy_slice(&mut c_rows[(i - lo) * n..(i - lo + 1) * n], a_pi, b_row);
+        }
+    }
+}
+
+// --- shape checks and parallel driver -----------------------------------
+
+fn check_matmul(a: &Matrix, b: &Matrix) -> (usize, usize, usize) {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch: {:?} * {:?}", a.shape(), b.shape());
+    (a.rows(), b.cols(), a.cols())
+}
+
+fn check_a_bt(a: &Matrix, b: &Matrix) -> (usize, usize, usize) {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt inner dimension mismatch: {:?} * {:?}^T", a.shape(), b.shape());
+    (a.rows(), b.rows(), a.cols())
+}
+
+fn check_at_b(a: &Matrix, b: &Matrix) -> (usize, usize, usize) {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b inner dimension mismatch: {:?}^T * {:?}", a.shape(), b.shape());
+    (a.cols(), b.cols(), a.rows())
+}
+
+/// Splits `c` into contiguous row chunks and runs `kernel` on each from a
+/// scoped thread. Row-partitioning keeps every output element's
+/// accumulation order identical to the serial kernels, so the parallel
+/// path is deterministic and bit-identical to the blocked one.
+fn par_row_partition(c: &mut Matrix, kernel: impl Fn(&mut [f32], usize, usize) + Sync) {
+    let m = c.rows();
+    let n = c.cols();
+    let threads = max_threads().min(m / MIN_ROWS_PER_THREAD).max(1);
+    if threads <= 1 || m == 0 {
+        kernel(c.data_mut(), 0, m);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, chunk) in c.data_mut().chunks_mut(rows_per * n.max(1)).enumerate() {
+            let lo = t * rows_per;
+            let hi = lo + chunk.len() / n.max(1);
+            let kernel = &kernel;
+            scope.spawn(move || kernel(chunk, lo, hi));
+        }
+    });
+}
+
+// --- public `_into` entry points ----------------------------------------
+
+/// `C = A * B` written into `c` (resized as needed, allocation-free once
+/// `c`'s capacity suffices). Dispatches per the global [`KernelPolicy`].
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, k) = check_matmul(a, b);
+    c.resize(m, n);
+    match effective_policy(m, n, k) {
+        Impl::Naive => *c = naive::matmul(a, b),
+        Impl::Blocked => matmul_rows(a, b, c.data_mut(), 0, m),
+        Impl::Parallel => par_row_partition(c, |chunk, lo, hi| matmul_rows(a, b, chunk, lo, hi)),
+    }
+}
+
+/// `C = A * B^T` written into `c`. Dispatches per the global [`KernelPolicy`].
+pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, k) = check_a_bt(a, b);
+    c.resize(m, n);
+    match effective_policy(m, n, k) {
+        Impl::Naive => *c = naive::matmul_a_bt(a, b),
+        Impl::Blocked => matmul_a_bt_rows(a, b, c.data_mut(), 0, m),
+        Impl::Parallel => par_row_partition(c, |chunk, lo, hi| matmul_a_bt_rows(a, b, chunk, lo, hi)),
+    }
+}
+
+/// `C = A^T * B` written into `c`. Dispatches per the global [`KernelPolicy`].
+pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, k) = check_at_b(a, b);
+    c.resize(m, n);
+    match effective_policy(m, n, k) {
+        Impl::Naive => *c = naive::matmul_at_b(a, b),
+        Impl::Blocked => matmul_at_b_rows(a, b, c.data_mut(), 0, m),
+        Impl::Parallel => par_row_partition(c, |chunk, lo, hi| matmul_at_b_rows(a, b, chunk, lo, hi)),
+    }
+}
+
+// --- explicit blocked / parallel variants (benchmarks & property tests) --
+
+/// Blocked serial `C = A * B`, regardless of policy.
+pub fn matmul_into_blocked(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, _) = check_matmul(a, b);
+    c.resize(m, n);
+    matmul_rows(a, b, c.data_mut(), 0, m);
+}
+
+/// Blocked serial `C = A * B^T`, regardless of policy.
+pub fn matmul_a_bt_into_blocked(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, _) = check_a_bt(a, b);
+    c.resize(m, n);
+    matmul_a_bt_rows(a, b, c.data_mut(), 0, m);
+}
+
+/// Blocked serial `C = A^T * B`, regardless of policy.
+pub fn matmul_at_b_into_blocked(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, _) = check_at_b(a, b);
+    c.resize(m, n);
+    matmul_at_b_rows(a, b, c.data_mut(), 0, m);
+}
+
+/// Threaded `C = A * B`, regardless of policy or size.
+pub fn matmul_into_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, _) = check_matmul(a, b);
+    c.resize(m, n);
+    par_row_partition(c, |chunk, lo, hi| matmul_rows(a, b, chunk, lo, hi));
+}
+
+/// Threaded `C = A * B^T`, regardless of policy or size.
+pub fn matmul_a_bt_into_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, _) = check_a_bt(a, b);
+    c.resize(m, n);
+    par_row_partition(c, |chunk, lo, hi| matmul_a_bt_rows(a, b, chunk, lo, hi));
+}
+
+/// Threaded `C = A^T * B`, regardless of policy or size.
+pub fn matmul_at_b_into_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, n, _) = check_at_b(a, b);
+    c.resize(m, n);
+    par_row_partition(c, |chunk, lo, hi| matmul_at_b_rows(a, b, chunk, lo, hi));
+}
+
+enum Impl {
+    Naive,
+    Blocked,
+    Parallel,
+}
+
+fn effective_policy(m: usize, n: usize, k: usize) -> Impl {
+    match kernel_policy() {
+        KernelPolicy::Naive => Impl::Naive,
+        KernelPolicy::Blocked => Impl::Blocked,
+        KernelPolicy::Auto => {
+            if m.saturating_mul(n).saturating_mul(k) >= PARALLEL_FLOPS_THRESHOLD && m >= 2 * MIN_ROWS_PER_THREAD {
+                Impl::Parallel
+            } else {
+                Impl::Blocked
+            }
+        }
+    }
+}
+
+// --- allocating wrappers -------------------------------------------------
 
 /// `C = A * B` where `A` is `m x k` and `B` is `k x n`.
 ///
 /// # Panics
 /// Panics if inner dimensions do not match.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch: {:?} * {:?}", a.shape(), b.shape());
-    let m = a.rows();
-    let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    // i-k-j loop order keeps the innermost loop streaming over contiguous
-    // rows of both B and C, which autovectorizes well.
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for j in 0..n {
-                c_row[j] += a_ip * b_row[j];
-            }
-        }
-    }
+    let mut c = Matrix::zeros(0, 0);
+    matmul_into(a, b, &mut c);
     c
 }
 
@@ -45,22 +422,8 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// This is the forward-pass orientation: each output element is a dot
 /// product of two contiguous rows.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "matmul_a_bt inner dimension mismatch: {:?} * {:?}^T", a.shape(), b.shape());
-    let m = a.rows();
-    let n = b.rows();
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (j, out) in c_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
-            let mut acc = 0.0f32;
-            for p in 0..a_row.len() {
-                acc += a_row[p] * b_row[p];
-            }
-            *out = acc;
-        }
-    }
+    let mut c = Matrix::zeros(0, 0);
+    matmul_a_bt_into(a, b, &mut c);
     c
 }
 
@@ -68,26 +431,12 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// This is the weight-gradient orientation (`dW = dY^T X`).
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "matmul_at_b inner dimension mismatch: {:?}^T * {:?}", a.shape(), b.shape());
-    let k = a.rows();
-    let m = a.cols();
-    let n = b.cols();
-    let mut c = Matrix::zeros(m, n);
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let c_row = c.row_mut(i);
-            for j in 0..n {
-                c_row[j] += a_pi * b_row[j];
-            }
-        }
-    }
+    let mut c = Matrix::zeros(0, 0);
+    matmul_at_b_into(a, b, &mut c);
     c
 }
+
+// --- softmax family ------------------------------------------------------
 
 /// Numerically stable log-sum-exp of a slice.
 ///
@@ -149,14 +498,23 @@ pub fn softmax_slice(row: &mut [f32]) {
 /// Row-wise log-softmax, returning a new matrix.
 pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
+    log_softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place row-wise log-softmax. Zero-width rows are a no-op, matching
+/// [`softmax_rows_inplace`]'s guard.
+pub fn log_softmax_rows_inplace(m: &mut Matrix) {
+    if m.cols() == 0 {
+        return;
+    }
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
         let lse = log_sum_exp(row);
         for v in row.iter_mut() {
             *v -= lse;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -190,6 +548,84 @@ mod tests {
     }
 
     #[test]
+    fn blocked_and_parallel_match_naive_on_odd_shapes() {
+        // Shapes straddling the tile size and thread-count boundaries.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 70, 5), (65, 33, 129), (40, 8, 40), (130, 64, 1)] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.37 - 1.7);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.21 - 0.9);
+            let reference = naive::matmul(&a, &b);
+            let mut c = Matrix::zeros(0, 0);
+            matmul_into_blocked(&a, &b, &mut c);
+            assert_eq!(c.shape(), reference.shape());
+            for i in 0..c.len() {
+                assert!(approx_eq(c.data()[i], reference.data()[i], 1e-4), "blocked {m}x{k}x{n} elem {i}");
+            }
+            matmul_into_parallel(&a, &b, &mut c);
+            for i in 0..c.len() {
+                assert!(approx_eq(c.data()[i], reference.data()[i], 1e-4), "parallel {m}x{k}x{n} elem {i}");
+            }
+
+            let bt = b.transpose();
+            let mut c2 = Matrix::zeros(0, 0);
+            matmul_a_bt_into_blocked(&a, &bt, &mut c2);
+            for i in 0..c2.len() {
+                assert!(approx_eq(c2.data()[i], reference.data()[i], 1e-4), "a_bt blocked {m}x{k}x{n}");
+            }
+            matmul_a_bt_into_parallel(&a, &bt, &mut c2);
+            for i in 0..c2.len() {
+                assert!(approx_eq(c2.data()[i], reference.data()[i], 1e-4), "a_bt parallel {m}x{k}x{n}");
+            }
+
+            let at = a.transpose();
+            let mut c3 = Matrix::zeros(0, 0);
+            matmul_at_b_into_blocked(&at, &b, &mut c3);
+            for i in 0..c3.len() {
+                assert!(approx_eq(c3.data()[i], reference.data()[i], 1e-4), "at_b blocked {m}x{k}x{n}");
+            }
+            matmul_at_b_into_parallel(&at, &b, &mut c3);
+            for i in 0..c3.len() {
+                assert!(approx_eq(c3.data()[i], reference.data()[i], 1e-4), "at_b parallel {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let a = Matrix::from_fn(8, 6, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(6, 4, |r, c| (r * c) as f32 * 0.5);
+        // Pre-fill the output with garbage of a different shape.
+        let mut c = Matrix::full(3, 17, 42.0);
+        matmul_into(&a, &b, &mut c);
+        assert_eq!(c.shape(), (8, 4));
+        let expected = naive::matmul(&a, &b);
+        for i in 0..c.len() {
+            assert!(approx_eq(c.data()[i], expected.data()[i], 1e-5));
+        }
+    }
+
+    #[test]
+    fn dot_matches_sequential_sum() {
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).sin()).collect();
+            let y: Vec<f32> = (0..len).map(|i| (i as f32 * 0.3).cos()).collect();
+            let expected: f32 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+            assert!(approx_eq(dot(&x, &y), expected, 1e-5), "len {len}");
+        }
+    }
+
+    #[test]
+    fn kernel_policy_round_trips() {
+        let original = kernel_policy();
+        set_kernel_policy(KernelPolicy::Naive);
+        assert_eq!(kernel_policy(), KernelPolicy::Naive);
+        set_kernel_policy(KernelPolicy::Blocked);
+        assert_eq!(kernel_policy(), KernelPolicy::Blocked);
+        set_kernel_policy(KernelPolicy::Auto);
+        assert_eq!(kernel_policy(), KernelPolicy::Auto);
+        set_kernel_policy(original);
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one_and_order_preserved() {
         let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]);
         let p = softmax_rows(&logits);
@@ -219,6 +655,19 @@ mod tests {
         for i in 0..4 {
             assert!(approx_eq(lp.data()[i], p.data()[i].ln(), 1e-5));
         }
+    }
+
+    #[test]
+    fn log_softmax_handles_zero_width_rows() {
+        // Regression: zero-width rows used to be guarded only in
+        // softmax_rows_inplace; log-softmax must be a no-op too, not panic
+        // or poison the (empty) data.
+        let mut m = Matrix::zeros(3, 0);
+        log_softmax_rows_inplace(&mut m);
+        assert_eq!(m.shape(), (3, 0));
+        let out = log_softmax_rows(&Matrix::zeros(5, 0));
+        assert_eq!(out.shape(), (5, 0));
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property-based tests for the tensor kernels.
 
+use naru_tensor::ops::{
+    matmul_a_bt_into, matmul_a_bt_into_blocked, matmul_a_bt_into_parallel, matmul_at_b_into, matmul_at_b_into_blocked,
+    matmul_at_b_into_parallel, matmul_into, matmul_into_blocked, matmul_into_parallel, naive,
+};
 use naru_tensor::stats::{percentile, quantiles};
 use naru_tensor::{log_softmax_rows, log_sum_exp, matmul, matmul_a_bt, matmul_at_b, softmax_rows, Matrix};
 use proptest::prelude::*;
@@ -8,6 +12,59 @@ fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-10.0f32..10.0, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
     })
+}
+
+/// Asserts every optimized variant of the three orientations matches the
+/// naive reference on `A (m x k) * B (k x n)` within `1e-4` relative.
+fn assert_kernels_match_naive(a: &Matrix, b: &Matrix) -> Result<(), TestCaseError> {
+    let reference = naive::matmul(a, b);
+    let bt = b.transpose();
+    let at = a.transpose();
+    let reference_abt = naive::matmul_a_bt(a, &bt);
+    let reference_atb = naive::matmul_at_b(&at, b);
+    // The naive orientations themselves agree (sanity for the reference).
+    for i in 0..reference.len() {
+        prop_assert!((reference.data()[i] - reference_abt.data()[i]).abs() < 1e-3);
+        prop_assert!((reference.data()[i] - reference_atb.data()[i]).abs() < 1e-3);
+    }
+
+    let close = |x: f32, y: f32| (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs()));
+    let mut c = Matrix::default();
+    type Kernel = fn(&Matrix, &Matrix, &mut Matrix);
+    let ab: [(&str, Kernel); 3] =
+        [("matmul_into", matmul_into), ("blocked", matmul_into_blocked), ("parallel", matmul_into_parallel)];
+    for (name, kernel) in ab {
+        kernel(a, b, &mut c);
+        prop_assert_eq!(c.shape(), reference.shape());
+        for i in 0..c.len() {
+            prop_assert!(close(c.data()[i], reference.data()[i]), "{} diverges at {}", name, i);
+        }
+    }
+    let abt: [(&str, Kernel); 3] = [
+        ("matmul_a_bt_into", matmul_a_bt_into),
+        ("a_bt blocked", matmul_a_bt_into_blocked),
+        ("a_bt parallel", matmul_a_bt_into_parallel),
+    ];
+    for (name, kernel) in abt {
+        kernel(a, &bt, &mut c);
+        prop_assert_eq!(c.shape(), reference.shape());
+        for i in 0..c.len() {
+            prop_assert!(close(c.data()[i], reference.data()[i]), "{} diverges at {}", name, i);
+        }
+    }
+    let atb: [(&str, Kernel); 3] = [
+        ("matmul_at_b_into", matmul_at_b_into),
+        ("at_b blocked", matmul_at_b_into_blocked),
+        ("at_b parallel", matmul_at_b_into_parallel),
+    ];
+    for (name, kernel) in atb {
+        kernel(&at, b, &mut c);
+        prop_assert_eq!(c.shape(), reference.shape());
+        for i in 0..c.len() {
+            prop_assert!(close(c.data()[i], reference.data()[i]), "{} diverges at {}", name, i);
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -40,6 +97,36 @@ proptest! {
             prop_assert!((reference.data()[i] - via_abt.data()[i]).abs() < 1e-3);
             prop_assert!((reference.data()[i] - via_atb.data()[i]).abs() < 1e-3);
         }
+    }
+
+    /// Every blocked / parallel / `_into` kernel variant matches the naive
+    /// reference within 1e-4 across random shapes and values.
+    #[test]
+    fn optimized_kernels_match_naive(
+        dims in (1usize..33, 1usize..33, 1usize..33),
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |r, c| {
+            (((r * 31 + c * 17 + seed as usize * 13) % 41) as f32 * 0.31 - 6.2).sin() * 8.0
+        });
+        let b = Matrix::from_fn(k, n, |r, c| {
+            (((r * 7 + c * 29 + seed as usize * 3) % 37) as f32 * 0.53 - 9.1).cos() * 8.0
+        });
+        assert_kernels_match_naive(&a, &b)?;
+    }
+
+    /// Shapes straddling the 64-wide tile boundary and the thread-partition
+    /// minimum still match the reference.
+    #[test]
+    fn optimized_kernels_match_naive_around_block_size(
+        m in prop_oneof![Just(63usize), Just(64), Just(65), Just(130)],
+        k in prop_oneof![Just(1usize), Just(63), Just(65)],
+        n in prop_oneof![Just(1usize), Just(64), Just(129)],
+    ) {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 13 + c * 7) % 23) as f32 * 0.4 - 2.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 5 + c * 11) % 19) as f32 * 0.3 - 1.5);
+        assert_kernels_match_naive(&a, &b)?;
     }
 
     /// Softmax rows are valid probability distributions and invariant to a
@@ -95,5 +182,45 @@ proptest! {
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(percentile(&xs, 0.0) >= min - 1e-9);
         prop_assert!(percentile(&xs, 100.0) <= max + 1e-9);
+    }
+}
+
+/// Degenerate shapes the proptest strategies don't reach: single-row,
+/// single-column, and genuinely empty (zero-sized dimension) operands.
+#[test]
+fn optimized_kernels_handle_edge_shapes() {
+    let cases: &[(usize, usize, usize)] = &[
+        (1, 9, 1), // 1 x k times k x 1
+        (1, 1, 7), // single row out
+        (9, 1, 1), // single col out
+        (0, 5, 4), // no output rows
+        (4, 0, 5), // empty reduction: all zeros
+        (3, 4, 0), // no output cols
+        (0, 0, 0), // fully empty
+    ];
+    for &(m, k, n) in cases {
+        let a = Matrix::from_fn(m, k, |r, c| (r as f32 - c as f32) * 0.5 + 1.0);
+        let b = Matrix::from_fn(k, n, |r, c| (r as f32 + c as f32) * 0.25 - 1.0);
+        let reference = naive::matmul(&a, &b);
+        let mut c = Matrix::default();
+        for kernel in [matmul_into, matmul_into_blocked, matmul_into_parallel] {
+            kernel(&a, &b, &mut c);
+            assert_eq!(c.shape(), (m, n), "shape for {m}x{k}x{n}");
+            assert_eq!(c.data(), reference.data(), "values for {m}x{k}x{n}");
+        }
+        let bt = b.transpose();
+        for kernel in [matmul_a_bt_into, matmul_a_bt_into_blocked, matmul_a_bt_into_parallel] {
+            kernel(&a, &bt, &mut c);
+            assert_eq!(c.shape(), (m, n), "a_bt shape for {m}x{k}x{n}");
+            for (got, want) in c.data().iter().zip(reference.data().iter()) {
+                assert!((got - want).abs() < 1e-5, "a_bt values for {m}x{k}x{n}");
+            }
+        }
+        let at = a.transpose();
+        for kernel in [matmul_at_b_into, matmul_at_b_into_blocked, matmul_at_b_into_parallel] {
+            kernel(&at, &b, &mut c);
+            assert_eq!(c.shape(), (m, n), "at_b shape for {m}x{k}x{n}");
+            assert_eq!(c.data(), reference.data(), "at_b values for {m}x{k}x{n}");
+        }
     }
 }
