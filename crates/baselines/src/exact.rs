@@ -4,8 +4,10 @@
 //! query), but useful as the perfect-accuracy reference in tests and as the
 //! "Full Joint" end of the accuracy/storage spectrum sketched in Figure 1.
 
+use std::time::Instant;
+
 use naru_data::Table;
-use naru_query::{true_selectivity, Query, SelectivityEstimator};
+use naru_query::{try_count_matches, Estimate, EstimateError, Query, SelectivityEstimator};
 
 /// Scans the full table for every estimate; always exact.
 pub struct ExactScanEstimator {
@@ -24,8 +26,12 @@ impl SelectivityEstimator for ExactScanEstimator {
         "ExactScan".to_string()
     }
 
-    fn estimate(&self, query: &Query) -> f64 {
-        true_selectivity(&self.table, query)
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let start = Instant::now();
+        let rows = self.table.num_rows() as u64;
+        let matches = try_count_matches(&self.table, query)?;
+        let sel = if rows == 0 { 0.0 } else { matches as f64 / rows as f64 };
+        Ok(Estimate::closed_form(sel, rows, start.elapsed()))
     }
 
     fn size_bytes(&self) -> usize {
@@ -37,15 +43,25 @@ impl SelectivityEstimator for ExactScanEstimator {
 mod tests {
     use super::*;
     use naru_data::synthetic::correlated_pair;
-    use naru_query::Predicate;
+    use naru_query::{true_selectivity, Predicate};
 
     #[test]
     fn exact_scan_is_exact() {
         let t = correlated_pair(1000, 5, 0.8, 1);
         let est = ExactScanEstimator::build(&t);
         let q = Query::new(vec![Predicate::eq(0, 0), Predicate::le(1, 2)]);
-        assert_eq!(est.estimate(&q), true_selectivity(&t, &q));
+        let estimate = est.try_estimate(&q).unwrap();
+        assert_eq!(estimate.selectivity, true_selectivity(&t, &q));
+        assert_eq!(estimate.cardinality(), (estimate.selectivity * 1000.0).round() as u64);
         assert_eq!(est.name(), "ExactScan");
         assert_eq!(est.size_bytes(), 1000 * 2 * 4);
+    }
+
+    #[test]
+    fn out_of_range_predicate_is_a_typed_error() {
+        let t = correlated_pair(100, 4, 0.8, 2);
+        let est = ExactScanEstimator::build(&t);
+        let q = Query::new(vec![Predicate::eq(7, 0)]);
+        assert_eq!(est.try_estimate(&q), Err(EstimateError::ColumnOutOfRange { column: 7, num_columns: 2 }));
     }
 }

@@ -5,13 +5,16 @@
 //! purely to the column-independence assumption — per-column estimates are
 //! perfect by construction.
 
+use std::time::Instant;
+
 use naru_data::Table;
-use naru_query::{ColumnConstraint, Query, SelectivityEstimator};
+use naru_query::{ColumnConstraint, Estimate, EstimateError, Query, SelectivityEstimator};
 
 /// Exact per-column marginals combined under independence.
 pub struct IndepEstimator {
     /// Per-column relative frequencies, indexed by dictionary id.
     marginals: Vec<Vec<f64>>,
+    num_rows: u64,
 }
 
 impl IndepEstimator {
@@ -20,7 +23,7 @@ impl IndepEstimator {
         let n = table.num_rows().max(1) as f64;
         let marginals =
             table.columns().iter().map(|c| c.value_counts().iter().map(|&cnt| cnt as f64 / n).collect()).collect();
-        Self { marginals }
+        Self { marginals, num_rows: table.num_rows() as u64 }
     }
 
     /// Selectivity of one column constraint under the exact marginal.
@@ -42,9 +45,16 @@ impl SelectivityEstimator for IndepEstimator {
         "Indep".to_string()
     }
 
-    fn estimate(&self, query: &Query) -> f64 {
-        let constraints = query.constraints(self.marginals.len());
-        constraints.iter().enumerate().map(|(col, c)| self.column_selectivity(col, c)).product::<f64>().clamp(0.0, 1.0)
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let start = Instant::now();
+        let constraints = query.try_constraints(self.marginals.len())?;
+        let sel = constraints
+            .iter()
+            .enumerate()
+            .map(|(col, c)| self.column_selectivity(col, c))
+            .product::<f64>()
+            .clamp(0.0, 1.0);
+        Ok(Estimate::closed_form(sel, self.num_rows, start.elapsed()))
     }
 
     fn size_bytes(&self) -> usize {
@@ -59,14 +69,18 @@ mod tests {
     use naru_data::Column;
     use naru_query::{true_selectivity, Predicate};
 
+    fn sel(est: &IndepEstimator, q: &Query) -> f64 {
+        est.try_estimate(q).expect("valid query").selectivity
+    }
+
     #[test]
     fn exact_on_single_column_queries() {
         let t = Table::new("t", vec![Column::from_ids("a", vec![0, 0, 0, 1, 2, 2], 3)]);
         let est = IndepEstimator::build(&t);
         let q = Query::new(vec![Predicate::eq(0, 0)]);
-        assert!((est.estimate(&q) - 0.5).abs() < 1e-12);
+        assert!((sel(&est, &q) - 0.5).abs() < 1e-12);
         let q = Query::new(vec![Predicate::ge(0, 1)]);
-        assert!((est.estimate(&q) - 0.5).abs() < 1e-12);
+        assert!((sel(&est, &q) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -75,7 +89,7 @@ mod tests {
         let est = IndepEstimator::build(&t);
         let q = Query::new(vec![Predicate::eq(0, 0), Predicate::le(1, 2)]);
         let truth = true_selectivity(&t, &q);
-        assert!((est.estimate(&q) - truth).abs() < 0.03);
+        assert!((sel(&est, &q) - truth).abs() < 0.03);
     }
 
     #[test]
@@ -86,7 +100,7 @@ mod tests {
         let est = IndepEstimator::build(&t);
         let q = Query::new(vec![Predicate::eq(0, 0), Predicate::eq(1, 0)]);
         let truth = true_selectivity(&t, &q);
-        let guess = est.estimate(&q);
+        let guess = sel(&est, &q);
         assert!(guess < truth * 0.7, "independence should underestimate: {guess} vs {truth}");
     }
 
@@ -94,8 +108,19 @@ mod tests {
     fn unfiltered_query_is_one_and_size_reported() {
         let t = independent_table(100, &[3, 3], 3);
         let est = IndepEstimator::build(&t);
-        assert_eq!(est.estimate(&Query::all()), 1.0);
+        let full = est.try_estimate(&Query::all()).unwrap();
+        assert_eq!(full.selectivity, 1.0);
+        assert_eq!(full.cardinality(), 100);
+        assert_eq!(full.live_paths, None);
         assert_eq!(est.size_bytes(), (3 + 3) * 8);
         assert_eq!(est.name(), "Indep");
+    }
+
+    #[test]
+    fn out_of_range_predicate_is_a_typed_error() {
+        let t = independent_table(100, &[3, 3], 3);
+        let est = IndepEstimator::build(&t);
+        let q = Query::new(vec![Predicate::eq(9, 0)]);
+        assert_eq!(est.try_estimate(&q), Err(EstimateError::ColumnOutOfRange { column: 9, num_columns: 2 }));
     }
 }

@@ -13,8 +13,10 @@
 //!   search on a set of training queries with known cardinalities (query
 //!   feedback), the paper's "KDE-superv".
 
+use std::time::Instant;
+
 use naru_data::Table;
-use naru_query::{ColumnConstraint, LabeledQuery, Query, SelectivityEstimator};
+use naru_query::{ColumnConstraint, Estimate, EstimateError, LabeledQuery, Query, SelectivityEstimator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +50,7 @@ pub struct KdeEstimator {
     bandwidth_scale: f64,
     domains: Vec<usize>,
     label: String,
+    num_rows: u64,
 }
 
 impl KdeEstimator {
@@ -76,6 +79,7 @@ impl KdeEstimator {
             bandwidth_scale: 1.0,
             domains: table.columns().iter().map(|c| c.domain_size()).collect(),
             label: "KDE".to_string(),
+            num_rows: table.num_rows() as u64,
         }
     }
 
@@ -130,11 +134,12 @@ impl SelectivityEstimator for KdeEstimator {
         self.label.clone()
     }
 
-    fn estimate(&self, query: &Query) -> f64 {
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let start = Instant::now();
         if self.points.is_empty() {
-            return 0.0;
+            return Err(EstimateError::untrained("KDE has no kernel centres (empty sample)"));
         }
-        let constraints = query.constraints(self.domains.len());
+        let constraints = query.try_constraints(self.domains.len())?;
         let mut total = 0.0f64;
         for point in &self.points {
             let mut mass = 1.0f64;
@@ -149,7 +154,8 @@ impl SelectivityEstimator for KdeEstimator {
             }
             total += mass;
         }
-        (total / self.points.len() as f64).clamp(0.0, 1.0)
+        let sel = (total / self.points.len() as f64).clamp(0.0, 1.0);
+        Ok(Estimate::closed_form(sel, self.num_rows, start.elapsed()))
     }
 
     fn size_bytes(&self) -> usize {
@@ -176,7 +182,7 @@ impl KdeSupervised {
             inner.set_bandwidth_scale(scale);
             let mut score = 0.0;
             for lq in training {
-                let est = inner.estimate(&lq.query);
+                let est = inner.try_estimate(&lq.query).map_or(0.0, |e| e.selectivity);
                 score += naru_query::q_error_from_selectivity(est, lq.selectivity, num_rows).ln();
             }
             if score < best.0 {
@@ -198,8 +204,8 @@ impl SelectivityEstimator for KdeSupervised {
         self.inner.name()
     }
 
-    fn estimate(&self, query: &Query) -> f64 {
-        self.inner.estimate(query)
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        self.inner.try_estimate(query)
     }
 
     fn size_bytes(&self) -> usize {
@@ -212,6 +218,10 @@ mod tests {
     use super::*;
     use naru_data::synthetic::{correlated_pair, dmv_like};
     use naru_query::{generate_workload, q_error_from_selectivity, true_selectivity, Predicate, WorkloadConfig};
+
+    fn sel(est: &dyn SelectivityEstimator, q: &Query) -> f64 {
+        est.try_estimate(q).expect("valid query").selectivity
+    }
 
     #[test]
     fn normal_cdf_sane() {
@@ -227,7 +237,7 @@ mod tests {
         let kde = KdeEstimator::build(&t, 1500, 2);
         let q = Query::new(vec![Predicate::le(6, 1500)]);
         let truth = true_selectivity(&t, &q);
-        let err = q_error_from_selectivity(kde.estimate(&q), truth, t.num_rows());
+        let err = q_error_from_selectivity(sel(&kde, &q), truth, t.num_rows());
         assert!(err < 3.0, "q-error {err}");
     }
 
@@ -243,7 +253,7 @@ mod tests {
             &mut rng,
         );
         for lq in workload {
-            let s = kde.estimate(&lq.query);
+            let s = sel(&kde, &lq.query);
             assert!((0.0..=1.0).contains(&s));
         }
     }
@@ -258,7 +268,7 @@ mod tests {
         let score = |est: &dyn SelectivityEstimator| -> f64 {
             training
                 .iter()
-                .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, t.num_rows()).ln())
+                .map(|lq| q_error_from_selectivity(sel(est, &lq.query), lq.selectivity, t.num_rows()).ln())
                 .sum()
         };
         assert!(score(&superv) <= score(&kde) + 1e-9);

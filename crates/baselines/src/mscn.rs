@@ -16,11 +16,13 @@
 //! fragility measured in Table 5: queries unlike the training distribution
 //! confuse the regressor.
 
+use std::time::Instant;
+
 use naru_data::Table;
 use naru_nn::loss::mse;
 use naru_nn::optimizer::AdamConfig;
 use naru_nn::Mlp;
-use naru_query::{count_matches, ColumnConstraint, LabeledQuery, Query, SelectivityEstimator};
+use naru_query::{count_matches, ColumnConstraint, Estimate, EstimateError, LabeledQuery, Query, SelectivityEstimator};
 use naru_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -81,6 +83,7 @@ pub struct MscnEstimator {
     name: String,
     /// Lower bound used when flooring log-selectivity targets (1 tuple).
     min_log_sel: f32,
+    num_rows: u64,
 }
 
 impl MscnEstimator {
@@ -145,7 +148,7 @@ impl MscnEstimator {
             }
         }
 
-        Self { net, sample, domains, name, min_log_sel }
+        Self { net, sample, domains, name, min_log_sel, num_rows: table.num_rows() as u64 }
     }
 }
 
@@ -202,12 +205,16 @@ impl SelectivityEstimator for MscnEstimator {
         self.name.clone()
     }
 
-    fn estimate(&self, query: &Query) -> f64 {
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let start = Instant::now();
+        // Validate before featurizing: `featurize` calls `constraints`.
+        query.validate_columns(self.domains.len())?;
         let features = self.featurize(query);
         let x = Matrix::from_rows(&[features.as_slice()]);
         let out = self.net.forward(&x);
         let log_sel = out.get(0, 0).max(self.min_log_sel).min(0.0);
-        (log_sel as f64).exp().clamp(0.0, 1.0)
+        let sel = (log_sel as f64).exp().clamp(0.0, 1.0);
+        Ok(Estimate::closed_form(sel, self.num_rows, start.elapsed()))
     }
 
     fn size_bytes(&self) -> usize {
@@ -223,9 +230,13 @@ mod tests {
     use naru_query::{generate_workload, q_error_from_selectivity, WorkloadConfig};
     use naru_tensor::stats::percentile;
 
+    fn sel(est: &dyn SelectivityEstimator, q: &Query) -> f64 {
+        est.try_estimate(q).expect("valid query").selectivity
+    }
+
     fn median_qerror(est: &dyn SelectivityEstimator, workload: &[LabeledQuery], rows: usize) -> f64 {
         let errs: Vec<f64> =
-            workload.iter().map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, rows)).collect();
+            workload.iter().map(|lq| q_error_from_selectivity(sel(est, &lq.query), lq.selectivity, rows)).collect();
         percentile(&errs, 50.0)
     }
 
@@ -265,7 +276,7 @@ mod tests {
         let training = generate_workload(&t, &WorkloadConfig::default(), 100, &mut rng);
         let mscn = MscnEstimator::train(&t, &training, &MscnConfig { epochs: 10, ..Default::default() });
         for lq in &training[..20] {
-            let s = mscn.estimate(&lq.query);
+            let s = sel(&mscn, &lq.query);
             assert!((0.0..=1.0).contains(&s));
         }
         assert!(mscn.size_bytes() > 0);

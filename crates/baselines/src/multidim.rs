@@ -13,9 +13,10 @@
 //! degrades sharply because cells become enormous hyper-rectangles.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use naru_data::Table;
-use naru_query::{ColumnConstraint, Query, SelectivityEstimator};
+use naru_query::{ColumnConstraint, Estimate, EstimateError, Query, SelectivityEstimator};
 
 /// Equi-width N-dimensional histogram over dictionary ids.
 pub struct MultiDimHistogram {
@@ -78,11 +79,12 @@ impl SelectivityEstimator for MultiDimHistogram {
         "Hist".to_string()
     }
 
-    fn estimate(&self, query: &Query) -> f64 {
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let start = Instant::now();
         if self.num_rows == 0 {
-            return 0.0;
+            return Err(EstimateError::untrained("histogram built over zero rows"));
         }
-        let constraints = query.constraints(self.domains.len());
+        let constraints = query.try_constraints(self.domains.len())?;
         let mut matched = 0.0f64;
         for (key, &count) in &self.cells {
             let mut fraction = 1.0f64;
@@ -99,7 +101,8 @@ impl SelectivityEstimator for MultiDimHistogram {
             }
             matched += fraction * count as f64;
         }
-        (matched / self.num_rows as f64).clamp(0.0, 1.0)
+        let sel = (matched / self.num_rows as f64).clamp(0.0, 1.0);
+        Ok(Estimate::closed_form(sel, self.num_rows, start.elapsed()))
     }
 
     fn size_bytes(&self) -> usize {
@@ -115,6 +118,10 @@ mod tests {
     use naru_data::Column;
     use naru_query::{q_error_from_selectivity, true_selectivity, Predicate};
 
+    fn sel(est: &MultiDimHistogram, q: &Query) -> f64 {
+        est.try_estimate(q).expect("valid query").selectivity
+    }
+
     #[test]
     fn exact_when_bins_cover_domains() {
         // With one bin per distinct value the histogram is the exact joint.
@@ -126,7 +133,7 @@ mod tests {
         ];
         for q in queries {
             let truth = true_selectivity(&t, &q);
-            assert!((hist.estimate(&q) - truth).abs() < 1e-9);
+            assert!((sel(&hist, &q) - truth).abs() < 1e-9);
         }
     }
 
@@ -136,7 +143,7 @@ mod tests {
         let hist = MultiDimHistogram::build(&t, 2);
         let q = Query::new(vec![Predicate::le(6, 500), Predicate::eq(0, 0), Predicate::ge(7, 10)]);
         let truth = true_selectivity(&t, &q);
-        let est = hist.estimate(&q);
+        let est = sel(&hist, &q);
         assert!((0.0..=1.0).contains(&est));
         // Accuracy is poor but not absurd on a 3-filter query.
         let err = q_error_from_selectivity(est, truth, t.num_rows());
@@ -155,7 +162,7 @@ mod tests {
     fn unfiltered_query_returns_one() {
         let t = Table::new("t", vec![Column::from_ids("a", vec![0, 1, 2, 3], 4)]);
         let hist = MultiDimHistogram::build(&t, 2);
-        assert_eq!(hist.estimate(&Query::all()), 1.0);
+        assert_eq!(sel(&hist, &Query::all()), 1.0);
         assert_eq!(hist.name(), "Hist");
     }
 
@@ -166,6 +173,6 @@ mod tests {
         let t = Table::new("t", vec![Column::from_ids("a", vec![0, 1, 2, 3], 4)]);
         let hist = MultiDimHistogram::build(&t, 2);
         let q = Query::new(vec![Predicate::le(0, 0)]);
-        assert!((hist.estimate(&q) - 0.25).abs() < 1e-9);
+        assert!((sel(&hist, &q) - 0.25).abs() < 1e-9);
     }
 }

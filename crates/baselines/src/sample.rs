@@ -5,8 +5,10 @@
 //! collapses once the true cardinality drops below ~1/sample-size (no hits
 //! in the sample), which is exactly the behaviour Tables 3–5 show.
 
+use std::time::Instant;
+
 use naru_data::Table;
-use naru_query::{count_matches, Query, SelectivityEstimator};
+use naru_query::{try_count_matches, Estimate, EstimateError, Query, SelectivityEstimator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,6 +16,8 @@ use rand::SeedableRng;
 pub struct SampleEstimator {
     sample: Table,
     name: String,
+    /// Row count of the *full* table, for cardinality reporting.
+    table_rows: u64,
 }
 
 impl SampleEstimator {
@@ -31,7 +35,7 @@ impl SampleEstimator {
         let rows = table.sample_row_indices(&mut rng, k.min(table.num_rows()));
         let sample = table.take_rows(&rows);
         let pct = 100.0 * sample.num_rows() as f64 / table.num_rows().max(1) as f64;
-        Self { sample, name: format!("Sample({pct:.1}%)") }
+        Self { sample, name: format!("Sample({pct:.1}%)"), table_rows: table.num_rows() as u64 }
     }
 
     /// Number of rows kept.
@@ -45,11 +49,14 @@ impl SelectivityEstimator for SampleEstimator {
         self.name.clone()
     }
 
-    fn estimate(&self, query: &Query) -> f64 {
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+        let start = Instant::now();
         if self.sample.num_rows() == 0 {
-            return 0.0;
+            return Err(EstimateError::untrained("materialized sample is empty"));
         }
-        count_matches(&self.sample, query) as f64 / self.sample.num_rows() as f64
+        let hits = try_count_matches(&self.sample, query)?;
+        let sel = hits as f64 / self.sample.num_rows() as f64;
+        Ok(Estimate::closed_form(sel, self.table_rows, start.elapsed()))
     }
 
     fn size_bytes(&self) -> usize {
@@ -64,6 +71,10 @@ mod tests {
     use naru_data::synthetic::dmv_like;
     use naru_query::{q_error_from_selectivity, true_selectivity, Predicate};
 
+    fn sel(est: &SampleEstimator, q: &Query) -> f64 {
+        est.try_estimate(q).expect("valid query").selectivity
+    }
+
     #[test]
     fn accurate_on_high_selectivity_queries() {
         let t = dmv_like(8000, 1);
@@ -71,7 +82,7 @@ mod tests {
         // Single coarse filter: high selectivity.
         let q = Query::new(vec![Predicate::le(6, 1500)]);
         let truth = true_selectivity(&t, &q);
-        let err = q_error_from_selectivity(est.estimate(&q), truth, t.num_rows());
+        let err = q_error_from_selectivity(sel(&est, &q), truth, t.num_rows());
         assert!(err < 1.3, "q-error {err}");
     }
 
@@ -82,7 +93,7 @@ mod tests {
         // A very selective conjunction: the 80-row sample almost surely has
         // no hits, so the estimate collapses to 0.
         let q = Query::new(vec![Predicate::eq(1, 3), Predicate::eq(4, 7), Predicate::eq(6, 100), Predicate::eq(7, 3)]);
-        let est_sel = est.estimate(&q);
+        let est_sel = sel(&est, &q);
         assert!(est_sel == 0.0 || est_sel < 0.01);
     }
 
@@ -102,6 +113,6 @@ mod tests {
         let t = dmv_like(1500, 4);
         let est = SampleEstimator::build(&t, 1.0, 5);
         let q = Query::new(vec![Predicate::eq(0, 0), Predicate::le(6, 800)]);
-        assert!((est.estimate(&q) - true_selectivity(&t, &q)).abs() < 1e-12);
+        assert!((sel(&est, &q) - true_selectivity(&t, &q)).abs() < 1e-12);
     }
 }

@@ -1,12 +1,14 @@
 //! Estimation-latency benchmark (the Criterion counterpart of Figure 6):
 //! per-query latency of Naru's progressive sampling versus the cheap
-//! baselines, on a small DMV-like table.
+//! baselines, on a small DMV-like table — plus a batched mode comparing
+//! per-query `try_estimate` calls against one `try_estimate_batch` /
+//! `Session::estimate_batch` call over the same workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use naru_baselines::{Histogram1dConfig, IndepEstimator, PostgresEstimator, SampleEstimator};
 use naru_core::{NaruConfig, NaruEstimator};
 use naru_data::synthetic::dmv_like;
-use naru_query::{generate_workload, SelectivityEstimator, WorkloadConfig};
+use naru_query::{generate_workload, Query, SelectivityEstimator, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,6 +22,8 @@ fn bench_estimation_latency(c: &mut Criterion) {
     let sample = SampleEstimator::build(&table, 0.013, 1);
     let (naru, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(200));
 
+    let queries: Vec<Query> = workload.iter().map(|lq| lq.query.clone()).collect();
+
     let mut group = c.benchmark_group("estimation_latency");
     group.sample_size(10);
     let mut register = |name: &str, est: &dyn SelectivityEstimator| {
@@ -27,9 +31,17 @@ fn bench_estimation_latency(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0.0;
                 for lq in &workload {
-                    acc += est.estimate(std::hint::black_box(&lq.query));
+                    acc += est.try_estimate(std::hint::black_box(&lq.query)).map_or(0.0, |e| e.selectivity);
                 }
                 acc
+            })
+        });
+        group.bench_function(format!("{name}_batched"), |b| {
+            b.iter(|| {
+                est.try_estimate_batch(std::hint::black_box(&queries))
+                    .into_iter()
+                    .map(|r| r.map_or(0.0, |e| e.selectivity))
+                    .sum::<f64>()
             })
         });
     };
@@ -37,6 +49,19 @@ fn bench_estimation_latency(c: &mut Criterion) {
     register("postgres", &postgres);
     register("sample_1.3pct", &sample);
     register("naru_200_samples", &naru);
+
+    // The serving-oriented path: one lock-free session over a shared engine.
+    let engine = naru.into_engine();
+    let mut session = engine.session();
+    group.bench_function("naru_200_samples_session_batched", |b| {
+        b.iter(|| {
+            session
+                .estimate_batch(std::hint::black_box(&queries))
+                .into_iter()
+                .map(|r| r.map_or(0.0, |e| e.selectivity))
+                .sum::<f64>()
+        })
+    });
     group.finish();
 }
 

@@ -8,7 +8,12 @@
 //!   no dead-path compaction);
 //! * **optimized** — the current hot path: blocked/parallel `_into`
 //!   kernels, workspace-reused activations, incremental prefix encoding,
-//!   per-block output heads, and dead-path compaction.
+//!   per-block output heads, and dead-path compaction;
+//! * **batched** — the same hot path driven through the Engine/Session
+//!   API's `Session::estimate_batch`: one lock-free session answers the
+//!   whole workload in a single call, reusing its constraint buffer and
+//!   scratch across queries. Its selectivities must match the optimized
+//!   path bit-for-bit (same seed, same kernels).
 //!
 //! ```text
 //! cargo run --release -p naru-bench --bin bench_infer            # default scale
@@ -21,6 +26,7 @@ use std::cell::Cell;
 use naru_bench::latency::{render_report, time_workload, LatencyStats};
 use naru_core::{NaruConfig, NaruEstimator, ProgressiveSampler, SamplerConfig};
 use naru_data::synthetic::dmv_like;
+use naru_query::Query;
 use naru_query::{generate_workload, WorkloadConfig};
 use naru_tensor::{set_kernel_policy, KernelPolicy};
 use rand::rngs::StdRng;
@@ -66,11 +72,8 @@ fn main() {
     config.train.eval_tuples = 0;
     let train_start = std::time::Instant::now();
     let (estimator, _) = NaruEstimator::train(&table, &config);
-    println!(
-        "trained MADE ({} params) in {:.1}s",
-        estimator.model().param_count(),
-        train_start.elapsed().as_secs_f64()
-    );
+    let model_params = estimator.model().param_count();
+    println!("trained MADE ({} params) in {:.1}s", model_params, train_start.elapsed().as_secs_f64());
 
     let mut rng = StdRng::seed_from_u64(7);
     let workload = generate_workload(&table, &WorkloadConfig::default(), scale.queries, &mut rng);
@@ -107,6 +110,27 @@ fn main() {
     });
     let optimized = LatencyStats::from_latencies(&opt_lat, opt_paths.get());
 
+    // Batched mode: the Engine/Session API answers the whole workload in
+    // one `estimate_batch` call. Per-query latency comes from each
+    // `Estimate`'s own wall-time; the walk is identical to the optimized
+    // path (same seed, same kernels), so the per-path work volume is too
+    // and `opt_paths` carries over.
+    let engine = estimator.into_engine();
+    let mut session = engine.session();
+    let queries: Vec<Query> = workload.iter().map(|lq| lq.query.clone()).collect();
+    // Warm the session scratch outside the measurement, like the other paths.
+    let _ = session.estimate(&queries[0]);
+    let batch_results = session.estimate_batch(&queries);
+    let mut batch_lat = Vec::with_capacity(batch_results.len());
+    let mut batch_acc = 0.0f64;
+    for result in &batch_results {
+        let est = result.as_ref().expect("generated workload queries are valid");
+        batch_lat.push(est.wall_time.as_secs_f64() * 1000.0);
+        batch_acc += est.selectivity;
+    }
+    let batched = LatencyStats::from_latencies(&batch_lat, opt_paths.get());
+    assert_eq!(batch_acc, opt_acc, "batched session must match the optimized path bit-for-bit");
+
     // Both paths estimate the same workload with the same seeds, but with
     // different kernel tiers: a conditional probability landing within
     // kernel rounding of a uniform draw can flip one sampled id and fork
@@ -122,23 +146,24 @@ fn main() {
         ("columns", n.to_string()),
         ("queries", scale.queries.to_string()),
         ("num_samples", scale.num_samples.to_string()),
-        ("model_params", estimator.model().param_count().to_string()),
+        ("model_params", model_params.to_string()),
         ("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).to_string()),
         (
             "baseline_path",
             "\"pre-refactor: naive kernels + allocating conditionals + uncompacted sampler\"".to_string(),
         ),
     ];
-    let report = render_report(&baseline, &optimized, &meta);
+    let report = render_report(&baseline, &optimized, Some(&batched), &meta);
     std::fs::write(&out_path, &report).expect("write BENCH_infer.json");
 
     println!("\n{:>12} {:>10} {:>10} {:>12} {:>14}", "path", "p50 ms", "p95 ms", "queries/s", "samples/s");
-    for (name, stats) in [("baseline", &baseline), ("optimized", &optimized)] {
+    for (name, stats) in [("baseline", &baseline), ("optimized", &optimized), ("batched", &batched)] {
         println!(
             "{:>12} {:>10.2} {:>10.2} {:>12.1} {:>14.0}",
             name, stats.p50_ms, stats.p95_ms, stats.queries_per_sec, stats.samples_per_sec
         );
     }
     println!("\nspeedup (queries/sec): {:.2}x", baseline.mean_ms / optimized.mean_ms);
+    println!("batched vs optimized (queries/sec): {:.3}x", batched.queries_per_sec / optimized.queries_per_sec);
     println!("wrote {out_path}");
 }

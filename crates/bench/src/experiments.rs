@@ -99,13 +99,19 @@ impl SelectivityEstimator for NaruVariant<'_> {
         format!("Naru-{}", self.samples)
     }
 
-    fn estimate(&self, query: &naru_query::Query) -> f64 {
-        self.inner.estimate_with_samples(query, self.samples)
+    fn try_estimate(&self, query: &naru_query::Query) -> Result<naru_query::Estimate, naru_query::EstimateError> {
+        self.inner.try_estimate_with_samples(query, self.samples)
     }
 
     fn size_bytes(&self) -> usize {
         self.inner.size_bytes()
     }
+}
+
+/// Selectivity of a workload query through the fallible API; the generated
+/// workloads are always in range, so errors cannot occur.
+fn sel(est: &dyn SelectivityEstimator, query: &naru_query::Query) -> f64 {
+    est.try_estimate(query).expect("workload query is valid").selectivity
 }
 
 /// Shared runner for Tables 3 and 4: builds the baseline line-up, trains
@@ -415,7 +421,7 @@ pub fn fig7_entropy_gap(cfg: &ExperimentConfig) -> String {
     let max_err = |est: &dyn SelectivityEstimator| -> f64 {
         workload
             .iter()
-            .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, data.num_rows()))
+            .map(|lq| q_error_from_selectivity(sel(est, &lq.query), lq.selectivity, data.num_rows()))
             .fold(f64::MIN, f64::max)
     };
     let indep_max = max_err(&indep);
@@ -426,7 +432,7 @@ pub fn fig7_entropy_gap(cfg: &ExperimentConfig) -> String {
         let mut cells = vec![format!("{target_gap:.1}")];
         for &s in &sample_counts {
             let noisy = NoisyOracle::new(OracleDensity::new(&data), eps);
-            let est = SamplingEstimator::new(noisy, s, format!("Naru-{s}"));
+            let est = SamplingEstimator::new(noisy, s, format!("Naru-{s}")).with_num_rows(data.num_rows() as u64);
             cells.push(fmt_err(max_err(&est)));
         }
         cells.push(fmt_err(indep_max));
@@ -469,12 +475,13 @@ pub fn fig8_column_scaling(cfg: &ExperimentConfig) -> String {
         let max_err = |est: &dyn SelectivityEstimator| -> f64 {
             workload
                 .iter()
-                .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, data.num_rows()))
+                .map(|lq| q_error_from_selectivity(sel(est, &lq.query), lq.selectivity, data.num_rows()))
                 .fold(f64::MIN, f64::max)
         };
         let mut cells = vec![k.to_string(), format!("{:.0}", data.schema().joint_size_log10())];
         for &s in &sample_counts {
-            let est = SamplingEstimator::new(OracleDensity::new(&data), s, format!("Naru-{s}"));
+            let est = SamplingEstimator::new(OracleDensity::new(&data), s, format!("Naru-{s}"))
+                .with_num_rows(data.num_rows() as u64);
             cells.push(fmt_err(max_err(&est)));
         }
         let indep = IndepEstimator::build(&data);
@@ -529,7 +536,7 @@ pub fn table8_data_shift(cfg: &ExperimentConfig) -> String {
         let summarize = |est: &NaruEstimator| -> (f64, f64) {
             let errs: Vec<f64> = workload
                 .iter()
-                .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, visible.num_rows()))
+                .map(|lq| q_error_from_selectivity(sel(est, &lq.query), lq.selectivity, visible.num_rows()))
                 .collect();
             let q = ErrorQuantiles::from_errors(&errs).unwrap();
             (q.max, naru_tensor::stats::percentile(&errs, 90.0))

@@ -21,11 +21,14 @@
 //! * [`oracle`] — oracle and noisy-oracle densities for the §6.7
 //!   microbenchmarks,
 //! * [`estimator`] — the [`NaruEstimator`] facade implementing the
-//!   workspace-wide `SelectivityEstimator` trait.
+//!   workspace-wide `SelectivityEstimator` trait,
+//! * [`engine`] — the serving-oriented [`Engine`]/[`Session`] split: one
+//!   shared immutable artifact, one lock-free mutable scratch per thread.
 
 pub mod columnwise;
 pub mod density;
 pub mod encoding;
+pub mod engine;
 pub mod enumeration;
 pub mod estimator;
 pub mod model;
@@ -36,9 +39,12 @@ pub mod train;
 pub use columnwise::{ColumnwiseConfig, ColumnwiseModel};
 pub use density::{average_nll_bits, entropy_gap_bits, ConditionalDensity, IndependentDensity, InferenceScratch};
 pub use encoding::{ColumnEncoding, EncodingPolicy};
+pub use engine::{Engine, Session, SharedDensity};
 pub use enumeration::{enumerate_exact, EnumerationResult};
-pub use estimator::{NaruConfig, NaruEstimator, SamplingEstimator};
+pub use estimator::{NaruConfig, NaruConfigBuilder, NaruEstimator, SamplingEstimator};
 pub use model::{MadeModel, ModelConfig};
 pub use oracle::{calibrate_epsilon, NoisyOracle, OracleDensity};
 pub use sampler::{uniform_sampling_estimate, ProgressiveSampler, SampleEstimate, SamplerConfig};
-pub use train::{fine_tune, table_tuples, train_model, EpochStats, TrainConfig, TrainReport, TrainableDensity};
+pub use train::{
+    fine_tune, table_tuples, train_model, EpochStats, TrainConfig, TrainReport, TrainWorkspace, TrainableDensity,
+};

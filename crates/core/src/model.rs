@@ -13,7 +13,7 @@
 //! per column.
 
 use naru_nn::linear::Linear;
-use naru_nn::loss::cross_entropy;
+use naru_nn::loss::cross_entropy_grad_into;
 use naru_nn::made::{build_made_masks, GroupSpec};
 use naru_nn::optimizer::AdamConfig;
 use naru_nn::{Embedding, Relu};
@@ -64,15 +64,6 @@ enum OutputKind {
     /// The block is an `h`-dim feature multiplied with the column's
     /// embedding table (width `h`, logits width `|A_i|`).
     EmbeddingReuse,
-}
-
-/// Activations retained from a training forward pass.
-struct ForwardTrace {
-    /// Pre-activation output of each hidden layer.
-    pre_acts: Vec<Matrix>,
-    /// Input fed to each hidden layer, plus the input to the output layer
-    /// at the end (`layer_inputs[0]` is the encoded batch itself).
-    layer_inputs: Vec<Matrix>,
 }
 
 /// The masked autoregressive density model.
@@ -246,28 +237,15 @@ impl MadeModel {
         cur
     }
 
-    /// Runs the trunk, retaining activations when `trace` is requested.
-    fn forward_trunk(&self, input: Matrix, keep_trace: bool) -> (Matrix, Option<ForwardTrace>) {
-        let mut pre_acts = Vec::new();
-        let mut layer_inputs = Vec::new();
+    /// Runs the trunk (hidden stack + output layer) without retaining
+    /// activations — the inference path.
+    fn forward_trunk(&self, input: &Matrix) -> Matrix {
         let mut h = input.clone();
         for layer in &self.hidden {
-            if keep_trace {
-                layer_inputs.push(h.clone());
-            }
             let pre = layer.forward(&h);
-            if keep_trace {
-                pre_acts.push(pre.clone());
-            }
             h = self.relu.forward(&pre);
         }
-        if keep_trace {
-            layer_inputs.push(h.clone());
-        }
-        let trunk_out = self.output.forward(&h);
-        let trace = if keep_trace { Some(ForwardTrace { pre_acts, layer_inputs }) } else { None };
-        let _ = input;
-        (trunk_out, trace)
+        self.output.forward(&h)
     }
 
     /// Extracts column `col`'s block from the trunk output.
@@ -297,63 +275,121 @@ impl MadeModel {
     /// One maximum-likelihood gradient step on a batch of tuples.
     ///
     /// Returns the mean negative log-likelihood of the batch in nats per
-    /// tuple (the training loss).
+    /// tuple (the training loss). Convenience wrapper over
+    /// [`MadeModel::train_step_with`] with a transient workspace; training
+    /// loops should hold one [`TrainWorkspace`](crate::train::TrainWorkspace)
+    /// and reuse it so every batch after the first allocates nothing.
     pub fn train_step(&mut self, tuples: &[Vec<u32>], adam: &AdamConfig) -> f64 {
+        let mut ws = crate::train::TrainWorkspace::default();
+        self.train_step_with(tuples, adam, &mut ws)
+    }
+
+    /// Workspace-reusing gradient step: encoding, retained activations, the
+    /// per-column loss buffers, and the backward ping-pong gradients all
+    /// live in `ws`, so a training loop that reuses one workspace runs the
+    /// whole step allocation-free at steady state (mirroring what
+    /// `InferenceScratch` does for the sampling hot path).
+    pub fn train_step_with(
+        &mut self,
+        tuples: &[Vec<u32>],
+        adam: &AdamConfig,
+        ws: &mut crate::train::TrainWorkspace,
+    ) -> f64 {
         assert!(!tuples.is_empty(), "empty batch");
-        let input = self.encode_input(tuples);
-        let (trunk_out, trace) = self.forward_trunk(input, true);
-        let trace = trace.expect("trace requested");
+        let rows = tuples.len();
+        let n = self.num_columns();
+        let depth = self.hidden.len();
+
+        // Encode the batch into the reused input buffer.
+        ws.input.resize(rows, self.spec.total_input());
+        ws.input.fill_zero();
+        for (r, tuple) in tuples.iter().enumerate() {
+            debug_assert_eq!(tuple.len(), n, "tuple width mismatch");
+            let row = ws.input.row_mut(r);
+            for (col, &id) in tuple.iter().enumerate() {
+                self.encode_slot(col, id, row);
+            }
+        }
+
+        // Forward pass, retaining pre- and post-activations per layer.
+        ws.pre_acts.resize_with(depth, || Matrix::zeros(0, 0));
+        ws.acts.resize_with(depth, || Matrix::zeros(0, 0));
+        for i in 0..depth {
+            if i == 0 {
+                self.hidden[i].forward_into(&ws.input, &mut ws.pre_acts[i]);
+            } else {
+                let (acts, pre_acts) = (&ws.acts, &mut ws.pre_acts);
+                self.hidden[i].forward_into(&acts[i - 1], &mut pre_acts[i]);
+            }
+            let pre = &ws.pre_acts[i];
+            ws.acts[i].resize(pre.rows(), pre.cols());
+            ws.acts[i].data_mut().copy_from_slice(pre.data());
+            self.relu.forward_inplace(&mut ws.acts[i]);
+        }
+        self.output.forward_into(&ws.acts[depth - 1], &mut ws.trunk_out);
 
         // Per-column losses and the gradient w.r.t. the trunk output.
         let mut total_loss = 0.0f64;
-        let mut d_trunk = Matrix::zeros(trunk_out.rows(), trunk_out.cols());
-        for col in 0..self.num_columns() {
-            let targets: Vec<usize> = tuples.iter().map(|t| t[col] as usize).collect();
-            let block = self.output_block(&trunk_out, col);
+        ws.d_trunk.resize(rows, self.spec.total_output());
+        ws.d_trunk.fill_zero();
+        for col in 0..n {
+            ws.targets.clear();
+            ws.targets.extend(tuples.iter().map(|t| t[col] as usize));
             let lo = self.output_offsets[col];
+            let hi = self.output_offsets[col + 1];
+            ws.block.resize(rows, hi - lo);
+            for r in 0..rows {
+                ws.block.row_mut(r).copy_from_slice(&ws.trunk_out.row(r)[lo..hi]);
+            }
             match self.output_kinds[col] {
                 OutputKind::Direct => {
-                    let ce = cross_entropy(&block, &targets);
-                    total_loss += ce.loss;
-                    for r in 0..d_trunk.rows() {
-                        let dst = &mut d_trunk.row_mut(r)[lo..lo + block.cols()];
-                        dst.copy_from_slice(ce.grad_logits.row(r));
+                    total_loss += cross_entropy_grad_into(&ws.block, &ws.targets, &mut ws.grad_logits);
+                    for r in 0..rows {
+                        ws.d_trunk.row_mut(r)[lo..hi].copy_from_slice(ws.grad_logits.row(r));
                     }
                 }
                 OutputKind::EmbeddingReuse => {
                     let emb = self.embeddings[col].as_mut().expect("embedding present");
-                    let logits = emb.decode_logits(&block);
-                    let ce = cross_entropy(&logits, &targets);
-                    total_loss += ce.loss;
-                    let d_block = emb.backward_decode(&block, &ce.grad_logits);
-                    for r in 0..d_trunk.rows() {
-                        let dst = &mut d_trunk.row_mut(r)[lo..lo + d_block.cols()];
-                        dst.copy_from_slice(d_block.row(r));
+                    emb.decode_logits_into(&ws.block, &mut ws.logits);
+                    total_loss += cross_entropy_grad_into(&ws.logits, &ws.targets, &mut ws.grad_logits);
+                    emb.backward_decode_into(&ws.block, &ws.grad_logits, &mut ws.d_block, &mut ws.d_table);
+                    for r in 0..rows {
+                        ws.d_trunk.row_mut(r)[lo..hi].copy_from_slice(ws.d_block.row(r));
                     }
                 }
             }
         }
 
-        // Back-propagate through the trunk.
-        let mut grad = self.output.backward(trace.layer_inputs.last().expect("trunk input"), &d_trunk);
-        for i in (0..self.hidden.len()).rev() {
-            grad = self.relu.backward(&trace.pre_acts[i], &grad);
-            grad = self.hidden[i].backward(&trace.layer_inputs[i], &grad);
+        // Back-propagate through the trunk, ping-ponging between the two
+        // reused gradient buffers.
+        self.output.backward_into(&ws.acts[depth - 1], &ws.d_trunk, &mut ws.grad_a, &mut ws.dw);
+        let mut current_is_a = true;
+        for i in (0..depth).rev() {
+            let (cur, next) =
+                if current_is_a { (&mut ws.grad_a, &mut ws.grad_b) } else { (&mut ws.grad_b, &mut ws.grad_a) };
+            self.relu.backward_inplace(&ws.pre_acts[i], cur);
+            if i == 0 {
+                self.hidden[i].backward_into(&ws.input, cur, next, &mut ws.dw);
+            } else {
+                self.hidden[i].backward_into(&ws.acts[i - 1], cur, next, &mut ws.dw);
+            }
+            current_is_a = !current_is_a;
         }
+        let input_grad = if current_is_a { &ws.grad_a } else { &ws.grad_b };
 
         // Input-encoding gradients only exist for embedding-encoded columns.
-        for col in 0..self.num_columns() {
+        for col in 0..n {
             if let ColumnEncoding::Embedding { .. } = self.encodings[col] {
                 let off = self.input_offsets[col];
                 let width = self.spec.input_widths[col];
-                let ids: Vec<usize> = tuples.iter().map(|t| t[col] as usize).collect();
-                let mut block_grad = Matrix::zeros(grad.rows(), width);
-                for r in 0..grad.rows() {
-                    block_grad.row_mut(r).copy_from_slice(&grad.row(r)[off..off + width]);
+                ws.targets.clear();
+                ws.targets.extend(tuples.iter().map(|t| t[col] as usize));
+                ws.block_grad.resize(rows, width);
+                for r in 0..rows {
+                    ws.block_grad.row_mut(r).copy_from_slice(&input_grad.row(r)[off..off + width]);
                 }
                 let emb = self.embeddings[col].as_mut().expect("embedding present");
-                // Embedding::backward wants usize ids.
-                emb.backward(&ids, &block_grad);
+                emb.backward(&ws.targets, &ws.block_grad);
             }
         }
 
@@ -422,7 +458,7 @@ impl ConditionalDensity for MadeModel {
 
     fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
         let input = self.encode_input(tuples);
-        let (trunk_out, _) = self.forward_trunk(input, false);
+        let trunk_out = self.forward_trunk(&input);
         let logits = self.logits_for_column(&trunk_out, col);
         naru_tensor::softmax_rows(&logits)
     }

@@ -8,18 +8,43 @@
 //! imprecision the sampler tolerates; [`NoisyOracle`] reproduces that by
 //! mixing each exact conditional with a uniform distribution.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use naru_data::Table;
 use naru_tensor::Matrix;
 
 use crate::density::ConditionalDensity;
 
+/// Per-prefix scan state retained by the oracle's memo: the rows matching
+/// the prefix and the conditional distribution of the next column given it.
+#[derive(Debug, Clone)]
+struct PrefixState {
+    /// Indices of the rows matching the prefix.
+    rows: Vec<u32>,
+    /// `P(X_col | prefix)`, smoothed and normalized.
+    conditional: Vec<f32>,
+}
+
+/// Upper bound on the memo's payload size (row-id and conditional vectors,
+/// approximate bytes, across all columns). Progressive sampling keeps
+/// revisiting the same prefixes (paths concentrate where the mass lives),
+/// so the working set is small; the cap only guards pathological workloads
+/// — wide domains, highly diverse prefixes — from unbounded growth. Once
+/// hit, further prefixes are computed without being stored.
+const PREFIX_CACHE_MAX_BYTES: usize = 256 << 20;
+
 /// The exact chain-rule conditionals of a table, computed by scanning.
 ///
 /// Each conditional query filters the rows matching the prefix and
-/// histograms the target column. To keep repeated calls cheap, the oracle
-/// is stateless but the scan is restricted to the rows matching the prefix
-/// (computed per call); progressive sampling benefits automatically because
-/// the matching set shrinks as the prefix grows.
+/// histograms the target column. The scan state is *memoized per prefix*:
+/// the first request for a prefix refines its parent prefix's row set (one
+/// filter pass over the parent's matches, not the whole table) and caches
+/// both the surviving rows and the resulting conditional; every later
+/// request for the same prefix — and progressive sampling issues thousands,
+/// since many sample paths walk the same high-mass prefixes — is a hash
+/// lookup. The memo sits behind a `Mutex` so the oracle stays shareable
+/// (`Sync`) across engine sessions; results are identical to a fresh scan.
 pub struct OracleDensity {
     /// Column-major copy of the table's ids.
     columns: Vec<Vec<u32>>,
@@ -28,6 +53,17 @@ pub struct OracleDensity {
     /// oracle never assigns exactly zero probability to an id (keeps
     /// log-likelihoods finite). Zero disables smoothing.
     smoothing: f64,
+    /// `cache[col]` maps a prefix `tuple[..col]` to its scan state.
+    cache: Mutex<PrefixCache>,
+}
+
+/// The memo itself plus its approximate payload size in bytes, tracked so
+/// the cap bounds memory rather than entry count (one entry on a
+/// large-domain column can weigh megabytes).
+#[derive(Debug, Default)]
+struct PrefixCache {
+    levels: Vec<HashMap<Vec<u32>, PrefixState>>,
+    bytes: usize,
 }
 
 impl OracleDensity {
@@ -38,19 +74,26 @@ impl OracleDensity {
 
     /// Builds the oracle with additive smoothing `alpha` per conditional cell.
     pub fn with_smoothing(table: &Table, alpha: f64) -> Self {
-        let columns = table.columns().iter().map(|c| c.ids().to_vec()).collect();
-        let domain_sizes = table.columns().iter().map(|c| c.domain_size()).collect();
-        Self { columns, domain_sizes, smoothing: alpha }
+        let columns: Vec<Vec<u32>> = table.columns().iter().map(|c| c.ids().to_vec()).collect();
+        let domain_sizes: Vec<usize> = table.columns().iter().map(|c| c.domain_size()).collect();
+        let cache = Mutex::new(PrefixCache { levels: vec![HashMap::new(); domain_sizes.len()], bytes: 0 });
+        Self { columns, domain_sizes, smoothing: alpha, cache }
     }
 
     fn num_rows(&self) -> usize {
         self.columns[0].len()
     }
 
-    /// Rows matching `prefix` (the first `col` values of `tuple`).
-    fn matching_rows(&self, tuple: &[u32], col: usize) -> Vec<u32> {
+    /// Number of memoized prefixes across all columns (diagnostics).
+    pub fn cached_prefixes(&self) -> usize {
+        self.cache.lock().expect("oracle cache poisoned").levels.iter().map(HashMap::len).sum()
+    }
+
+    /// Rows matching `prefix` by a full scan (the uncached fallback and the
+    /// root of the incremental refinement).
+    fn scan_matching_rows(&self, prefix: &[u32]) -> Vec<u32> {
         let mut rows: Vec<u32> = (0..self.num_rows() as u32).collect();
-        for (&want, ids) in tuple[..col].iter().zip(&self.columns) {
+        for (&want, ids) in prefix.iter().zip(&self.columns) {
             rows.retain(|&r| ids[r as usize] == want);
             if rows.is_empty() {
                 break;
@@ -59,13 +102,12 @@ impl OracleDensity {
         rows
     }
 
-    /// Conditional distribution of column `col` given the prefix of `tuple`.
-    fn conditional_for(&self, tuple: &[u32], col: usize) -> Vec<f32> {
+    /// The conditional of column `col` over the given matching rows.
+    fn conditional_over(&self, rows: &[u32], col: usize) -> Vec<f32> {
         let domain = self.domain_sizes[col];
-        let rows = self.matching_rows(tuple, col);
         let mut counts = vec![self.smoothing; domain];
         let ids = &self.columns[col];
-        for &r in &rows {
+        for &r in rows {
             counts[ids[r as usize] as usize] += 1.0;
         }
         let total: f64 = counts.iter().sum();
@@ -75,6 +117,36 @@ impl OracleDensity {
             return vec![1.0 / domain as f32; domain];
         }
         counts.iter().map(|&c| (c / total) as f32).collect()
+    }
+
+    /// Ensures `cache[col]` holds the state for `prefix` and returns a copy
+    /// of work done (the caller copies the conditional out under the lock).
+    fn with_prefix_state<R>(&self, cache: &mut PrefixCache, prefix: &[u32], f: impl FnOnce(&PrefixState) -> R) -> R {
+        let col = prefix.len();
+        if let Some(state) = cache.levels[col].get(prefix) {
+            return f(state);
+        }
+        // Refine the parent prefix's rows (one element shorter) instead of
+        // rescanning the table; the sampler walks columns in order, so the
+        // parent is almost always already memoized.
+        let rows = if col == 0 {
+            self.scan_matching_rows(prefix)
+        } else {
+            let want = prefix[col - 1];
+            let ids = &self.columns[col - 1];
+            match cache.levels[col - 1].get(&prefix[..col - 1]) {
+                Some(parent) => parent.rows.iter().copied().filter(|&r| ids[r as usize] == want).collect(),
+                None => self.scan_matching_rows(prefix),
+            }
+        };
+        let state = PrefixState { conditional: self.conditional_over(&rows, col), rows };
+        let result = f(&state);
+        let state_bytes = state.rows.len() * 4 + state.conditional.len() * 4 + prefix.len() * 4;
+        if cache.bytes + state_bytes <= PREFIX_CACHE_MAX_BYTES {
+            cache.bytes += state_bytes;
+            cache.levels[col].insert(prefix.to_vec(), state);
+        }
+        result
     }
 }
 
@@ -90,9 +162,11 @@ impl ConditionalDensity for OracleDensity {
     fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
         let domain = self.domain_sizes[col];
         let mut out = Matrix::zeros(tuples.len(), domain);
+        let cache = &mut *self.cache.lock().expect("oracle cache poisoned");
         for (r, tuple) in tuples.iter().enumerate() {
-            let probs = self.conditional_for(tuple, col);
-            out.row_mut(r).copy_from_slice(&probs);
+            self.with_prefix_state(cache, &tuple[..col], |state| {
+                out.row_mut(r).copy_from_slice(&state.conditional);
+            });
         }
         out
     }
@@ -224,6 +298,51 @@ mod tests {
         let tuples: Vec<Vec<u32>> = (0..t.num_rows()).map(|r| t.row(r)).collect();
         let gap = entropy_gap_bits(&oracle, &tuples, t.data_entropy_bits());
         assert!(gap.abs() < 1e-6, "oracle gap should be 0, got {gap}");
+    }
+
+    #[test]
+    fn memoized_conditionals_match_fresh_scans() {
+        // Deep prefixes, repeated and out of order: every answer must equal
+        // what a fresh (cold-cache) oracle computes.
+        let t = table();
+        let warm = OracleDensity::new(&t);
+        let probes: Vec<(Vec<u32>, usize)> = vec![
+            (vec![2, 2, 0], 2),
+            (vec![0, 0, 1], 1),
+            (vec![2, 2, 1], 2), // shares the [2, 2] prefix with the first probe
+            (vec![1, 0, 0], 0),
+            (vec![2, 2, 0], 2), // cache hit
+        ];
+        for (tuple, col) in &probes {
+            let cached = warm.conditionals(std::slice::from_ref(tuple), *col);
+            let fresh = OracleDensity::new(&t).conditionals(std::slice::from_ref(tuple), *col);
+            assert_eq!(cached.data(), fresh.data(), "tuple {tuple:?} col {col}");
+        }
+        assert!(warm.cached_prefixes() > 0);
+        // Re-asking everything must not grow the cache further.
+        let before = warm.cached_prefixes();
+        for (tuple, col) in &probes {
+            let _ = warm.conditionals(std::slice::from_ref(tuple), *col);
+        }
+        assert_eq!(warm.cached_prefixes(), before);
+    }
+
+    #[test]
+    fn memoized_oracle_sampling_matches_expected_truth() {
+        // End-to-end through the sampler: memoization must not change any
+        // sampled estimate (the §6.7 oracle setup).
+        use naru_data::synthetic::correlated_pair;
+        use naru_query::{Predicate, Query};
+        let t = correlated_pair(800, 6, 0.9, 17);
+        let oracle = OracleDensity::new(&t);
+        let sampler =
+            crate::sampler::ProgressiveSampler::new(crate::sampler::SamplerConfig { num_samples: 200, seed: 4 });
+        let q = Query::new(vec![Predicate::le(0, 2), Predicate::ge(1, 1)]);
+        let first = sampler.estimate(&oracle, &q.constraints(2));
+        let again = sampler.estimate(&oracle, &q.constraints(2));
+        assert_eq!(first, again);
+        let cold = sampler.estimate(&OracleDensity::new(&t), &q.constraints(2));
+        assert_eq!(first, cold);
     }
 
     #[test]

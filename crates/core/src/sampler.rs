@@ -58,11 +58,12 @@ pub struct SampleEstimate {
     pub columns_walked: usize,
 }
 
-/// Reusable buffers for [`ProgressiveSampler::estimate_detailed`]: after
-/// the first estimate at a given path count, repeated estimates make no
-/// heap allocations.
+/// Reusable buffers for one progressive-sampling walk: after the first
+/// estimate at a given path count, repeated estimates make no heap
+/// allocations. [`ProgressiveSampler`] keeps one behind a `Mutex`;
+/// the Engine/Session API gives every session its own (no locking).
 #[derive(Debug, Default)]
-struct SamplerScratch {
+pub(crate) struct SamplerScratch {
     /// Density-side scratch (activation buffers, incremental encodings).
     infer: InferenceScratch,
     /// Flat `live x n` row-major tuple buffer (compacted in place).
@@ -119,103 +120,119 @@ impl ProgressiveSampler {
         density: &D,
         constraints: &[ColumnConstraint],
     ) -> SampleEstimate {
-        let n = density.num_columns();
-        assert_eq!(constraints.len(), n, "one constraint per column required");
-        let domains = density.domain_sizes();
-        let s = self.config.num_samples.max(1);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-
-        // Early exits: a contradictory constraint has zero probability.
-        if constraints.iter().enumerate().any(|(i, c)| c.count(domains[i]) == 0) {
-            return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: 0 };
-        }
-        // The last column that actually restricts anything.
-        let last_filtered = constraints.iter().rposition(|c| !matches!(c, ColumnConstraint::Any));
-        let Some(last_filtered) = last_filtered else {
-            // No filters at all: the whole table qualifies.
-            return SampleEstimate { selectivity: 1.0, dead_paths: 0, columns_walked: 0 };
-        };
-
         let scratch = &mut *self.scratch.lock().expect("sampler scratch poisoned");
-        scratch.infer.reset();
-        scratch.tuples.clear();
-        scratch.tuples.resize(s * n, 0);
-        scratch.weights.clear();
-        scratch.weights.resize(s, 1.0);
-        let mut live = s;
+        progressive_walk(density, constraints, self.config.num_samples, self.config.seed, scratch)
+    }
+}
 
-        for col in 0..=last_filtered {
-            let constraint = &constraints[col];
-            let domain = domains[col];
-            let is_any = matches!(constraint, ColumnConstraint::Any);
-            // Materialize the allowed ids once per column; the per-path loop
-            // then only touches in-range probabilities.
-            scratch.allowed.clear();
-            if !is_any {
-                for id in 0..domain as u32 {
-                    if constraint.matches(id) {
-                        scratch.allowed.push(id);
-                    }
+/// The progressive-sampling walk itself, operating on caller-provided
+/// scratch — the shared engine behind both [`ProgressiveSampler`] (which
+/// guards one scratch with a `Mutex` to stay `&self`/`Sync`) and the
+/// lock-free per-thread `Session` of the Engine/Session API.
+pub(crate) fn progressive_walk<D: ConditionalDensity + ?Sized>(
+    density: &D,
+    constraints: &[ColumnConstraint],
+    num_samples: usize,
+    seed: u64,
+    scratch: &mut SamplerScratch,
+) -> SampleEstimate {
+    let n = density.num_columns();
+    assert_eq!(constraints.len(), n, "one constraint per column required");
+    let domains = density.domain_sizes();
+    let s = num_samples.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Early exits: a contradictory constraint has zero probability.
+    if constraints.iter().enumerate().any(|(i, c)| c.count(domains[i]) == 0) {
+        return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: 0 };
+    }
+    // The last column that actually restricts anything.
+    let last_filtered = constraints.iter().rposition(|c| !matches!(c, ColumnConstraint::Any));
+    let Some(last_filtered) = last_filtered else {
+        // No filters at all: the whole table qualifies.
+        return SampleEstimate { selectivity: 1.0, dead_paths: 0, columns_walked: 0 };
+    };
+
+    scratch.infer.reset();
+    scratch.tuples.clear();
+    scratch.tuples.resize(s * n, 0);
+    scratch.weights.clear();
+    scratch.weights.resize(s, 1.0);
+    let mut live = s;
+
+    for col in 0..=last_filtered {
+        let constraint = &constraints[col];
+        let domain = domains[col];
+        let is_any = matches!(constraint, ColumnConstraint::Any);
+        // Materialize the allowed ids once per column; the per-path loop
+        // then only touches in-range probabilities.
+        scratch.allowed.clear();
+        if !is_any {
+            for id in 0..domain as u32 {
+                if constraint.matches(id) {
+                    scratch.allowed.push(id);
                 }
-            }
-
-            density.conditionals_into(&scratch.tuples[..live * n], n, col, &mut scratch.probs, &mut scratch.infer);
-            debug_assert_eq!(scratch.probs.shape(), (live, domain));
-
-            scratch.keep.clear();
-            let mut write = 0usize;
-            for path in 0..live {
-                let row = scratch.probs.row(path);
-                let sampled = if is_any {
-                    // Unfiltered column inside the prefix: mass is 1, but we
-                    // still have to sample a value for later conditionals.
-                    sample_categorical(&mut rng, row).map(|id| id as u32)
-                } else {
-                    // Restrict to the query range, record the in-range mass,
-                    // and sample from the restricted conditional.
-                    let mut mass = 0.0f64;
-                    for &id in &scratch.allowed {
-                        mass += row[id as usize].max(0.0) as f64;
-                    }
-                    // The finiteness check mirrors sample_categorical's
-                    // guard in the reference path: a non-finite conditional
-                    // kills the path rather than poisoning the estimate.
-                    if !mass.is_finite() || mass <= 0.0 {
-                        None
-                    } else {
-                        scratch.weights[path] *= mass;
-                        sample_allowed(&mut rng, row, &scratch.allowed, mass)
-                    }
-                };
-                match sampled {
-                    Some(id) => {
-                        scratch.tuples[path * n + col] = id;
-                        if write != path {
-                            scratch.tuples.copy_within(path * n..(path + 1) * n, write * n);
-                            scratch.weights[write] = scratch.weights[path];
-                        }
-                        scratch.keep.push(path as u32);
-                        write += 1;
-                    }
-                    None => {
-                        // Dead path: dropped from the batch by compaction.
-                    }
-                }
-            }
-
-            if write < live {
-                live = write;
-                if live == 0 {
-                    return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: col + 1 };
-                }
-                scratch.infer.compact_rows(&scratch.keep);
             }
         }
 
-        let selectivity = (scratch.weights[..live].iter().sum::<f64>() / s as f64).clamp(0.0, 1.0);
-        SampleEstimate { selectivity, dead_paths: s - live, columns_walked: last_filtered + 1 }
+        density.conditionals_into(&scratch.tuples[..live * n], n, col, &mut scratch.probs, &mut scratch.infer);
+        debug_assert_eq!(scratch.probs.shape(), (live, domain));
+
+        scratch.keep.clear();
+        let mut write = 0usize;
+        for path in 0..live {
+            let row = scratch.probs.row(path);
+            let sampled = if is_any {
+                // Unfiltered column inside the prefix: mass is 1, but we
+                // still have to sample a value for later conditionals.
+                sample_categorical(&mut rng, row).map(|id| id as u32)
+            } else {
+                // Restrict to the query range, record the in-range mass,
+                // and sample from the restricted conditional.
+                let mut mass = 0.0f64;
+                for &id in &scratch.allowed {
+                    mass += row[id as usize].max(0.0) as f64;
+                }
+                // The finiteness check mirrors sample_categorical's
+                // guard in the reference path: a non-finite conditional
+                // kills the path rather than poisoning the estimate.
+                if !mass.is_finite() || mass <= 0.0 {
+                    None
+                } else {
+                    scratch.weights[path] *= mass;
+                    sample_allowed(&mut rng, row, &scratch.allowed, mass)
+                }
+            };
+            match sampled {
+                Some(id) => {
+                    scratch.tuples[path * n + col] = id;
+                    if write != path {
+                        scratch.tuples.copy_within(path * n..(path + 1) * n, write * n);
+                        scratch.weights[write] = scratch.weights[path];
+                    }
+                    scratch.keep.push(path as u32);
+                    write += 1;
+                }
+                None => {
+                    // Dead path: dropped from the batch by compaction.
+                }
+            }
+        }
+
+        if write < live {
+            live = write;
+            if live == 0 {
+                return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: col + 1 };
+            }
+            scratch.infer.compact_rows(&scratch.keep);
+        }
     }
 
+    let selectivity = (scratch.weights[..live].iter().sum::<f64>() / s as f64).clamp(0.0, 1.0);
+    SampleEstimate { selectivity, dead_paths: s - live, columns_walked: last_filtered + 1 }
+}
+
+impl ProgressiveSampler {
     /// The pre-optimization implementation of progressive sampling, kept
     /// verbatim as the baseline: per-column allocating `conditionals`
     /// (re-encoding the batch from scratch each step), a fresh

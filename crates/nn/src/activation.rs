@@ -26,14 +26,20 @@ impl Relu {
     ///
     /// `pre_activation` must be the input that was passed to `forward`.
     pub fn backward(&self, pre_activation: &Matrix, grad_out: &Matrix) -> Matrix {
-        assert_eq!(pre_activation.shape(), grad_out.shape(), "shape mismatch in relu backward");
         let mut dx = grad_out.clone();
-        for (d, &x) in dx.data_mut().iter_mut().zip(pre_activation.data().iter()) {
+        self.backward_inplace(pre_activation, &mut dx);
+        dx
+    }
+
+    /// In-place variant of [`Relu::backward`]: zeroes the entries of `grad`
+    /// whose pre-activation was non-positive. Allocation-free.
+    pub fn backward_inplace(&self, pre_activation: &Matrix, grad: &mut Matrix) {
+        assert_eq!(pre_activation.shape(), grad.shape(), "shape mismatch in relu backward");
+        for (d, &x) in grad.data_mut().iter_mut().zip(pre_activation.data().iter()) {
             if x <= 0.0 {
                 *d = 0.0;
             }
         }
-        dx
     }
 }
 

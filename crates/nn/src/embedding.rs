@@ -104,6 +104,23 @@ impl Embedding {
         matmul(grad_logits, &self.table)
     }
 
+    /// Buffer-reusing variant of [`Embedding::backward_decode`]: writes the
+    /// feature gradient into `d_features` and uses `d_table_scratch` for the
+    /// table gradient, so the training loop stays allocation-free.
+    pub fn backward_decode_into(
+        &mut self,
+        features: &Matrix,
+        grad_logits: &Matrix,
+        d_features: &mut Matrix,
+        d_table_scratch: &mut Matrix,
+    ) {
+        assert_eq!(grad_logits.cols(), self.vocab(), "logit width mismatch");
+        assert_eq!(grad_logits.rows(), features.rows(), "batch size mismatch");
+        naru_tensor::matmul_at_b_into(grad_logits, features, d_table_scratch);
+        self.grad.add_assign(d_table_scratch);
+        naru_tensor::matmul_into(grad_logits, &self.table, d_features);
+    }
+
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.grad.fill_zero();
@@ -150,6 +167,21 @@ mod tests {
         assert_eq!(emb.grad.row(1), &[11.0, 22.0]);
         assert_eq!(emb.grad.row(4), &[100.0, 200.0]);
         assert_eq!(emb.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_decode_into_matches_allocating_path() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = Embedding::new(&mut rng, 6, 3);
+        let mut b = a.clone();
+        let features = Matrix::from_fn(4, 3, |r, c| (r as f32 * 0.4 - c as f32) * 0.2);
+        let grad_logits = Matrix::from_fn(4, 6, |r, c| ((r + c) % 4) as f32 * 0.1 - 0.15);
+        let d_ref = a.backward_decode(&features, &grad_logits);
+        let mut d_features = Matrix::zeros(0, 0);
+        let mut d_table = Matrix::full(2, 2, 3.0);
+        b.backward_decode_into(&features, &grad_logits, &mut d_features, &mut d_table);
+        assert_eq!(d_features.data(), d_ref.data());
+        assert_eq!(a.grad.data(), b.grad.data());
     }
 
     #[test]

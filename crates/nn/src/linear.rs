@@ -167,6 +167,26 @@ impl Linear {
         matmul(grad_out, &self.w)
     }
 
+    /// Buffer-reusing backward pass: like [`Linear::backward`], but writes
+    /// the input gradient into `dx` and uses `dw_scratch` for the weight
+    /// gradient, so a training loop reusing both runs this layer's backward
+    /// allocation-free at steady state.
+    pub fn backward_into(&mut self, x: &Matrix, grad_out: &Matrix, dx: &mut Matrix, dw_scratch: &mut Matrix) {
+        assert_eq!(grad_out.cols(), self.out_dim(), "grad width mismatch");
+        assert_eq!(grad_out.rows(), x.rows(), "batch size mismatch");
+        naru_tensor::matmul_at_b_into(grad_out, x, dw_scratch);
+        if let Some(mask) = &self.mask {
+            dw_scratch.hadamard_assign(mask);
+        }
+        self.grad_w.add_assign(dw_scratch);
+        for r in 0..grad_out.rows() {
+            for (gb, g) in self.grad_b.iter_mut().zip(grad_out.row(r).iter()) {
+                *gb += *g;
+            }
+        }
+        naru_tensor::matmul_into(grad_out, &self.w, dx);
+    }
+
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.grad_w.fill_zero();
@@ -324,6 +344,24 @@ mod tests {
                 assert!((v - full.get(r, 3 + j)).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn backward_into_matches_backward() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mask = Matrix::from_fn(4, 6, |r, c| if (r + c) % 3 != 0 { 1.0 } else { 0.0 });
+        let mut a = Linear::new_masked(&mut rng, 6, 4, mask.clone());
+        let mut b = a.clone();
+        let x = Matrix::from_fn(5, 6, |r, c| ((r * 3 + c) % 7) as f32 * 0.2 - 0.5);
+        let grad_out = Matrix::from_fn(5, 4, |r, c| ((r + c * 2) % 5) as f32 * 0.1 - 0.2);
+
+        let dx_ref = a.backward(&x, &grad_out);
+        let mut dx = Matrix::full(1, 1, 9.0);
+        let mut dw_scratch = Matrix::zeros(0, 0);
+        b.backward_into(&x, &grad_out, &mut dx, &mut dw_scratch);
+        assert_eq!(dx.data(), dx_ref.data());
+        assert_eq!(a.grad_w.data(), b.grad_w.data());
+        assert_eq!(a.grad_b, b.grad_b);
     }
 
     #[test]

@@ -48,6 +48,31 @@ pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> CrossEntropyResult {
     CrossEntropyResult { loss: total / batch as f64, grad_logits: grad, log_probs }
 }
 
+/// Buffer-reusing cross-entropy: writes the logit gradient into `grad`
+/// (resized in place) and returns the mean loss in nats. The training-loop
+/// counterpart of [`cross_entropy`] for callers that do not need the
+/// per-example log-probabilities and want the batch loop allocation-free.
+pub fn cross_entropy_grad_into(logits: &Matrix, targets: &[usize], grad: &mut Matrix) -> f64 {
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch in cross_entropy");
+    let batch = logits.rows().max(1);
+    let classes = logits.cols();
+    grad.resize(logits.rows(), classes);
+    let mut total = 0.0f64;
+    let scale = 1.0 / batch as f32;
+    for (r, &target) in targets.iter().enumerate() {
+        assert!(target < classes, "target {} out of range ({} classes)", target, classes);
+        let row = logits.row(r);
+        let lse = log_sum_exp(row);
+        total -= (row[target] - lse) as f64;
+        let grad_row = grad.row_mut(r);
+        for (g, &l) in grad_row.iter_mut().zip(row.iter()) {
+            *g = (l - lse).exp() * scale;
+        }
+        grad_row[target] -= scale;
+    }
+    total / batch as f64
+}
+
 /// Mean-squared-error loss used by the supervised MSCN baseline.
 ///
 /// Returns `(loss, grad_predictions)` where the gradient is with respect to
@@ -110,6 +135,18 @@ mod tests {
             let ana = res.grad_logits.data()[idx] as f64;
             assert!((num - ana).abs() < 1e-3, "idx {idx}: {num} vs {ana}");
         }
+    }
+
+    #[test]
+    fn cross_entropy_grad_into_matches_allocating_path() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let targets = [2usize, 0usize];
+        let reference = cross_entropy(&logits, &targets);
+        let mut grad = Matrix::full(5, 5, 7.0); // dirty, mis-shaped buffer
+        let loss = cross_entropy_grad_into(&logits, &targets, &mut grad);
+        assert!((loss - reference.loss).abs() < 1e-12);
+        assert_eq!(grad.shape(), reference.grad_logits.shape());
+        assert_eq!(grad.data(), reference.grad_logits.data());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Rich estimation results and typed estimation errors.
+//!
+//! The original API returned a bare `f64` selectivity and panicked (or
+//! silently produced garbage) on malformed inputs. Serving an estimator
+//! under real traffic needs more: callers want the estimated cardinality
+//! and per-query diagnostics without re-deriving them, and malformed
+//! queries must surface as values, not panics, so one bad request cannot
+//! take down a worker. [`Estimate`] and [`EstimateError`] are that
+//! contract, shared by Naru's `Engine`/`Session` API and every baseline.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The outcome of one successful selectivity estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Estimated selectivity in `[0, 1]`.
+    pub selectivity: f64,
+    /// Estimated number of matching rows (`selectivity x table rows`).
+    pub estimated_rows: f64,
+    /// Number of progressive-sampling paths still alive at the end of the
+    /// walk. `None` for closed-form estimators (histograms, independence,
+    /// KDE, ...) that do not sample.
+    pub live_paths: Option<usize>,
+    /// Wall-clock time spent producing this estimate.
+    pub wall_time: Duration,
+}
+
+impl Estimate {
+    /// An estimate from a closed-form (non-sampling) estimator.
+    pub fn closed_form(selectivity: f64, num_rows: u64, wall_time: Duration) -> Self {
+        let selectivity = selectivity.clamp(0.0, 1.0);
+        Self { selectivity, estimated_rows: selectivity * num_rows as f64, live_paths: None, wall_time }
+    }
+
+    /// An estimate from a sampling estimator, with its live-path count.
+    pub fn sampled(selectivity: f64, num_rows: u64, live_paths: usize, wall_time: Duration) -> Self {
+        Self { live_paths: Some(live_paths), ..Self::closed_form(selectivity, num_rows, wall_time) }
+    }
+
+    /// The estimated cardinality rounded to whole rows.
+    pub fn cardinality(&self) -> u64 {
+        self.estimated_rows.round().max(0.0) as u64
+    }
+}
+
+/// Why an estimation request could not be answered.
+///
+/// These are *request or estimator* defects, distinct from legitimately
+/// empty query regions (which estimate to selectivity 0, not an error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// A predicate addresses a column the estimator does not model.
+    ColumnOutOfRange {
+        /// The offending predicate's column index.
+        column: usize,
+        /// Number of columns the estimator models.
+        num_columns: usize,
+    },
+    /// The estimator models a column with an empty domain, so no tuple can
+    /// be sampled or matched through it.
+    EmptyDomain {
+        /// The degenerate column's index.
+        column: usize,
+    },
+    /// The estimator has no usable summary (empty sample, zero training
+    /// rows, ...) and would answer with noise.
+    Untrained {
+        /// Human-readable explanation of what is missing.
+        reason: String,
+    },
+}
+
+impl EstimateError {
+    /// Convenience constructor for [`EstimateError::Untrained`].
+    pub fn untrained(reason: impl Into<String>) -> Self {
+        Self::Untrained { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnOutOfRange { column, num_columns } => {
+                write!(f, "predicate column {column} out of range (estimator models {num_columns} columns)")
+            }
+            Self::EmptyDomain { column } => write!(f, "column {column} has an empty domain"),
+            Self::Untrained { reason } => write!(f, "estimator is untrained: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_clamps_and_scales() {
+        let e = Estimate::closed_form(1.5, 200, Duration::from_millis(2));
+        assert_eq!(e.selectivity, 1.0);
+        assert_eq!(e.estimated_rows, 200.0);
+        assert_eq!(e.cardinality(), 200);
+        assert_eq!(e.live_paths, None);
+    }
+
+    #[test]
+    fn sampled_records_live_paths() {
+        let e = Estimate::sampled(0.25, 1000, 42, Duration::ZERO);
+        assert_eq!(e.cardinality(), 250);
+        assert_eq!(e.live_paths, Some(42));
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = EstimateError::ColumnOutOfRange { column: 9, num_columns: 3 };
+        assert!(e.to_string().contains("column 9"));
+        assert!(e.to_string().contains("3 columns"));
+        assert!(EstimateError::EmptyDomain { column: 1 }.to_string().contains("column 1"));
+        assert!(EstimateError::untrained("no sample").to_string().contains("no sample"));
+    }
+}

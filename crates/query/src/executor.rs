@@ -7,6 +7,7 @@
 
 use naru_data::Table;
 
+use crate::estimate::EstimateError;
 use crate::query::Query;
 
 /// Number of rows of `table` satisfying `query`.
@@ -29,6 +30,14 @@ pub fn count_matches(table: &Table, query: &Query) -> u64 {
         count += 1;
     }
     count
+}
+
+/// Fallible variant of [`count_matches`]: a predicate addressing a column
+/// outside the table becomes an [`EstimateError::ColumnOutOfRange`] instead
+/// of a panic. Scan-based estimators use this to validate requests.
+pub fn try_count_matches(table: &Table, query: &Query) -> Result<u64, EstimateError> {
+    query.validate_columns(table.num_columns())?;
+    Ok(count_matches(table, query))
 }
 
 /// True selectivity of `query` against `table` (fraction of rows).

@@ -7,19 +7,23 @@
 //!   per-column [`ColumnConstraint`] representation consumed by estimators,
 //! * [`query`] — conjunctive [`Query`] plus the [`SelectivityEstimator`]
 //!   trait implemented by Naru and every baseline,
+//! * [`estimate`] — the rich [`Estimate`] result and typed
+//!   [`EstimateError`] shared by every estimator's fallible entry points,
 //! * [`executor`] — exact selectivity by scanning (ground truth),
 //! * [`workload`] — the §6.1.3 query generator (in-distribution and OOD),
 //! * [`metrics`] — the multiplicative error (q-error) and the
 //!   median/95th/99th/max reporting used by the paper's tables.
 
+pub mod estimate;
 pub mod executor;
 pub mod metrics;
 pub mod predicate;
 pub mod query;
 pub mod workload;
 
-pub use executor::{count_matches, true_selectivity};
-pub use metrics::{q_error, q_error_from_selectivity, ErrorQuantiles, SelectivityBucket};
+pub use estimate::{Estimate, EstimateError};
+pub use executor::{count_matches, true_selectivity, try_count_matches};
+pub use metrics::{q_error, q_error_from_estimate, q_error_from_selectivity, ErrorQuantiles, SelectivityBucket};
 pub use predicate::{ColumnConstraint, Op, Predicate};
 pub use query::{Query, SelectivityEstimator};
 pub use workload::{generate_query, generate_workload, split_by_bucket, LabeledQuery, LiteralSource, WorkloadConfig};

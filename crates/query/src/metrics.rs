@@ -25,6 +25,13 @@ pub fn q_error_from_selectivity(estimated: f64, actual: f64, num_rows: usize) ->
     q_error(estimated * num_rows as f64, actual * num_rows as f64)
 }
 
+/// Convenience: q-error of a rich [`Estimate`] against the true selectivity.
+///
+/// [`Estimate`]: crate::estimate::Estimate
+pub fn q_error_from_estimate(estimate: &crate::estimate::Estimate, actual: f64, num_rows: usize) -> f64 {
+    q_error_from_selectivity(estimate.selectivity, actual, num_rows)
+}
+
 /// Selectivity buckets used throughout the evaluation (§6.1.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectivityBucket {
@@ -118,6 +125,13 @@ mod tests {
     #[test]
     fn q_error_from_selectivity_scales_by_rows() {
         let e = q_error_from_selectivity(0.001, 0.01, 10_000);
+        assert!((e - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_error_from_estimate_uses_selectivity() {
+        let est = crate::estimate::Estimate::closed_form(0.001, 10_000, std::time::Duration::ZERO);
+        let e = q_error_from_estimate(&est, 0.01, 10_000);
         assert!((e - 10.0).abs() < 1e-9);
     }
 

@@ -2,6 +2,7 @@
 
 use naru_data::TableSchema;
 
+use crate::estimate::{Estimate, EstimateError};
 use crate::predicate::{ColumnConstraint, Predicate};
 
 /// A conjunction of predicates (the query class of §2.2).
@@ -51,6 +52,44 @@ impl Query {
         out
     }
 
+    /// Checks that every predicate addresses a column in `0..num_columns`,
+    /// without compiling constraints. The shared validation step behind all
+    /// fallible entry points.
+    pub fn validate_columns(&self, num_columns: usize) -> Result<(), EstimateError> {
+        match self.predicates.iter().find(|p| p.column >= num_columns) {
+            Some(p) => Err(EstimateError::ColumnOutOfRange { column: p.column, num_columns }),
+            None => Ok(()),
+        }
+    }
+
+    /// Fallible variant of [`Query::constraints`]: a predicate addressing a
+    /// column outside `0..num_columns` becomes an
+    /// [`EstimateError::ColumnOutOfRange`] instead of a panic. Estimators
+    /// use this to validate requests before touching their summaries.
+    pub fn try_constraints(&self, num_columns: usize) -> Result<Vec<ColumnConstraint>, EstimateError> {
+        self.validate_columns(num_columns)?;
+        Ok(self.constraints(num_columns))
+    }
+
+    /// Buffer-reusing variant of [`Query::try_constraints`]: compiles the
+    /// query into `out` (cleared and refilled in place) so per-session hot
+    /// paths can stay allocation-free across queries.
+    pub fn try_constraints_into(
+        &self,
+        num_columns: usize,
+        out: &mut Vec<ColumnConstraint>,
+    ) -> Result<(), EstimateError> {
+        if let Some(p) = self.predicates.iter().find(|p| p.column >= num_columns) {
+            return Err(EstimateError::ColumnOutOfRange { column: p.column, num_columns });
+        }
+        out.clear();
+        out.resize(num_columns, ColumnConstraint::Any);
+        for p in &self.predicates {
+            out[p.column] = out[p.column].intersect(&p.constraint);
+        }
+        Ok(())
+    }
+
     /// Whether an id-encoded row satisfies every predicate.
     pub fn matches_row(&self, row: &[u32]) -> bool {
         self.predicates.iter().all(|p| p.matches(row[p.column]))
@@ -85,15 +124,45 @@ impl Query {
 ///
 /// Estimators are constructed from a table (training / statistics
 /// collection) and thereafter answer queries from their own summary alone;
-/// `estimate` must not touch the original data. The returned value is a
-/// *selectivity* in `[0, 1]`; multiply by the table's row count for a
-/// cardinality.
+/// estimation must not touch the original data. The primary entry points
+/// are fallible and rich: [`try_estimate`] returns an [`Estimate`]
+/// (selectivity, estimated rows, live sample paths, wall time) or a typed
+/// [`EstimateError`], and [`try_estimate_batch`] answers many queries in
+/// one call — the default implementation runs them sequentially, so every
+/// estimator gets batching for free, while sampling estimators override it
+/// to reuse per-session scratch across the batch.
+///
+/// The trait is object-safe; experiment harnesses hold estimator line-ups
+/// as `&dyn SelectivityEstimator`.
+///
+/// [`try_estimate`]: SelectivityEstimator::try_estimate
+/// [`try_estimate_batch`]: SelectivityEstimator::try_estimate_batch
 pub trait SelectivityEstimator {
     /// Short display name used in experiment reports (e.g. `"Naru-2000"`).
     fn name(&self) -> String;
 
-    /// Estimated selectivity of the query, in `[0, 1]`.
-    fn estimate(&self, query: &Query) -> f64;
+    /// Estimates the query, returning the rich result or a typed error.
+    fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError>;
+
+    /// Estimates a batch of queries, one result per query in order.
+    ///
+    /// The default implementation calls [`try_estimate`] sequentially;
+    /// estimators with per-query setup cost (locking, scratch priming)
+    /// override it to amortize that cost across the batch.
+    ///
+    /// [`try_estimate`]: SelectivityEstimator::try_estimate
+    fn try_estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
+        queries.iter().map(|q| self.try_estimate(q)).collect()
+    }
+
+    /// Estimated selectivity of the query, in `[0, 1]`. Errors collapse to
+    /// `0.0`, which is why this shim is deprecated: use
+    /// [`try_estimate`](SelectivityEstimator::try_estimate) and handle the
+    /// error.
+    #[deprecated(since = "0.2.0", note = "use try_estimate / try_estimate_batch; errors are no longer silent")]
+    fn estimate(&self, query: &Query) -> f64 {
+        self.try_estimate(query).map_or(0.0, |e| e.selectivity)
+    }
 
     /// Size of the estimator's summary in bytes, for the storage budgets of
     /// Table 1.
@@ -153,5 +222,64 @@ mod tests {
     fn out_of_range_column_panics() {
         let q = Query::new(vec![Predicate::eq(5, 0)]);
         let _ = q.constraints(3);
+    }
+
+    #[test]
+    fn try_constraints_reports_out_of_range_column() {
+        let q = Query::new(vec![Predicate::eq(0, 1), Predicate::eq(5, 0)]);
+        assert_eq!(q.try_constraints(3), Err(EstimateError::ColumnOutOfRange { column: 5, num_columns: 3 }));
+        let ok = q.try_constraints(6).unwrap();
+        assert_eq!(ok.len(), 6);
+        assert_eq!(ok[0], ColumnConstraint::Range { lo: 1, hi: 1 });
+    }
+
+    #[test]
+    fn try_constraints_into_reuses_buffer_and_matches_allocating_path() {
+        let q = Query::new(vec![Predicate::ge(1, 3), Predicate::le(1, 7), Predicate::eq(0, 2)]);
+        let mut buf = vec![ColumnConstraint::Empty; 9]; // stale garbage
+        q.try_constraints_into(3, &mut buf).unwrap();
+        assert_eq!(buf, q.constraints(3));
+        let bad = Query::new(vec![Predicate::eq(5, 0)]);
+        assert_eq!(
+            bad.try_constraints_into(3, &mut buf),
+            Err(EstimateError::ColumnOutOfRange { column: 5, num_columns: 3 })
+        );
+    }
+
+    /// A fixed-answer estimator exercising the trait's provided methods.
+    struct Constant(f64);
+
+    impl SelectivityEstimator for Constant {
+        fn name(&self) -> String {
+            "Constant".into()
+        }
+
+        fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
+            query.try_constraints(2)?;
+            Ok(Estimate::closed_form(self.0, 100, std::time::Duration::ZERO))
+        }
+
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_batch_maps_try_estimate_per_query() {
+        let est = Constant(0.5);
+        let queries = vec![Query::all(), Query::new(vec![Predicate::eq(9, 0)]), Query::new(vec![Predicate::eq(1, 2)])];
+        let results = est.try_estimate_batch(&queries);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().selectivity, 0.5);
+        assert_eq!(results[1], Err(EstimateError::ColumnOutOfRange { column: 9, num_columns: 2 }));
+        assert_eq!(results[2].as_ref().unwrap().cardinality(), 50);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_estimate_shim_collapses_errors_to_zero() {
+        let est = Constant(0.5);
+        assert_eq!(est.estimate(&Query::all()), 0.5);
+        assert_eq!(est.estimate(&Query::new(vec![Predicate::eq(9, 0)])), 0.0);
     }
 }

@@ -46,7 +46,8 @@ fn main() {
                 .iter()
                 .map(|lq| {
                     let truth = true_selectivity(&visible, &lq.query);
-                    q_error_from_selectivity(est.estimate(&lq.query), truth, visible.num_rows())
+                    let sel = est.try_estimate(&lq.query).expect("valid query").selectivity;
+                    q_error_from_selectivity(sel, truth, visible.num_rows())
                 })
                 .fold(f64::MIN, f64::max)
         };

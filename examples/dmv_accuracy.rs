@@ -29,13 +29,18 @@ fn main() {
 
     let estimators: Vec<&dyn SelectivityEstimator> = vec![&indep, &postgres, &sample, &naru];
     println!("\n{:<14} {:>10} {:>10} {:>10}", "estimator", "high max", "medium max", "low max");
+    let queries: Vec<naru::query::Query> = workload.iter().map(|lq| lq.query.clone()).collect();
     for est in estimators {
+        // One batched call per estimator; results align with the workload.
+        let sels: Vec<f64> =
+            est.try_estimate_batch(&queries).into_iter().map(|r| r.expect("valid query").selectivity).collect();
         let mut cells = vec![format!("{:<14}", est.name())];
         for bucket in SelectivityBucket::ALL {
             let errs: Vec<f64> = workload
                 .iter()
-                .filter(|lq| lq.bucket() == bucket)
-                .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, table.num_rows()))
+                .zip(&sels)
+                .filter(|(lq, _)| lq.bucket() == bucket)
+                .map(|(lq, &sel)| q_error_from_selectivity(sel, lq.selectivity, table.num_rows()))
                 .collect();
             let cell = match ErrorQuantiles::from_errors(&errs) {
                 Some(q) => format!("{:>10.1}", q.max),

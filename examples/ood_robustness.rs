@@ -34,7 +34,10 @@ fn main() {
     for est in [&mscn as &dyn SelectivityEstimator, &sample, &naru] {
         let errs: Vec<f64> = ood
             .iter()
-            .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, table.num_rows()))
+            .map(|lq| {
+                let sel = est.try_estimate(&lq.query).expect("valid query").selectivity;
+                q_error_from_selectivity(sel, lq.selectivity, table.num_rows())
+            })
             .collect();
         let q = ErrorQuantiles::from_errors(&errs).unwrap();
         println!("{:<14} {:>8.2} {:>8.1} {:>8.1}", est.name(), q.median, q.p99, q.max);

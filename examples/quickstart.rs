@@ -41,24 +41,52 @@ fn main() {
         Predicate::le(6, 1000), // valid_date <= id 1000
         Predicate::ge(7, 5),    // color >= id 5
     ]);
-    let estimate = naru.estimate(&query);
+    let estimate = naru.try_estimate(&query).expect("valid query");
     let truth = naru::query::true_selectivity(&table, &query);
     println!(
-        "\nquery P(record_type=0, valid_date<=1000, color>=5):\n  estimate {:.5}  truth {:.5}  q-error {:.2}",
-        estimate,
+        "\nquery P(record_type=0, valid_date<=1000, color>=5):\n  estimate {:.5} (~{} rows, {} live paths, {:.2?})  truth {:.5}  q-error {:.2}",
+        estimate.selectivity,
+        estimate.cardinality(),
+        estimate.live_paths.unwrap_or(0),
+        estimate.wall_time,
         truth,
-        q_error_from_selectivity(estimate, truth, table.num_rows())
+        q_error_from_selectivity(estimate.selectivity, truth, table.num_rows())
     );
 
-    // 4. Compare against the independence assumption on a small workload.
+    // 4. Compare against the independence assumption on a small workload,
+    //    answering each estimator's queries in one batched call.
     let mut rng = StdRng::seed_from_u64(7);
     let workload = generate_workload(&table, &WorkloadConfig::default(), 25, &mut rng);
+    let queries: Vec<Query> = workload.iter().map(|lq| lq.query.clone()).collect();
     let indep = IndepEstimator::build(&table);
     for (name, est) in [("Naru", &naru as &dyn SelectivityEstimator), ("Indep", &indep)] {
-        let max_err = workload
+        let max_err = est
+            .try_estimate_batch(&queries)
             .iter()
-            .map(|lq| q_error_from_selectivity(est.estimate(&lq.query), lq.selectivity, table.num_rows()))
+            .zip(&workload)
+            .map(|(r, lq)| {
+                let sel = r.as_ref().expect("valid query").selectivity;
+                q_error_from_selectivity(sel, lq.selectivity, table.num_rows())
+            })
             .fold(f64::MIN, f64::max);
         println!("  {name:<6} worst-case q-error over 25 queries: {max_err:.1}");
     }
+
+    // 5. Serving mode: one shared Engine, one Session per worker thread.
+    let engine = naru.into_engine();
+    let reference: Vec<f64> =
+        engine.session().estimate_batch(&queries).into_iter().map(|r| r.unwrap().selectivity).collect();
+    std::thread::scope(|scope| {
+        for worker in 0..2 {
+            let engine = engine.clone();
+            let queries = queries.clone();
+            let reference = reference.clone();
+            scope.spawn(move || {
+                let got: Vec<f64> =
+                    engine.session().estimate_batch(&queries).into_iter().map(|r| r.unwrap().selectivity).collect();
+                assert_eq!(got, reference);
+                println!("  worker {worker}: {} estimates, bit-identical to the reference", got.len());
+            });
+        }
+    });
 }

@@ -12,12 +12,29 @@
 //!   masks, embeddings, Adam),
 //! * [`data`] — columnar tables, dictionary encoding, synthetic datasets,
 //! * [`query`] — predicates, workload generation, q-error metrics, the
-//!   [`query::SelectivityEstimator`] trait,
+//!   [`query::SelectivityEstimator`] trait plus the [`query::Estimate`] /
+//!   [`query::EstimateError`] result types,
 //! * [`baselines`] — the estimators the paper compares against,
-//! * [`core`] — Naru itself: autoregressive density models, training, and
-//!   progressive sampling.
+//! * [`core`] — Naru itself: autoregressive density models, training,
+//!   progressive sampling, and the serving-oriented [`core::Engine`] /
+//!   [`core::Session`] API.
 //!
-//! ## Quickstart
+//! ## The Engine/Session estimation API
+//!
+//! Estimation is split into two halves:
+//!
+//! * an **[`Engine`](core::Engine)** owns the immutable trained artifact
+//!   (behind an `Arc`, so it is `Clone + Send + Sync` and cheap to hand to
+//!   every worker thread);
+//! * a **[`Session`](core::Session)** owns all mutable scratch — sampler
+//!   buffers, RNG seed, per-call sample-count knob — so steady-state
+//!   estimation is allocation-free and never takes a lock.
+//!
+//! Estimates are **fallible and rich**: you get an
+//! [`Estimate`](query::Estimate) (selectivity, estimated rows, live sample
+//! paths, wall time) or a typed [`EstimateError`](query::EstimateError)
+//! (out-of-range column, empty domain, untrained estimator) instead of a
+//! bare `f64` that silently collapses failures to `0.0`.
 //!
 //! ```no_run
 //! use naru::prelude::*;
@@ -26,14 +43,45 @@
 //! let table = naru::data::synthetic::dmv_like(10_000, 42);
 //!
 //! // 2. Train a Naru estimator on it (unsupervised: it only reads tuples).
-//! let config = NaruConfig::small();
-//! let (model, _report) = NaruEstimator::train(&table, &config);
+//! let config = NaruConfig::builder().epochs(4).num_samples(1000).build();
+//! let (estimator, _report) = NaruEstimator::train(&table, &config);
 //!
-//! // 3. Ask for a selectivity.
+//! // 3. Single-shot estimation through the shared trait:
 //! let query = Query::new(vec![Predicate::eq(0, 1), Predicate::le(6, 500)]);
-//! let estimate = model.estimate(&query);
-//! println!("estimated selectivity: {estimate}");
+//! let estimate = estimator.try_estimate(&query).expect("valid query");
+//! println!("selectivity {:.5} (~{} rows, {} live paths, {:?})",
+//!     estimate.selectivity, estimate.cardinality(),
+//!     estimate.live_paths.unwrap_or(0), estimate.wall_time);
+//!
+//! // 4. Serving: share one Engine, give each thread its own Session.
+//! let engine = estimator.into_engine();
+//! let queries = vec![query.clone(), Query::all()];
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let engine = engine.clone();
+//!         let queries = queries.clone();
+//!         scope.spawn(move || {
+//!             let mut session = engine.session();
+//!             let results = session.estimate_batch(&queries);
+//!             assert!(results.iter().all(|r| r.is_ok()));
+//!         });
+//!     }
+//! });
 //! ```
+//!
+//! ## Migrating from the 0.1 single-shot API
+//!
+//! The bare-`f64` entry points still exist as deprecated shims (errors
+//! collapse to `0.0`) and will be removed next release:
+//!
+//! | Old call | New call |
+//! |---|---|
+//! | `est.estimate(&q)` → `f64` | `est.try_estimate(&q)?` → [`Estimate`](query::Estimate) |
+//! | loop over `est.estimate(..)` | `est.try_estimate_batch(&queries)` |
+//! | `est.estimate_with_samples(&q, s)` | `est.try_estimate_with_samples(&q, s)?`, or a `Session` + `estimate_with_samples` |
+//! | `est.set_num_samples(s)` (rebuilt sampler) | same call — now a pure knob, or `session.set_num_samples(s)` |
+//! | `NaruEstimator::from_model(model, s)` | `NaruEstimator::from_model(model, s, num_rows)` |
+//! | share `&NaruEstimator` across threads (lock-serialized) | `est.into_engine()`, one `engine.session()` per thread |
 
 pub use naru_baselines as baselines;
 pub use naru_core as core;
@@ -44,7 +92,7 @@ pub use naru_tensor as tensor;
 
 /// Commonly used types, importable with `use naru::prelude::*`.
 pub mod prelude {
-    pub use naru_core::{NaruConfig, NaruEstimator};
+    pub use naru_core::{Engine, NaruConfig, NaruEstimator, Session};
     pub use naru_data::{Column, Table, Value};
-    pub use naru_query::{Predicate, Query, SelectivityEstimator};
+    pub use naru_query::{Estimate, EstimateError, Predicate, Query, SelectivityEstimator};
 }

@@ -1,0 +1,139 @@
+//! Integration tests for the Engine/Session estimation API: multi-threaded
+//! parity, batch-vs-sequential parity across estimator families, and the
+//! typed error paths.
+
+use naru::baselines::{IndepEstimator, KdeEstimator, PostgresEstimator, SampleEstimator};
+use naru::core::{Engine, IndependentDensity, NaruConfig, NaruEstimator, OracleDensity};
+use naru::data::synthetic::{correlated_pair, dmv_like};
+use naru::query::{generate_workload, EstimateError, Predicate, Query, SelectivityEstimator, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload_queries(table: &naru::data::Table, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_workload(table, &WorkloadConfig::default(), n, &mut rng).into_iter().map(|lq| lq.query).collect()
+}
+
+/// The acceptance-criterion test: one `Engine` shared across four
+/// `std::thread::scope` sessions, every thread's selectivities matching the
+/// single-threaded reference bit-for-bit.
+#[test]
+fn one_engine_four_sessions_match_single_threaded_reference_bitwise() {
+    let table = dmv_like(1500, 3);
+    let (estimator, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(200));
+    let queries = workload_queries(&table, 12, 11);
+
+    // Single-threaded reference through one session.
+    let engine = estimator.into_engine();
+    let reference: Vec<f64> =
+        engine.session().estimate_batch(&queries).into_iter().map(|r| r.expect("valid query").selectivity).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..4 {
+            let engine = engine.clone();
+            let queries = queries.clone();
+            handles.push(scope.spawn(move || {
+                let mut session = engine.session();
+                let got: Vec<f64> =
+                    session.estimate_batch(&queries).into_iter().map(|r| r.expect("valid query").selectivity).collect();
+                (worker, got)
+            }));
+        }
+        for handle in handles {
+            let (worker, got) = handle.join().expect("worker panicked");
+            // Bit-for-bit equality, not approximate.
+            assert_eq!(got, reference, "worker {worker} diverged from the single-threaded reference");
+        }
+    });
+}
+
+/// Batch parity for Naru: `try_estimate_batch` must equal per-query
+/// `try_estimate` exactly.
+#[test]
+fn naru_batch_matches_sequential_exactly() {
+    let table = correlated_pair(1200, 8, 0.9, 5);
+    let (estimator, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(150));
+    let queries = workload_queries(&table, 10, 21);
+    let batch = estimator.try_estimate_batch(&queries);
+    assert_eq!(batch.len(), queries.len());
+    for (q, b) in queries.iter().zip(&batch) {
+        let single = estimator.try_estimate(q).expect("valid query");
+        let batched = b.as_ref().expect("valid query");
+        assert_eq!(single.selectivity, batched.selectivity);
+        assert_eq!(single.live_paths, batched.live_paths);
+        assert_eq!(single.estimated_rows, batched.estimated_rows);
+    }
+}
+
+/// Batch parity for two closed-form baselines through the trait's default
+/// batch implementation.
+#[test]
+fn baseline_batch_matches_sequential_exactly() {
+    let table = dmv_like(2500, 9);
+    let queries = workload_queries(&table, 15, 31);
+    let indep = IndepEstimator::build(&table);
+    let postgres = PostgresEstimator::build(&table, &Default::default());
+    for est in [&indep as &dyn SelectivityEstimator, &postgres] {
+        let batch = est.try_estimate_batch(&queries);
+        for (q, b) in queries.iter().zip(&batch) {
+            let single = est.try_estimate(q).expect("valid query");
+            let batched = b.as_ref().expect("valid query");
+            assert_eq!(single.selectivity, batched.selectivity, "{} diverged", est.name());
+            assert_eq!(single.estimated_rows, batched.estimated_rows);
+        }
+    }
+}
+
+/// A mixed batch reports per-query errors without poisoning its neighbours.
+#[test]
+fn batch_reports_errors_per_query() {
+    let table = dmv_like(800, 1);
+    let indep = IndepEstimator::build(&table);
+    let n = table.num_columns();
+    let queries = vec![Query::all(), Query::new(vec![Predicate::eq(n + 3, 0)]), Query::new(vec![Predicate::eq(0, 0)])];
+    let results = indep.try_estimate_batch(&queries);
+    assert!(results[0].is_ok());
+    assert_eq!(results[1], Err(EstimateError::ColumnOutOfRange { column: n + 3, num_columns: n }));
+    assert!(results[2].is_ok());
+}
+
+/// Every `EstimateError` variant is reachable through a public entry point.
+#[test]
+fn each_error_variant_surfaces() {
+    // ColumnOutOfRange: a predicate past the schema, through Naru itself.
+    let table = correlated_pair(300, 4, 0.8, 7);
+    let (naru, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(50));
+    let err = naru.try_estimate(&Query::new(vec![Predicate::eq(9, 0)])).unwrap_err();
+    assert_eq!(err, EstimateError::ColumnOutOfRange { column: 9, num_columns: 2 });
+    assert!(err.to_string().contains("column 9"));
+
+    // EmptyDomain: a degenerate density behind an Engine.
+    let engine = Engine::new(IndependentDensity::new(vec![vec![1.0], vec![]]), 5);
+    let err = engine.session().estimate(&Query::all()).unwrap_err();
+    assert_eq!(err, EstimateError::EmptyDomain { column: 1 });
+    assert!(err.to_string().contains("empty domain"));
+
+    // Untrained: an empty materialized sample and an empty KDE.
+    let err = SampleEstimator::build_with_rows(&table, 0, 1).try_estimate(&Query::all()).unwrap_err();
+    assert!(matches!(err, EstimateError::Untrained { .. }), "got {err:?}");
+    let empty = naru::data::Table::new("empty", vec![naru::data::Column::from_ids("a", vec![], 3)]);
+    let err = KdeEstimator::build(&empty, 10, 0).try_estimate(&Query::all()).unwrap_err();
+    assert!(matches!(err, EstimateError::Untrained { .. }), "got {err:?}");
+}
+
+/// The trait is object-safe, including its provided batch method, and the
+/// oracle path works through an `Engine` (it is `Send + Sync`).
+#[test]
+fn trait_objects_and_oracle_engines_work() {
+    let table = correlated_pair(900, 6, 0.85, 13);
+    let boxed: Box<dyn SelectivityEstimator> = Box::new(IndepEstimator::build(&table));
+    let q = Query::new(vec![Predicate::le(0, 2)]);
+    assert!(boxed.try_estimate(&q).is_ok());
+    assert_eq!(boxed.try_estimate_batch(std::slice::from_ref(&q)).len(), 1);
+
+    let engine = Engine::new(OracleDensity::new(&table), table.num_rows() as u64).with_samples(300);
+    let truth = naru::query::true_selectivity(&table, &q);
+    let est = engine.session().estimate(&q).expect("valid query");
+    assert!(naru::query::q_error_from_estimate(&est, truth, table.num_rows()) < 1.5);
+}

@@ -12,7 +12,12 @@ fn train_and_estimate_on_tiny_table() {
     assert!(final_epoch.eval_nll_bits.is_finite(), "training NLL must be finite");
 
     let query = Query::new(vec![Predicate::eq(0, 1)]);
-    let estimate = model.estimate(&query);
-    assert!(estimate.is_finite(), "estimate must be finite, got {estimate}");
-    assert!((0.0..=1.0).contains(&estimate), "estimate must be a selectivity in [0, 1], got {estimate}");
+    let estimate = model.try_estimate(&query).expect("valid query");
+    assert!(estimate.selectivity.is_finite(), "estimate must be finite, got {}", estimate.selectivity);
+    assert!(
+        (0.0..=1.0).contains(&estimate.selectivity),
+        "estimate must be a selectivity in [0, 1], got {}",
+        estimate.selectivity
+    );
+    assert!(estimate.estimated_rows <= 400.0);
 }
