@@ -10,8 +10,10 @@
 //! per workload, so samplers amortize their per-query setup, and the
 //! per-query latency comes from each [`Estimate`]'s own
 //! `wall_time` measurement. A query an estimator rejects (it should not
-//! happen for generated workloads) scores as selectivity 0 — the same
-//! pessimistic collapse the deprecated infallible API used.
+//! happen for generated workloads) scores as selectivity 0 — the
+//! pessimistic collapse the removed pre-0.2 infallible API applied to
+//! every error, kept here so rejected queries drag accuracy down instead
+//! of silently vanishing from the tables.
 //!
 //! [`Estimate`]: naru_query::Estimate
 

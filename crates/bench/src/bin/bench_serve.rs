@@ -1,0 +1,233 @@
+//! Serving-throughput benchmark: trains a MADE model, wraps it in the
+//! `naru-serve` worker pool, and drives a closed-loop client fleet against
+//! 1/2/4-worker configurations, writing `BENCH_serve.json`:
+//!
+//! * **single_session_batched** — the PR 4 reference point: one `Session`
+//!   answering the whole request stream through one `estimate_batch` call
+//!   (the `batched` mode of `BENCH_infer.json`, re-measured on the same
+//!   hardware and workload so the serve numbers are directly comparable);
+//! * **serve\[\]** — per worker count, two measured phases:
+//!   * *throughput* (open-loop burst): every request submitted up front,
+//!     so workers drain full micro-batches back to back — the sustained
+//!     queries/sec the pool can serve;
+//!   * *latency* (closed-loop): a small client fleet keeps one request in
+//!     flight each, yielding the p50/p95 *queue-wait* (submission → worker
+//!     dequeue, from [`ServeStats`]) and p50/p95 *end-to-end* latency
+//!     (submission → response at the client) of an interactive workload.
+//!
+//! Every served selectivity is asserted bit-identical to the
+//! single-session reference — the pool must never trade correctness for
+//! throughput.
+//!
+//! ```text
+//! cargo run --release -p naru-bench --bin bench_serve            # default scale
+//! cargo run --release -p naru-bench --bin bench_serve -- --smoke # CI-sized
+//! cargo run --release -p naru-bench --bin bench_serve -- --out path.json
+//! ```
+//!
+//! [`ServeStats`]: naru_serve::ServeStats
+
+use std::time::Instant;
+
+use naru_bench::latency::latency_quantiles_json;
+use naru_core::{NaruConfig, NaruEstimator};
+use naru_data::synthetic::dmv_like;
+use naru_query::{generate_workload, Query, WorkloadConfig};
+use naru_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct BenchScale {
+    rows: usize,
+    requests: usize,
+    num_samples: usize,
+    epochs: usize,
+    label: &'static str,
+}
+
+const DEFAULT: BenchScale = BenchScale { rows: 5000, requests: 192, num_samples: 600, epochs: 3, label: "default" };
+const SMOKE: BenchScale = BenchScale { rows: 600, requests: 24, num_samples: 100, epochs: 1, label: "smoke" };
+
+/// Worker counts measured per run (the acceptance sweep).
+const WORKER_COUNTS: &[usize] = &[1, 2, 4];
+
+/// One measured serving configuration.
+struct ServeRun {
+    workers: usize,
+    clients: usize,
+    /// Open-loop burst throughput (all requests queued up front).
+    queries_per_sec: f64,
+    /// Closed-loop throughput (one request in flight per client).
+    closed_loop_queries_per_sec: f64,
+    /// Closed-loop per-request queue waits (ms).
+    queue_wait_ms: Vec<f64>,
+    /// Closed-loop per-request end-to-end latencies (ms).
+    e2e_ms: Vec<f64>,
+    /// Micro-batches executed across both phases.
+    batches: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = DEFAULT;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => scale = SMOKE,
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            other => {
+                eprintln!("unknown argument {other}; supported: --smoke, --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "bench_serve [{}]: {} rows, {} requests, {} sample paths, {} training epochs",
+        scale.label, scale.rows, scale.requests, scale.num_samples, scale.epochs
+    );
+
+    let table = dmv_like(scale.rows, 42);
+    let n = table.num_columns();
+    let mut config = NaruConfig::small().with_samples(scale.num_samples);
+    config.train.epochs = scale.epochs;
+    config.train.compute_data_entropy = false;
+    config.train.eval_tuples = 0;
+    let train_start = Instant::now();
+    let (estimator, _) = NaruEstimator::train(&table, &config);
+    let model_params = estimator.model().param_count();
+    println!("trained MADE ({} params) in {:.1}s", model_params, train_start.elapsed().as_secs_f64());
+    let engine = estimator.into_engine();
+
+    // The request stream: a generated workload, cycled up to the request
+    // budget so the queue actually fills.
+    let mut rng = StdRng::seed_from_u64(7);
+    let workload = generate_workload(&table, &WorkloadConfig::default(), scale.requests.min(64), &mut rng);
+    let requests: Vec<Query> = (0..scale.requests).map(|i| workload[i % workload.len()].query.clone()).collect();
+
+    // Reference: one session, one estimate_batch call over the whole
+    // stream — the `batched` mode of BENCH_infer.json on this hardware.
+    let mut session = engine.session();
+    let _ = session.estimate(&requests[0]); // warm the scratch, like bench_infer
+    let batch_start = Instant::now();
+    let batch_results = session.estimate_batch(&requests);
+    let batch_secs = batch_start.elapsed().as_secs_f64();
+    let reference: Vec<f64> =
+        batch_results.iter().map(|r| r.as_ref().expect("generated workload queries are valid").selectivity).collect();
+    let single_session_qps = scale.requests as f64 / batch_secs;
+    println!("single-session batched reference: {single_session_qps:.1} queries/sec");
+
+    let mut runs: Vec<ServeRun> = Vec::new();
+    for &workers in WORKER_COUNTS {
+        let clients = (workers * 2).min(8);
+        let server = Server::start(
+            engine.clone(),
+            ServeConfig::default().with_workers(workers).with_queue_capacity(scale.requests.max(64)).with_max_batch(16),
+        );
+
+        // Phase 1 — throughput, open-loop burst: queue the whole stream up
+        // front so workers drain full micro-batches back to back, then
+        // collect every response. This is the pool's sustained rate, with
+        // no client round-trip idle on the critical path.
+        let burst_start = Instant::now();
+        let tickets: Vec<_> =
+            requests.iter().map(|q| server.submit(q.clone()).expect("queue sized for burst")).collect();
+        let selectivities: Vec<f64> =
+            tickets.into_iter().map(|t| t.wait().expect("valid request").estimate.selectivity).collect();
+        let burst_secs = burst_start.elapsed().as_secs_f64();
+        assert_eq!(selectivities, reference, "served estimates must match the single-session reference bit-for-bit");
+
+        // Phase 2 — latency, closed-loop: each client keeps one request in
+        // flight (submit, wait, repeat), measuring what an interactive
+        // caller observes.
+        let mut queue_wait_ms = vec![0.0f64; scale.requests];
+        let mut e2e_ms = vec![0.0f64; scale.requests];
+        let closed_start = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let server = &server;
+                    let requests = &requests;
+                    scope.spawn(move || {
+                        let mut measured = Vec::new();
+                        let mut i = c;
+                        while i < requests.len() {
+                            let submitted = Instant::now();
+                            let served = server.estimate(&requests[i]).expect("valid request");
+                            let e2e = submitted.elapsed().as_secs_f64() * 1000.0;
+                            let wait = served.stats.queue_wait.as_secs_f64() * 1000.0;
+                            measured.push((i, wait, e2e));
+                            i += clients;
+                        }
+                        measured
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, wait, e2e) in handle.join().expect("client thread panicked") {
+                    queue_wait_ms[i] = wait;
+                    e2e_ms[i] = e2e;
+                }
+            }
+        });
+        let closed_secs = closed_start.elapsed().as_secs_f64();
+        let metrics = server.shutdown();
+        assert_eq!(metrics.served, 2 * scale.requests as u64, "every request in both phases must be served");
+
+        let run = ServeRun {
+            workers,
+            clients,
+            queries_per_sec: scale.requests as f64 / burst_secs,
+            closed_loop_queries_per_sec: scale.requests as f64 / closed_secs,
+            queue_wait_ms,
+            e2e_ms,
+            batches: metrics.batches,
+        };
+        println!(
+            "{} worker(s): burst {:.1} queries/sec, closed-loop {:.1} queries/sec ({} clients, {} micro-batches)",
+            run.workers, run.queries_per_sec, run.closed_loop_queries_per_sec, run.clients, run.batches
+        );
+        runs.push(run);
+    }
+
+    let best = runs.iter().map(|r| r.queries_per_sec).fold(0.0f64, f64::max);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", scale.label));
+    out.push_str(&format!("  \"table_rows\": {},\n", scale.rows));
+    out.push_str(&format!("  \"columns\": {n},\n"));
+    out.push_str(&format!("  \"requests\": {},\n", scale.requests));
+    out.push_str(&format!("  \"num_samples\": {},\n", scale.num_samples));
+    out.push_str(&format!("  \"model_params\": {model_params},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)));
+    out.push_str(&format!("  \"single_session_batched\": {{\"queries_per_sec\": {single_session_qps:.2}}},\n"));
+    out.push_str("  \"serve\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"clients\": {}, \"queries_per_sec\": {:.2}, \"closed_loop_queries_per_sec\": {:.2}, \"batches\": {}, \"queue_wait\": {}, \"e2e\": {}}}{}\n",
+            run.workers,
+            run.clients,
+            run.queries_per_sec,
+            run.closed_loop_queries_per_sec,
+            run.batches,
+            latency_quantiles_json(&run.queue_wait_ms),
+            latency_quantiles_json(&run.e2e_ms),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"best_queries_per_sec\": {best:.2},\n"));
+    out.push_str(&format!(
+        "  \"best_vs_single_session_batched\": {:.3}\n",
+        if single_session_qps > 0.0 { best / single_session_qps } else { f64::INFINITY }
+    ));
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).expect("write BENCH_serve.json");
+
+    println!(
+        "\nbest serve throughput: {:.1} queries/sec ({:.3}x single-session batched)",
+        best,
+        best / single_session_qps
+    );
+    println!("wrote {out_path}");
+}

@@ -68,6 +68,22 @@ impl LatencyStats {
     }
 }
 
+/// Quantile summary of a latency sample (milliseconds) as a JSON object —
+/// the per-phase building block of `BENCH_serve.json`, where the
+/// samples-per-second normalization of [`LatencyStats`] does not apply
+/// (queue waits are not progressive-sampling work).
+pub fn latency_quantiles_json(latencies_ms: &[f64]) -> String {
+    assert!(!latencies_ms.is_empty(), "no latencies recorded");
+    let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
+    format!(
+        "{{\"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"max_ms\": {:.4}, \"mean_ms\": {:.4}}}",
+        percentile(latencies_ms, 50.0),
+        percentile(latencies_ms, 95.0),
+        percentile(latencies_ms, 100.0),
+        mean
+    )
+}
+
 /// Times `estimate` over the workload, returning per-query latencies in
 /// milliseconds plus the sum of estimates (kept as an optimization barrier
 /// and as a sanity check that both measured paths agree).

@@ -235,13 +235,6 @@ impl NaruEstimator {
         )
     }
 
-    /// Estimates a query with an explicit sample count (selectivity only;
-    /// errors collapse to `0.0`).
-    #[deprecated(since = "0.2.0", note = "use try_estimate_with_samples, or a Session for per-call knobs")]
-    pub fn estimate_with_samples(&self, query: &Query, num_samples: usize) -> f64 {
-        self.try_estimate_with_samples(query, num_samples).map_or(0.0, |e| e.selectivity)
-    }
-
     /// Converts the estimator into a shareable [`Engine`] (consuming it;
     /// the model moves into an `Arc`). The engine inherits the estimator's
     /// sample count and seed as session defaults.

@@ -155,15 +155,6 @@ pub trait SelectivityEstimator {
         queries.iter().map(|q| self.try_estimate(q)).collect()
     }
 
-    /// Estimated selectivity of the query, in `[0, 1]`. Errors collapse to
-    /// `0.0`, which is why this shim is deprecated: use
-    /// [`try_estimate`](SelectivityEstimator::try_estimate) and handle the
-    /// error.
-    #[deprecated(since = "0.2.0", note = "use try_estimate / try_estimate_batch; errors are no longer silent")]
-    fn estimate(&self, query: &Query) -> f64 {
-        self.try_estimate(query).map_or(0.0, |e| e.selectivity)
-    }
-
     /// Size of the estimator's summary in bytes, for the storage budgets of
     /// Table 1.
     fn size_bytes(&self) -> usize;
@@ -273,13 +264,5 @@ mod tests {
         assert_eq!(results[0].as_ref().unwrap().selectivity, 0.5);
         assert_eq!(results[1], Err(EstimateError::ColumnOutOfRange { column: 9, num_columns: 2 }));
         assert_eq!(results[2].as_ref().unwrap().cardinality(), 50);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_estimate_shim_collapses_errors_to_zero() {
-        let est = Constant(0.5);
-        assert_eq!(est.estimate(&Query::all()), 0.5);
-        assert_eq!(est.estimate(&Query::new(vec![Predicate::eq(9, 0)])), 0.0);
     }
 }

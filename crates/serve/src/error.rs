@@ -1,0 +1,85 @@
+//! Typed serving failures.
+
+use std::fmt;
+
+use naru_query::EstimateError;
+
+/// Why the serving layer could not answer a request.
+///
+/// The first three variants are *server* conditions — the request never ran
+/// (or its worker died). [`ServeError::Estimate`] means the request was
+/// accepted, scheduled, and executed, but the estimator itself rejected the
+/// query; the inner [`EstimateError`] carries the per-query diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the request: the bounded queue is at
+    /// capacity. Back off and retry, or use the blocking
+    /// [`Server::submit`](crate::Server::submit).
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    /// Already-accepted requests still drain to completion.
+    ShuttingDown,
+    /// The worker that owned the request terminated before responding.
+    /// The request's outcome is unknown.
+    WorkerLost,
+    /// The estimator panicked while executing this request. The panic is
+    /// contained: the worker survives and keeps serving other requests.
+    Panicked,
+    /// The request executed but the estimator rejected the query.
+    Estimate(EstimateError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { capacity } => {
+                write!(f, "server overloaded: request queue at capacity ({capacity})")
+            }
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::WorkerLost => write!(f, "worker terminated before responding"),
+            Self::Panicked => write!(f, "estimator panicked while executing the request"),
+            Self::Estimate(err) => write!(f, "estimation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Estimate(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<EstimateError> for ServeError {
+    fn from(err: EstimateError) -> Self {
+        Self::Estimate(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        assert!(ServeError::Overloaded { capacity: 64 }.to_string().contains("64"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(ServeError::WorkerLost.to_string().contains("worker"));
+        assert!(ServeError::Panicked.to_string().contains("panicked"));
+        let wrapped = ServeError::from(EstimateError::ColumnOutOfRange { column: 7, num_columns: 3 });
+        assert!(wrapped.to_string().contains("column 7"));
+    }
+
+    #[test]
+    fn estimate_errors_expose_their_source() {
+        use std::error::Error;
+        let wrapped = ServeError::from(EstimateError::EmptyDomain { column: 1 });
+        assert!(wrapped.source().is_some());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! # naru-serve
+//!
+//! The serving layer: turns the lock-free
+//! [`Engine`](naru_core::Engine)/[`Session`](naru_core::Session) estimation
+//! substrate into an actual request-scheduling service.
+//!
+//! A [`Server`] owns one shared `Engine` and a pool of worker threads, each
+//! holding its own `Session`. Clients submit [`Query`](naru_query::Query)s
+//! from any thread:
+//!
+//! * **admission control** — the request queue is bounded; [`Server::try_submit`]
+//!   rejects with [`ServeError::Overloaded`] when it is full (shed load at
+//!   the edge), while [`Server::submit`] blocks until space frees up
+//!   (backpressure);
+//! * **micro-batching** — a worker opportunistically drains up to
+//!   [`ServeConfig::max_batch`] queued requests and answers them through a
+//!   single `Session::estimate_batch` call, amortizing per-wakeup overhead
+//!   under load without adding latency when the queue is shallow;
+//! * **rich responses** — every answered request carries the full
+//!   [`Estimate`](naru_query::Estimate) plus [`ServeStats`] (queue wait,
+//!   execution time, worker id, batch size), and failures are typed
+//!   [`ServeError`]s — an overload, a shutdown, or a per-query
+//!   [`EstimateError`](naru_query::EstimateError) — never a panic or a
+//!   silent drop. Even a *panicking* density is contained: the worker
+//!   catches it, answers the poisoning request with
+//!   [`ServeError::Panicked`], and keeps serving everything else;
+//! * **graceful shutdown** — [`Server::shutdown`] (or dropping the server)
+//!   stops admission, drains every accepted request to completion, and
+//!   joins the workers: no accepted request is ever lost.
+//!
+//! Estimates are deterministic: sessions re-seed per query, so a served
+//! answer is bit-for-bit identical to a direct sequential `Session` call
+//! with the same engine knobs, regardless of worker count, scheduling
+//! order, or batch boundaries.
+//!
+//! ```
+//! use naru_core::{Engine, IndependentDensity};
+//! use naru_query::{Predicate, Query};
+//! use naru_serve::{ServeConfig, Server};
+//!
+//! // Any trained artifact works; a closed-form density keeps the example fast.
+//! let engine = Engine::new(IndependentDensity::uniform(&[8, 8]), 10_000).with_samples(64);
+//! let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(4));
+//!
+//! let ticket = server.try_submit(Query::new(vec![Predicate::le(0, 3)])).unwrap();
+//! let served = ticket.wait().unwrap();
+//! assert!(served.estimate.selectivity > 0.0);
+//! println!("~{} rows, waited {:?} in queue on worker {}",
+//!     served.estimate.cardinality(), served.stats.queue_wait, served.stats.worker);
+//!
+//! let metrics = server.shutdown();
+//! assert_eq!(metrics.served, 1);
+//! ```
+
+pub mod error;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use error::ServeError;
+pub use queue::{BoundedQueue, TryPushError};
+pub use server::{ServeConfig, ServedEstimate, Server, Ticket};
+pub use stats::{MetricsSnapshot, ServeStats};

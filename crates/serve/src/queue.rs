@@ -1,0 +1,236 @@
+//! A bounded MPMC queue with admission control and drain-on-close.
+//!
+//! The serving layer's scheduling core: submitters push from any thread
+//! (either rejecting when full — admission control — or blocking until
+//! space frees up), workers pop *batches* so one dequeue can feed an entire
+//! `estimate_batch` call, and closing the queue wakes everyone while still
+//! letting workers drain the accepted backlog — the property behind the
+//! server's graceful, no-request-lost shutdown.
+//!
+//! Implemented with a `Mutex<VecDeque>` plus two condition variables
+//! (`not_empty` for workers, `not_full` for blocked submitters). The
+//! workspace is dependency-free, so no crossbeam; the queue is short and
+//! the critical sections are a few pointer moves, which is plenty for
+//! millisecond-scale estimation work items.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push was refused. The item is handed back so the
+/// caller can report it (or retry) without cloning.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue is closed to new items.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Items ever successfully pushed, counted inside the critical section
+    /// so acceptance and enqueueing are one atomic step (a consumer can
+    /// never observe an item whose acceptance is not yet counted).
+    pushed: u64,
+}
+
+/// Bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        Self {
+            state: Mutex::new(QueueState { items: VecDeque::with_capacity(capacity), closed: false, pushed: 0 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Total items ever accepted (successfully pushed), updated atomically
+    /// with the enqueue itself.
+    pub fn total_pushed(&self) -> u64 {
+        self.state.lock().expect("queue lock poisoned").pushed
+    }
+
+    /// The maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").closed
+    }
+
+    /// Admission-controlled push: never blocks, refusing with
+    /// [`TryPushError::Full`] at capacity or [`TryPushError::Closed`] after
+    /// shutdown began.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        state.pushed += 1;
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space. Returns the item back as `Err` if
+    /// the queue closed before space opened up.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                state.pushed += 1;
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Pops up to `max` items into `out` (cleared first), blocking until at
+    /// least one item is available. Returns `false` — and leaves `out`
+    /// empty — only once the queue is closed *and* fully drained, so every
+    /// accepted item is handed to exactly one consumer before workers stop.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        out.clear();
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.items.is_empty() {
+            if state.closed {
+                return false;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+        let take = max.max(1).min(state.items.len());
+        out.extend(state.items.drain(..take));
+        let more_left = !state.items.is_empty();
+        drop(state);
+        // Wake every blocked submitter (multiple slots just freed), and one
+        // more worker if items remain.
+        self.not_full.notify_all();
+        if more_left {
+            self.not_empty.notify_one();
+        }
+        true
+    }
+
+    /// Closes the queue: subsequent pushes fail, blocked pushers wake with
+    /// their item handed back, and consumers drain the backlog before
+    /// observing closure.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_rejects_at_capacity_and_after_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(matches!(q.try_push(3), Err(TryPushError::Full(3))));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.total_pushed(), 2, "rejected pushes must not count as accepted");
+        q.close();
+        assert!(matches!(q.try_push(4), Err(TryPushError::Closed(4))));
+        assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_in_fifo_order_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(q.pop_batch(3, &mut out));
+        assert_eq!(out, vec![3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_lets_consumers_drain_then_stop() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        let mut out = Vec::new();
+        assert!(q.pop_batch(1, &mut out));
+        assert_eq!(out, vec!["a"]);
+        assert!(q.pop_batch(8, &mut out));
+        assert_eq!(out, vec!["b"]);
+        assert!(!q.pop_batch(1, &mut out));
+        assert!(out.is_empty());
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space_and_errors_on_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+
+        // A consumer that frees one slot after a beat.
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let mut out = Vec::new();
+                assert!(q.pop_batch(1, &mut out));
+                out
+            })
+        };
+        // Blocks until the consumer drains, then succeeds.
+        q.push(1u32).unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![0]);
+
+        // A pusher blocked at close time gets its item back.
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2u32))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(blocked.join().unwrap(), Err(2));
+    }
+}

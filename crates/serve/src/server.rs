@@ -1,0 +1,380 @@
+//! The worker-pool server: one shared [`Engine`], N workers with a
+//! [`Session`] each, fed by the bounded request queue.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use naru_core::{Engine, Session};
+use naru_query::{Estimate, Query};
+
+use crate::error::ServeError;
+use crate::queue::{BoundedQueue, TryPushError};
+use crate::stats::{Metrics, MetricsSnapshot, ServeStats};
+
+/// Worker-pool sizing and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one [`Session`]. Clamped to at least 1.
+    pub num_workers: usize,
+    /// Bounded queue capacity; `try_submit` rejects beyond it. Clamped to
+    /// at least 1.
+    pub queue_capacity: usize,
+    /// Most requests a worker drains into one `estimate_batch` call
+    /// (opportunistic micro-batching). Clamped to at least 1; 1 disables
+    /// batching.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        Self { num_workers: workers, queue_capacity: 256, max_batch: 16 }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, num_workers: usize) -> Self {
+        self.num_workers = num_workers;
+        self
+    }
+
+    /// Sets the queue capacity.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Sets the micro-batch limit.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+}
+
+/// A successful response: the [`Estimate`] plus how the request moved
+/// through the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedEstimate {
+    /// The estimator's answer, identical to what a direct [`Session`] call
+    /// with the same engine knobs would return.
+    pub estimate: Estimate,
+    /// Queue-wait / execution / placement diagnostics.
+    pub stats: ServeStats,
+}
+
+type Response = Result<ServedEstimate, ServeError>;
+
+/// One queued unit of work: the query plus its reply channel.
+struct Request {
+    query: Query,
+    submitted_at: Instant,
+    reply: SyncSender<Response>,
+}
+
+impl Request {
+    fn new(query: Query) -> (Self, Ticket) {
+        let (reply, rx) = sync_channel(1);
+        (Self { query, submitted_at: Instant::now(), reply }, Ticket { rx })
+    }
+}
+
+/// A handle to one in-flight request. [`Ticket::wait`] blocks until the
+/// owning worker responds; dropping the ticket abandons the response (the
+/// request still executes).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+/// A running worker pool over one shared [`Engine`].
+///
+/// `Server` is `Sync`: submit from any number of client threads. Requests
+/// flow through a bounded FIFO queue into per-worker [`Session`]s, so every
+/// estimate is bit-for-bit identical to a direct sequential `Session` call
+/// (sessions re-seed per query), regardless of which worker runs it or how
+/// requests were batched.
+pub struct Server {
+    queue: Arc<BoundedQueue<Request>>,
+    metrics: Arc<Metrics>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the worker pool. Each worker opens its own [`Session`] from
+    /// `engine` (inheriting the engine's sample-count and seed defaults)
+    /// and parks on the queue until work or shutdown arrives.
+    pub fn start(engine: Engine, config: ServeConfig) -> Self {
+        let num_workers = config.num_workers.max(1);
+        let max_batch = config.max_batch.max(1);
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
+        let metrics = Arc::new(Metrics::default());
+        let workers = (0..num_workers)
+            .map(|id| {
+                let session = engine.session();
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("naru-serve-{id}"))
+                    .spawn(move || {
+                        // Estimation panics are contained inside the loop;
+                        // if the worker still dies (poisoned lock, bug in
+                        // the loop itself), fail fast: close the queue so
+                        // submitters stop being accepted into a pool that
+                        // silently shrank, then fail whatever is still
+                        // queued so no ticket hangs. Surviving workers race
+                        // this drain and win some requests — fine, each
+                        // request gets exactly one response either way. The
+                        // drain is itself guarded: if the queue lock is the
+                        // thing that poisoned, tickets resolve to
+                        // WorkerLost when the server (and queue) drop.
+                        if catch_unwind(AssertUnwindSafe(|| worker_loop(id, session, &queue, &metrics, max_batch)))
+                            .is_err()
+                        {
+                            let _ = catch_unwind(AssertUnwindSafe(|| {
+                                queue.close();
+                                let mut orphans: Vec<Request> = Vec::new();
+                                while queue.pop_batch(usize::MAX, &mut orphans) {
+                                    for request in orphans.drain(..) {
+                                        metrics.failed.fetch_add(1, Ordering::Relaxed);
+                                        let _ = request.reply.send(Err(ServeError::WorkerLost));
+                                    }
+                                }
+                            }));
+                        }
+                    })
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        Self { queue, metrics, workers }
+    }
+
+    /// Admission-controlled submit: rejects with
+    /// [`ServeError::Overloaded`] when the queue is full instead of
+    /// blocking the caller.
+    pub fn try_submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        let (request, ticket) = Request::new(query);
+        // Acceptance is counted by the queue itself, inside its critical
+        // section, so a request can never be dequeued (let alone served)
+        // before it is counted.
+        match self.queue.try_push(request) {
+            Ok(()) => Ok(ticket),
+            Err(TryPushError::Full(_)) => {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded { capacity: self.queue.capacity() })
+            }
+            Err(TryPushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Blocking submit: waits for queue space. Fails only once shutdown has
+    /// begun.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
+        let (request, ticket) = Request::new(query);
+        match self.queue.push(request) {
+            Ok(()) => Ok(ticket),
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Convenience round trip: blocking submit, then wait.
+    pub fn estimate(&self, query: &Query) -> Result<ServedEstimate, ServeError> {
+        self.submit(query.clone())?.wait()
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Capacity of the admission queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Current queue depth (racy by nature; for monitoring).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A point-in-time copy of the server counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        // Completions first, acceptance second: service implies prior
+        // acceptance, so this read order guarantees
+        // `completed() <= accepted` even against in-flight submitters.
+        let mut snapshot = self.metrics.snapshot();
+        snapshot.accepted = self.queue.total_pushed();
+        snapshot
+    }
+
+    /// Begins shutdown without waiting: new submissions fail with
+    /// [`ServeError::ShuttingDown`], while accepted requests keep draining.
+    /// Call [`Server::shutdown`] (or drop the server) to also join the
+    /// workers.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Graceful shutdown: stops admission, waits for the workers to drain
+    /// every accepted request, joins them, and returns the final counters.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.metrics()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Same drain-then-join as `shutdown`, for servers dropped without
+        // an explicit shutdown call (including on client panic unwind).
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One worker: park on the queue, drain up to `max_batch` requests, answer
+/// them through a single `estimate_batch` call, repeat until the queue
+/// closes and empties.
+fn worker_loop(
+    worker: usize,
+    mut session: Session,
+    queue: &BoundedQueue<Request>,
+    metrics: &Metrics,
+    max_batch: usize,
+) {
+    let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+    let mut queries: Vec<Query> = Vec::with_capacity(max_batch);
+    let mut replies: Vec<(Instant, SyncSender<Response>)> = Vec::with_capacity(max_batch);
+    while queue.pop_batch(max_batch, &mut batch) {
+        let dequeued_at = Instant::now();
+        queries.clear();
+        replies.clear();
+        for request in batch.drain(..) {
+            queries.push(request.query);
+            replies.push((request.submitted_at, request.reply));
+        }
+        let batch_size = queries.len();
+        // Contain estimator panics: a panicking density must not kill the
+        // worker (stranding everything still queued). If the batch call
+        // unwinds, fall back to one guarded call per query so only the
+        // poisoning request(s) fail — the walk fully reinitializes the
+        // session scratch per estimate, so reuse after a panic is safe.
+        let results = match catch_unwind(AssertUnwindSafe(|| session.estimate_batch(&queries))) {
+            Ok(results) => results.into_iter().map(Ok).collect::<Vec<_>>(),
+            Err(_) => queries
+                .iter()
+                .map(|query| catch_unwind(AssertUnwindSafe(|| session.estimate(query))).map_err(|_| ()))
+                .collect(),
+        };
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        for ((submitted_at, reply), result) in replies.drain(..).zip(results) {
+            let response = match result {
+                Ok(Ok(estimate)) => {
+                    metrics.served.fetch_add(1, Ordering::Relaxed);
+                    let stats = ServeStats {
+                        queue_wait: dequeued_at.saturating_duration_since(submitted_at),
+                        execution: estimate.wall_time,
+                        worker,
+                        batch_size,
+                    };
+                    Ok(ServedEstimate { estimate, stats })
+                }
+                Ok(Err(err)) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Estimate(err))
+                }
+                Err(()) => {
+                    metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Panicked)
+                }
+            };
+            // The client may have dropped its ticket; that is not an error.
+            let _ = reply.send(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_core::IndependentDensity;
+    use naru_query::{EstimateError, Predicate};
+
+    fn tiny_engine() -> Engine {
+        Engine::new(IndependentDensity::uniform(&[8, 4]), 1_000).with_samples(64)
+    }
+
+    #[test]
+    fn round_trip_matches_direct_session() {
+        let engine = tiny_engine();
+        let q = Query::new(vec![Predicate::le(0, 3), Predicate::ge(1, 1)]);
+        let direct = engine.session().estimate(&q).unwrap();
+
+        let server = Server::start(engine, ServeConfig::default().with_workers(2));
+        let served = server.estimate(&q).unwrap();
+        assert_eq!(served.estimate.selectivity, direct.selectivity);
+        assert_eq!(served.estimate.live_paths, direct.live_paths);
+        assert!(served.stats.worker < 2);
+        assert!(served.stats.batch_size >= 1);
+
+        let metrics = server.shutdown();
+        assert_eq!(metrics.accepted, 1);
+        assert_eq!(metrics.served, 1);
+        assert_eq!(metrics.rejected, 0);
+        assert_eq!(metrics.failed, 0);
+    }
+
+    #[test]
+    fn estimator_rejections_come_back_typed() {
+        let server = Server::start(tiny_engine(), ServeConfig::default().with_workers(1));
+        let bad = Query::new(vec![Predicate::eq(9, 0)]);
+        let err = server.estimate(&bad).unwrap_err();
+        assert_eq!(err, ServeError::Estimate(EstimateError::ColumnOutOfRange { column: 9, num_columns: 2 }));
+        // The worker survives a rejected query and keeps serving.
+        assert!(server.estimate(&Query::all()).is_ok());
+        let metrics = server.shutdown();
+        assert_eq!(metrics.failed, 1);
+        assert_eq!(metrics.served, 1);
+    }
+
+    #[test]
+    fn submissions_fail_after_close_but_accepted_work_drains() {
+        let engine = tiny_engine();
+        let server = Server::start(engine, ServeConfig::default().with_workers(1).with_max_batch(4));
+        let tickets: Vec<Ticket> = (0..6).map(|_| server.submit(Query::all()).unwrap()).collect();
+        server.close();
+        assert_eq!(server.try_submit(Query::all()).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(server.submit(Query::all()).unwrap_err(), ServeError::ShuttingDown);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.accepted, 6);
+        assert_eq!(metrics.completed(), 6);
+    }
+
+    #[test]
+    fn config_knobs_are_clamped_sane() {
+        let server = Server::start(tiny_engine(), ServeConfig { num_workers: 0, queue_capacity: 0, max_batch: 0 });
+        assert_eq!(server.num_workers(), 1);
+        assert_eq!(server.queue_capacity(), 1);
+        assert!(server.estimate(&Query::all()).is_ok());
+        server.shutdown();
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-request scheduling statistics and whole-server counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How one request moved through the server, layered onto the
+/// [`Estimate`](naru_query::Estimate) it produced.
+///
+/// `queue_wait` is the time between submission and the moment a worker
+/// dequeued the request's batch; `execution` is the estimate's own
+/// wall-clock time (a request later in a micro-batch additionally waits for
+/// its predecessors inside the batch, which shows up in the end-to-end
+/// latency a client measures but not in either field here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Time the estimator spent producing the answer.
+    pub execution: Duration,
+    /// Id (0-based) of the worker that served the request.
+    pub worker: usize,
+    /// Size of the micro-batch the request was drained into.
+    pub batch_size: usize,
+}
+
+/// Monotonic whole-server counters, updated lock-free by submitters and
+/// workers. The `accepted` count lives in the queue itself (incremented
+/// inside its critical section, atomically with the enqueue), so a worker
+/// can never serve a request before it is counted as accepted.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    pub rejected: AtomicU64,
+    pub served: AtomicU64,
+    pub failed: AtomicU64,
+    pub batches: AtomicU64,
+}
+
+impl Metrics {
+    /// Snapshots the worker-side counters; the caller fills `accepted` from
+    /// the queue **after** this read (service implies prior acceptance, so
+    /// reading completions first keeps `completed() <= accepted` invariant
+    /// under concurrent traffic).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: 0,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted into the queue (by either submit flavor).
+    pub accepted: u64,
+    /// Requests refused by admission control (`try_submit` on a full queue).
+    pub rejected: u64,
+    /// Requests answered with an [`Estimate`](naru_query::Estimate).
+    pub served: u64,
+    /// Requests answered with a typed estimation error.
+    pub failed: u64,
+    /// Micro-batches executed across all workers.
+    pub batches: u64,
+}
+
+impl MetricsSnapshot {
+    /// Requests that received *some* response (success or typed error).
+    pub fn completed(&self) -> u64 {
+        self.served + self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::default();
+        m.served.store(4, Ordering::Relaxed);
+        m.failed.store(1, Ordering::Relaxed);
+        m.batches.store(2, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.accepted, 0, "accepted is filled from the queue by the caller");
+        assert_eq!(snap.rejected, 0);
+        assert_eq!(snap.completed(), 5);
+        assert_eq!(snap.batches, 2);
+    }
+}

@@ -24,7 +24,8 @@ pub mod stats;
 pub use matrix::Matrix;
 pub use ops::{
     dot, kernel_policy, log_softmax_rows, log_softmax_rows_inplace, log_sum_exp, matmul, matmul_a_bt, matmul_a_bt_into,
-    matmul_at_b, matmul_at_b_into, matmul_into, set_kernel_policy, softmax_rows, softmax_rows_inplace, KernelPolicy,
+    matmul_at_b, matmul_at_b_into, matmul_into, parallel_threads, set_kernel_policy, set_parallel_threads,
+    softmax_rows, softmax_rows_inplace, KernelPolicy,
 };
 pub use rng::NormalSampler;
 pub use stats::{mean, percentile, quantiles, variance};

@@ -31,7 +31,7 @@
 //! small enough that this is numerically adequate (verified by the
 //! gradient-check tests in `naru-nn`).
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use crate::matrix::Matrix;
@@ -47,6 +47,11 @@ pub enum KernelPolicy {
     /// Blocked kernels, switching to the threaded path for large products
     /// (the default).
     Auto,
+    /// Always take the threaded path, regardless of size. Combined with
+    /// [`set_parallel_threads`], this forces the parallel tier even on
+    /// hardware that reports a single core — the parity tests use it to
+    /// exercise multi-threaded row partitioning everywhere.
+    Parallel,
 }
 
 static KERNEL_POLICY: AtomicU8 = AtomicU8::new(2);
@@ -62,8 +67,24 @@ pub fn kernel_policy() -> KernelPolicy {
     match KERNEL_POLICY.load(Ordering::Relaxed) {
         0 => KernelPolicy::Naive,
         1 => KernelPolicy::Blocked,
+        3 => KernelPolicy::Parallel,
         _ => KernelPolicy::Auto,
     }
+}
+
+static PARALLEL_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides how many threads the parallel kernels partition rows across.
+/// `0` restores the default (hardware parallelism, capped at 8). Intended
+/// for benchmarks and tests — notably to force multi-threaded execution on
+/// single-core CI hosts, where the default would fall back to one thread.
+pub fn set_parallel_threads(threads: usize) {
+    PARALLEL_THREADS_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// The current thread-count override (`0` = automatic).
+pub fn parallel_threads() -> usize {
+    PARALLEL_THREADS_OVERRIDE.load(Ordering::Relaxed)
 }
 
 /// Minimum number of multiply-adds (`m * n * k`) before [`KernelPolicy::Auto`]
@@ -289,7 +310,10 @@ fn check_at_b(a: &Matrix, b: &Matrix) -> (usize, usize, usize) {
 fn par_row_partition(c: &mut Matrix, kernel: impl Fn(&mut [f32], usize, usize) + Sync) {
     let m = c.rows();
     let n = c.cols();
-    let threads = max_threads().min(m / MIN_ROWS_PER_THREAD).max(1);
+    let threads = match parallel_threads() {
+        0 => max_threads().min(m / MIN_ROWS_PER_THREAD).max(1),
+        forced => forced.min(m).max(1),
+    };
     if threads <= 1 || m == 0 {
         kernel(c.data_mut(), 0, m);
         return;
@@ -395,6 +419,7 @@ fn effective_policy(m: usize, n: usize, k: usize) -> Impl {
     match kernel_policy() {
         KernelPolicy::Naive => Impl::Naive,
         KernelPolicy::Blocked => Impl::Blocked,
+        KernelPolicy::Parallel => Impl::Parallel,
         KernelPolicy::Auto => {
             if m.saturating_mul(n).saturating_mul(k) >= PARALLEL_FLOPS_THRESHOLD && m >= 2 * MIN_ROWS_PER_THREAD {
                 Impl::Parallel
@@ -620,6 +645,8 @@ mod tests {
         assert_eq!(kernel_policy(), KernelPolicy::Naive);
         set_kernel_policy(KernelPolicy::Blocked);
         assert_eq!(kernel_policy(), KernelPolicy::Blocked);
+        set_kernel_policy(KernelPolicy::Parallel);
+        assert_eq!(kernel_policy(), KernelPolicy::Parallel);
         set_kernel_policy(KernelPolicy::Auto);
         assert_eq!(kernel_policy(), KernelPolicy::Auto);
         set_kernel_policy(original);

@@ -1,0 +1,103 @@
+//! Forces the parallel kernel tier onto multiple threads — even on a
+//! single-core container, where `available_parallelism()` is 1 and the
+//! default dispatch would never spawn a second thread — and asserts the
+//! threaded kernels are *bit-for-bit* identical to the blocked serial ones.
+//!
+//! This closes the ROADMAP gap left by the inference overhaul: the parallel
+//! tier claims bit-identical results because row partitioning preserves
+//! every output element's accumulation order, but CI never actually ran it
+//! multi-threaded. With [`set_parallel_threads`] the partitioning is forced
+//! to `FORCED_THREADS` regardless of hardware, and
+//! [`KernelPolicy::Parallel`] routes the public entry points through it
+//! regardless of the FLOP threshold.
+//!
+//! This lives in its own integration-test binary (own process) so the
+//! process-wide policy mutation cannot race the unit tests.
+
+use naru_tensor::ops::{
+    matmul_a_bt_into_blocked, matmul_a_bt_into_parallel, matmul_at_b_into_blocked, matmul_at_b_into_parallel,
+    matmul_into_blocked, matmul_into_parallel,
+};
+use naru_tensor::{
+    kernel_policy, matmul, matmul_a_bt, matmul_at_b, parallel_threads, set_kernel_policy, set_parallel_threads,
+    KernelPolicy, Matrix,
+};
+
+/// More threads than the CI container has cores, and more than the row
+/// counts of several tested shapes, so chunking edge cases are exercised.
+const FORCED_THREADS: usize = 4;
+
+/// Both tests mutate the process-wide policy globals; serialize them so the
+/// harness's parallel test execution cannot interleave the mutations.
+static POLICY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn fill_a(m: usize, k: usize) -> Matrix {
+    Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) % 23) as f32 * 0.314 - 1.6)
+}
+
+fn fill_b(k: usize, n: usize) -> Matrix {
+    Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 7) % 19) as f32 * 0.271 - 1.1)
+}
+
+/// Shapes straddling the tile size (64), the per-thread row minimum, the
+/// forced thread count, and MADE-like inference shapes (short wide batches).
+const SHAPES: &[(usize, usize, usize)] =
+    &[(1, 1, 1), (2, 40, 9), (3, 70, 5), (17, 64, 65), (64, 33, 129), (130, 64, 1), (200, 96, 48)];
+
+#[test]
+fn forced_parallel_tier_is_bit_identical_to_blocked() {
+    let _guard = POLICY_LOCK.lock().unwrap();
+    set_parallel_threads(FORCED_THREADS);
+    assert_eq!(parallel_threads(), FORCED_THREADS, "thread override must round-trip");
+
+    for &(m, k, n) in SHAPES {
+        let a = fill_a(m, k);
+        let b = fill_b(k, n);
+        let mut blocked = Matrix::zeros(0, 0);
+        let mut parallel = Matrix::zeros(0, 0);
+
+        matmul_into_blocked(&a, &b, &mut blocked);
+        matmul_into_parallel(&a, &b, &mut parallel);
+        assert_eq!(blocked.data(), parallel.data(), "matmul {m}x{k}x{n} diverged across threads");
+
+        let bt = b.transpose();
+        matmul_a_bt_into_blocked(&a, &bt, &mut blocked);
+        matmul_a_bt_into_parallel(&a, &bt, &mut parallel);
+        assert_eq!(blocked.data(), parallel.data(), "matmul_a_bt {m}x{k}x{n} diverged across threads");
+
+        let at = a.transpose();
+        matmul_at_b_into_blocked(&at, &b, &mut blocked);
+        matmul_at_b_into_parallel(&at, &b, &mut parallel);
+        assert_eq!(blocked.data(), parallel.data(), "matmul_at_b {m}x{k}x{n} diverged across threads");
+    }
+
+    set_parallel_threads(0);
+}
+
+#[test]
+fn parallel_policy_dispatches_public_entry_points_through_threads() {
+    let _guard = POLICY_LOCK.lock().unwrap();
+    set_parallel_threads(FORCED_THREADS);
+    set_kernel_policy(KernelPolicy::Parallel);
+    assert_eq!(kernel_policy(), KernelPolicy::Parallel);
+
+    for &(m, k, n) in SHAPES {
+        let a = fill_a(m, k);
+        let b = fill_b(k, n);
+
+        let mut blocked = Matrix::zeros(0, 0);
+        matmul_into_blocked(&a, &b, &mut blocked);
+        // Below the Auto FLOP threshold these shapes would stay serial;
+        // KernelPolicy::Parallel must thread them anyway, bit-identically.
+        assert_eq!(matmul(&a, &b).data(), blocked.data(), "policy-dispatched matmul {m}x{k}x{n}");
+
+        matmul_a_bt_into_blocked(&a, &b.transpose(), &mut blocked);
+        assert_eq!(matmul_a_bt(&a, &b.transpose()).data(), blocked.data(), "policy-dispatched a_bt {m}x{k}x{n}");
+
+        matmul_at_b_into_blocked(&a.transpose(), &b, &mut blocked);
+        assert_eq!(matmul_at_b(&a.transpose(), &b).data(), blocked.data(), "policy-dispatched at_b {m}x{k}x{n}");
+    }
+
+    set_kernel_policy(KernelPolicy::Auto);
+    set_parallel_threads(0);
+}

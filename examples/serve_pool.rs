@@ -1,0 +1,70 @@
+//! Serving: run a trained estimator behind the `naru-serve` worker pool.
+//!
+//! Trains a small model, starts a [`Server`] with a bounded request queue
+//! and a few workers, drives it from concurrent client threads, and prints
+//! per-request scheduling stats plus the final server counters.
+//!
+//! ```text
+//! cargo run --release --example serve_pool
+//! ```
+
+use naru::core::{NaruConfig, NaruEstimator};
+use naru::data::synthetic::dmv_like;
+use naru::query::{generate_workload, Query, WorkloadConfig};
+use naru::serve::{ServeConfig, ServeError, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Train on a synthetic DMV-style table and freeze into an Engine.
+    let table = dmv_like(4_000, 42);
+    println!("training on `{}` ({} rows x {} cols)...", table.name(), table.num_rows(), table.num_columns());
+    let (estimator, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(400));
+    let engine = estimator.into_engine();
+
+    // 2. Start the worker pool: 4 workers, bounded queue, micro-batching.
+    let config = ServeConfig::default().with_workers(4).with_queue_capacity(128).with_max_batch(8);
+    let server = Server::start(engine, config);
+    println!("serving with {} workers, queue capacity {}", server.num_workers(), server.queue_capacity());
+
+    // 3. Hammer it from concurrent clients (closed-loop: one request in
+    //    flight per client). `submit` applies backpressure when the queue
+    //    is full; `try_submit` would shed load with ServeError::Overloaded.
+    let mut rng = StdRng::seed_from_u64(7);
+    let workload = generate_workload(&table, &WorkloadConfig::default(), 40, &mut rng);
+    let queries: Vec<Query> = workload.into_iter().map(|lq| lq.query).collect();
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..3 {
+            let server = &server;
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut waited = std::time::Duration::ZERO;
+                for query in queries {
+                    match server.estimate(query) {
+                        Ok(served) => waited += served.stats.queue_wait,
+                        Err(ServeError::Overloaded { capacity }) => {
+                            println!("  client {client}: shed at capacity {capacity}")
+                        }
+                        Err(err) => println!("  client {client}: {err}"),
+                    }
+                }
+                println!("  client {client}: {} requests, total queue wait {waited:.2?}", queries.len());
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    // 4. Graceful shutdown: drains anything still queued, joins workers.
+    let metrics = server.shutdown();
+    println!(
+        "\nserved {} requests in {:.2?} ({:.0} queries/sec) across {} micro-batches; {} rejected, {} failed",
+        metrics.served,
+        elapsed,
+        metrics.served as f64 / elapsed.as_secs_f64(),
+        metrics.batches,
+        metrics.rejected,
+        metrics.failed
+    );
+    assert_eq!(metrics.completed(), metrics.accepted, "graceful shutdown must lose no accepted request");
+}

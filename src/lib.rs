@@ -17,7 +17,10 @@
 //! * [`baselines`] — the estimators the paper compares against,
 //! * [`core`] — Naru itself: autoregressive density models, training,
 //!   progressive sampling, and the serving-oriented [`core::Engine`] /
-//!   [`core::Session`] API.
+//!   [`core::Session`] API,
+//! * [`serve`] — the worker-pool serving subsystem: a bounded request
+//!   queue with admission control, per-worker sessions, opportunistic
+//!   micro-batching, and graceful drain-on-shutdown.
 //!
 //! ## The Engine/Session estimation API
 //!
@@ -69,25 +72,54 @@
 //! });
 //! ```
 //!
+//! ## Serving under load
+//!
+//! For a long-running service, hand the engine to a
+//! [`serve::Server`]: a bounded MPMC request queue with admission control
+//! ([`serve::Server::try_submit`] rejects with
+//! [`serve::ServeError::Overloaded`] when full, [`serve::Server::submit`]
+//! applies backpressure), a pool of workers each owning one `Session`,
+//! opportunistic micro-batching into `estimate_batch`, per-request
+//! [`serve::ServeStats`] (queue wait, execution time, worker id), and a
+//! graceful shutdown that drains every accepted request:
+//!
+//! ```no_run
+//! use naru::prelude::*;
+//!
+//! # let table = naru::data::synthetic::dmv_like(1_000, 42);
+//! # let (estimator, _) = NaruEstimator::train(&table, &NaruConfig::small());
+//! let engine = estimator.into_engine();
+//! let server = Server::start(engine, ServeConfig::default().with_workers(4).with_max_batch(8));
+//! let ticket = server.try_submit(Query::new(vec![Predicate::eq(0, 1)]))?;
+//! let served = ticket.wait()?;
+//! println!("{:.5} selectivity, {:?} in queue, worker {}",
+//!     served.estimate.selectivity, served.stats.queue_wait, served.stats.worker);
+//! let metrics = server.shutdown(); // drains in-flight work, joins workers
+//! assert_eq!(metrics.completed(), metrics.accepted);
+//! # Ok::<(), naru::serve::ServeError>(())
+//! ```
+//!
 //! ## Migrating from the 0.1 single-shot API
 //!
-//! The bare-`f64` entry points still exist as deprecated shims (errors
-//! collapse to `0.0`) and will be removed next release:
+//! The bare-`f64` entry points (deprecated in 0.2) are now **removed**;
+//! the fallible API is the only way to estimate, so errors can never
+//! silently collapse to `0.0`:
 //!
-//! | Old call | New call |
+//! | Removed call | Replacement |
 //! |---|---|
 //! | `est.estimate(&q)` → `f64` | `est.try_estimate(&q)?` → [`Estimate`](query::Estimate) |
 //! | loop over `est.estimate(..)` | `est.try_estimate_batch(&queries)` |
 //! | `est.estimate_with_samples(&q, s)` | `est.try_estimate_with_samples(&q, s)?`, or a `Session` + `estimate_with_samples` |
 //! | `est.set_num_samples(s)` (rebuilt sampler) | same call — now a pure knob, or `session.set_num_samples(s)` |
 //! | `NaruEstimator::from_model(model, s)` | `NaruEstimator::from_model(model, s, num_rows)` |
-//! | share `&NaruEstimator` across threads (lock-serialized) | `est.into_engine()`, one `engine.session()` per thread |
+//! | share `&NaruEstimator` across threads (lock-serialized) | `est.into_engine()`, one `engine.session()` per thread, or a [`serve::Server`] |
 
 pub use naru_baselines as baselines;
 pub use naru_core as core;
 pub use naru_data as data;
 pub use naru_nn as nn;
 pub use naru_query as query;
+pub use naru_serve as serve;
 pub use naru_tensor as tensor;
 
 /// Commonly used types, importable with `use naru::prelude::*`.
@@ -95,4 +127,5 @@ pub mod prelude {
     pub use naru_core::{Engine, NaruConfig, NaruEstimator, Session};
     pub use naru_data::{Column, Table, Value};
     pub use naru_query::{Estimate, EstimateError, Predicate, Query, SelectivityEstimator};
+    pub use naru_serve::{ServeConfig, ServeError, ServeStats, ServedEstimate, Server, Ticket};
 }

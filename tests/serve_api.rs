@@ -1,0 +1,336 @@
+//! Integration tests for the `naru-serve` worker-pool subsystem, driven
+//! through the facade crate the way a downstream user would.
+//!
+//! Covers the serving acceptance properties:
+//! * served estimates are **bit-identical** to direct sequential `Session`
+//!   evaluation, for a 1-worker server and a multi-worker micro-batching
+//!   server alike;
+//! * queue saturation surfaces a typed [`ServeError::Overloaded`] — not a
+//!   panic, not a silent drop;
+//! * graceful shutdown drains every accepted request;
+//! * per-query estimator rejections come back as typed
+//!   [`ServeError::Estimate`] values without killing the worker.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use naru::core::{ConditionalDensity, Engine, IndependentDensity, OracleDensity};
+use naru::data::synthetic::correlated_pair;
+use naru::prelude::*;
+use naru::serve::{ServeConfig, ServeError, Server};
+use naru::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// --- a gated density so tests control exactly when workers make progress --
+
+#[derive(Default)]
+struct GateState {
+    open: bool,
+    entered: usize,
+}
+
+/// Blocks density evaluation until opened, and counts how many estimates
+/// have started, so tests can hold a worker mid-request deterministically.
+#[derive(Default)]
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn enter(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.entered += 1;
+        self.cv.notify_all();
+        while !state.open {
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        self.state.lock().unwrap().open = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_entered(&self, n: usize) {
+        let mut state = self.state.lock().unwrap();
+        while state.entered < n {
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+}
+
+/// A uniform density whose first-column evaluation parks on the gate.
+struct GatedDensity {
+    inner: IndependentDensity,
+    gate: Arc<Gate>,
+}
+
+impl GatedDensity {
+    fn engine(gate: Arc<Gate>) -> Engine {
+        let inner = IndependentDensity::uniform(&[6, 4]);
+        Engine::new(Self { inner, gate }, 1_000).with_samples(16)
+    }
+}
+
+impl ConditionalDensity for GatedDensity {
+    fn num_columns(&self) -> usize {
+        self.inner.num_columns()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.inner.domain_sizes()
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        if col == 0 {
+            // One estimate = one col-0 batch evaluation, so `entered`
+            // counts requests that reached a worker.
+            self.gate.enter();
+        }
+        self.inner.conditionals(tuples, col)
+    }
+}
+
+/// A density that panics when asked for column 1's conditionals — queries
+/// filtering only column 0 never reach it, so a mixed batch has both
+/// poisoning and healthy requests.
+struct PanickingDensity {
+    inner: IndependentDensity,
+}
+
+impl PanickingDensity {
+    fn engine() -> Engine {
+        Engine::new(Self { inner: IndependentDensity::uniform(&[6, 4]) }, 1_000).with_samples(16)
+    }
+}
+
+impl ConditionalDensity for PanickingDensity {
+    fn num_columns(&self) -> usize {
+        self.inner.num_columns()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.inner.domain_sizes()
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        assert!(col != 1, "synthetic model failure on column 1");
+        self.inner.conditionals(tuples, col)
+    }
+}
+
+// --- helpers --------------------------------------------------------------
+
+fn oracle_engine() -> (Engine, Vec<Query>) {
+    let table = correlated_pair(1500, 6, 0.9, 11);
+    let engine = Engine::new(OracleDensity::new(&table), table.num_rows() as u64).with_samples(200);
+    let mut rng = StdRng::seed_from_u64(31);
+    let workload = naru::query::generate_workload(
+        &table,
+        &naru::query::WorkloadConfig { min_filters: 1, max_filters: 2, ..Default::default() },
+        12,
+        &mut rng,
+    );
+    let queries = workload.into_iter().map(|lq| lq.query).collect();
+    (engine, queries)
+}
+
+fn sequential_reference(engine: &Engine, queries: &[Query]) -> Vec<Estimate> {
+    let mut session = engine.session();
+    queries.iter().map(|q| session.estimate(q).expect("valid query")).collect()
+}
+
+fn assert_same_estimate(served: &Estimate, reference: &Estimate) {
+    // Bit-for-bit: same selectivity, same cardinality, same surviving
+    // sample paths. (wall_time legitimately differs, so no whole-struct
+    // equality.)
+    assert_eq!(served.selectivity, reference.selectivity);
+    assert_eq!(served.estimated_rows, reference.estimated_rows);
+    assert_eq!(served.live_paths, reference.live_paths);
+}
+
+// --- parity ---------------------------------------------------------------
+
+#[test]
+fn single_worker_server_is_bit_identical_to_sequential_session() {
+    let (engine, queries) = oracle_engine();
+    let reference = sequential_reference(&engine, &queries);
+
+    let server = Server::start(engine, ServeConfig::default().with_workers(1).with_max_batch(1));
+    let tickets: Vec<_> = queries.iter().map(|q| server.submit(q.clone()).unwrap()).collect();
+    for (ticket, expected) in tickets.into_iter().zip(&reference) {
+        let served = ticket.wait().expect("valid query");
+        assert_same_estimate(&served.estimate, expected);
+        assert_eq!(served.stats.worker, 0);
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted, queries.len() as u64);
+    assert_eq!(metrics.served, queries.len() as u64);
+}
+
+#[test]
+fn multi_worker_micro_batching_server_is_bit_identical_to_sequential_session() {
+    let (engine, queries) = oracle_engine();
+    let reference = sequential_reference(&engine, &queries);
+
+    let config = ServeConfig::default().with_workers(4).with_max_batch(3).with_queue_capacity(64);
+    let server = Server::start(engine, config);
+    assert_eq!(server.num_workers(), 4);
+
+    // Submit everything up front so workers actually drain micro-batches,
+    // then wait: scheduling and batch boundaries must not affect results.
+    let tickets: Vec<_> = queries.iter().map(|q| server.submit(q.clone()).unwrap()).collect();
+    for (ticket, expected) in tickets.into_iter().zip(&reference) {
+        let served = ticket.wait().expect("valid query");
+        assert_same_estimate(&served.estimate, expected);
+        assert!(served.stats.worker < 4);
+        assert!((1..=3).contains(&served.stats.batch_size));
+        assert_eq!(served.stats.execution, served.estimate.wall_time);
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.served, queries.len() as u64);
+    assert!(metrics.batches <= queries.len() as u64, "batches cannot outnumber requests");
+}
+
+#[test]
+fn concurrent_clients_all_get_exact_answers() {
+    let (engine, queries) = oracle_engine();
+    let reference = sequential_reference(&engine, &queries);
+
+    let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(4));
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let server = &server;
+            let queries = &queries;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (q, expected) in queries.iter().zip(reference) {
+                    let served = server.estimate(q).expect("valid query");
+                    assert_same_estimate(&served.estimate, expected);
+                }
+            });
+        }
+    });
+    let metrics = server.shutdown();
+    assert_eq!(metrics.served, 3 * queries.len() as u64);
+}
+
+// --- admission control ----------------------------------------------------
+
+#[test]
+fn queue_saturation_rejects_with_overloaded_and_recovers() {
+    let gate = Arc::new(Gate::default());
+    let engine = GatedDensity::engine(Arc::clone(&gate));
+    let server = Server::start(engine, ServeConfig { num_workers: 1, queue_capacity: 2, max_batch: 1 });
+    let q = Query::new(vec![Predicate::le(0, 2)]);
+
+    // First request occupies the worker (parked on the gate)...
+    let t1 = server.try_submit(q.clone()).unwrap();
+    gate.wait_entered(1);
+    // ...the next two fill the bounded queue...
+    let t2 = server.try_submit(q.clone()).unwrap();
+    let t3 = server.try_submit(q.clone()).unwrap();
+    // ...and admission control sheds the overflow as a typed error.
+    assert_eq!(server.try_submit(q.clone()).unwrap_err(), ServeError::Overloaded { capacity: 2 });
+    assert_eq!(server.queue_len(), 2);
+
+    // A *blocking* submit waits out the saturation instead.
+    let blocked = {
+        let server = &server;
+        let q = q.clone();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || server.submit(q).map(|t| t.wait()));
+            gate.open();
+            handle.join().unwrap()
+        })
+    };
+    assert!(blocked.unwrap().is_ok(), "blocking submit must be admitted once the queue drains");
+
+    for ticket in [t1, t2, t3] {
+        assert!(ticket.wait().is_ok(), "accepted requests must be served, not dropped");
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted, 4);
+    assert_eq!(metrics.rejected, 1);
+    assert_eq!(metrics.served, 4);
+}
+
+// --- graceful shutdown ----------------------------------------------------
+
+#[test]
+fn shutdown_drains_every_accepted_request() {
+    let gate = Arc::new(Gate::default());
+    let engine = GatedDensity::engine(Arc::clone(&gate));
+    let server = Server::start(engine, ServeConfig { num_workers: 2, queue_capacity: 16, max_batch: 4 });
+    let q = Query::new(vec![Predicate::ge(1, 1)]);
+
+    let tickets: Vec<_> = (0..8).map(|_| server.submit(q.clone()).unwrap()).collect();
+    gate.wait_entered(1);
+
+    // Admission stops immediately; in-flight and queued work keeps going.
+    server.close();
+    assert_eq!(server.submit(q.clone()).unwrap_err(), ServeError::ShuttingDown);
+    assert_eq!(server.try_submit(q.clone()).unwrap_err(), ServeError::ShuttingDown);
+
+    gate.open();
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok(), "accepted request lost during shutdown");
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted, 8);
+    assert_eq!(metrics.completed(), 8);
+    assert_eq!(metrics.served, 8);
+}
+
+// --- per-request failures -------------------------------------------------
+
+#[test]
+fn estimator_rejections_are_typed_and_do_not_kill_workers() {
+    let (engine, queries) = oracle_engine();
+    let reference = sequential_reference(&engine, &queries);
+    let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(2));
+
+    let bad = Query::new(vec![Predicate::eq(42, 0)]);
+    let err = server.estimate(&bad).unwrap_err();
+    assert_eq!(err, ServeError::Estimate(EstimateError::ColumnOutOfRange { column: 42, num_columns: 2 }));
+
+    // The pool keeps serving exact answers afterwards.
+    for (q, expected) in queries.iter().zip(&reference) {
+        assert_same_estimate(&server.estimate(q).unwrap().estimate, expected);
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.failed, 1);
+    assert_eq!(metrics.served, queries.len() as u64);
+}
+
+#[test]
+fn estimator_panics_are_contained_per_request() {
+    let server = Server::start(PanickingDensity::engine(), ServeConfig::default().with_workers(1).with_max_batch(8));
+    let healthy = Query::new(vec![Predicate::le(0, 2)]); // walks column 0 only
+    let poison = Query::new(vec![Predicate::ge(1, 1)]); // walks through column 1
+
+    let reference = server.estimate(&healthy).expect("healthy query").estimate;
+
+    // Queue a mixed burst so poisoning and healthy requests share batches.
+    let tickets: Vec<_> =
+        [&healthy, &poison, &healthy, &poison, &healthy].iter().map(|q| server.submit((*q).clone()).unwrap()).collect();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+
+    for (i, response) in responses.iter().enumerate() {
+        if i % 2 == 0 {
+            let served = response.as_ref().expect("healthy request must survive its batch");
+            assert_same_estimate(&served.estimate, &reference);
+        } else {
+            assert_eq!(response.as_ref().unwrap_err(), &ServeError::Panicked);
+        }
+    }
+
+    // The worker survived every panic and still drains new work.
+    assert_same_estimate(&server.estimate(&healthy).unwrap().estimate, &reference);
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted, 7);
+    assert_eq!(metrics.completed(), 7, "no accepted request may be lost to a panic");
+    assert_eq!(metrics.failed, 2);
+    assert_eq!(metrics.served, 5);
+}
