@@ -12,134 +12,17 @@
 //!   the number of distinct value *pairs*, and scales the independence
 //!   product by `(d_a · d_b) / d_ab` — the classic distinct-count
 //!   correlation correction used by commercial optimizers.
+//!
+//! The per-column MCV + equi-depth structure itself lives in
+//! [`naru_core::stats::ColumnHistogram`], shared with the serving path's
+//! tier-1 sketch router; this module only supplies the Table-2 estimator
+//! framing around it.
 
 use std::time::Instant;
 
+use naru_core::stats::ColumnHistogram;
 use naru_data::Table;
 use naru_query::{ColumnConstraint, Estimate, EstimateError, Query, SelectivityEstimator};
-
-/// Per-column statistics: MCV list + equi-depth histogram on the rest.
-#[derive(Debug, Clone)]
-struct ColumnStats {
-    /// (id, frequency) pairs for the most common values.
-    mcv: Vec<(u32, f64)>,
-    /// Total frequency captured by the MCV list.
-    mcv_total: f64,
-    /// Equi-depth bucket boundaries (inclusive upper bounds, by id) over the
-    /// non-MCV values.
-    bucket_bounds: Vec<u32>,
-    /// Frequency mass per bucket (uniform within the bucket).
-    bucket_mass: f64,
-    /// Number of distinct non-MCV values (for equality estimates).
-    other_distinct: usize,
-    /// Frequency mass not captured by the MCVs.
-    other_total: f64,
-}
-
-impl ColumnStats {
-    fn build(counts: &[u64], num_rows: usize, num_mcv: usize, num_buckets: usize) -> Self {
-        let n = num_rows.max(1) as f64;
-        // MCVs: the `num_mcv` most frequent values.
-        let mut by_freq: Vec<(u32, u64)> =
-            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(id, &c)| (id as u32, c)).collect();
-        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let mcv: Vec<(u32, f64)> = by_freq.iter().take(num_mcv).map(|&(id, c)| (id, c as f64 / n)).collect();
-        let mcv_total: f64 = mcv.iter().map(|&(_, f)| f).sum();
-        let mcv_ids: std::collections::HashSet<u32> = mcv.iter().map(|&(id, _)| id).collect();
-
-        // Remaining values go into an equi-depth histogram over ids.
-        let mut rest: Vec<(u32, u64)> = by_freq.iter().copied().filter(|(id, _)| !mcv_ids.contains(id)).collect();
-        rest.sort_by_key(|&(id, _)| id);
-        let other_count: u64 = rest.iter().map(|&(_, c)| c).sum();
-        let other_total = other_count as f64 / n;
-        let other_distinct = rest.len();
-
-        let buckets = num_buckets.max(1).min(rest.len().max(1));
-        let per_bucket = (other_count as f64 / buckets as f64).max(1.0);
-        let mut bucket_bounds = Vec::with_capacity(buckets);
-        let mut acc = 0u64;
-        for &(id, c) in &rest {
-            acc += c;
-            if acc as f64 >= per_bucket * (bucket_bounds.len() + 1) as f64 {
-                bucket_bounds.push(id);
-            }
-        }
-        if let Some(&(last_id, _)) = rest.last() {
-            if bucket_bounds.last() != Some(&last_id) {
-                bucket_bounds.push(last_id);
-            }
-        }
-        let bucket_mass = if bucket_bounds.is_empty() { 0.0 } else { other_total / bucket_bounds.len() as f64 };
-
-        Self { mcv, mcv_total, bucket_bounds, bucket_mass, other_distinct, other_total }
-    }
-
-    /// Estimated fraction of rows whose id satisfies the constraint,
-    /// assuming uniformity inside histogram buckets.
-    fn selectivity(&self, constraint: &ColumnConstraint) -> f64 {
-        match constraint {
-            ColumnConstraint::Any => 1.0,
-            ColumnConstraint::Empty => 0.0,
-            _ => {
-                // Exact contribution from the MCV list.
-                let mcv_part: f64 = self.mcv.iter().filter(|(id, _)| constraint.matches(*id)).map(|&(_, f)| f).sum();
-                // Histogram contribution: fraction of each bucket's id range
-                // that intersects the constraint, times the bucket mass.
-                let mut hist_part = 0.0;
-                let mut lo = 0u32;
-                for &hi in &self.bucket_bounds {
-                    let width = (hi.saturating_sub(lo)) as f64 + 1.0;
-                    let overlap = match constraint {
-                        ColumnConstraint::Range { lo: c_lo, hi: c_hi } => {
-                            let o_lo = (*c_lo).max(lo);
-                            let o_hi = (*c_hi).min(hi);
-                            if o_lo > o_hi {
-                                0.0
-                            } else {
-                                (o_hi - o_lo) as f64 + 1.0
-                            }
-                        }
-                        ColumnConstraint::Set(ids) => ids.iter().filter(|&&id| id >= lo && id <= hi).count() as f64,
-                        ColumnConstraint::Exclude(v) => {
-                            if *v >= lo && *v <= hi {
-                                width - 1.0
-                            } else {
-                                width
-                            }
-                        }
-                        ColumnConstraint::ExcludeSet(ids) => {
-                            let holes = ids.iter().filter(|&&id| id >= lo && id <= hi).count();
-                            width - holes as f64
-                        }
-                        _ => 0.0,
-                    };
-                    hist_part += self.bucket_mass * (overlap / width).clamp(0.0, 1.0);
-                    lo = hi.saturating_add(1);
-                }
-                // Equality predicates on non-MCV values: uniform spread over
-                // the remaining distinct values is the classic assumption.
-                let point_refinement = match constraint {
-                    ColumnConstraint::Range { lo, hi } if lo == hi => {
-                        let in_mcv = self.mcv.iter().any(|&(id, _)| id == *lo);
-                        if in_mcv {
-                            None
-                        } else if self.other_distinct > 0 {
-                            Some(self.other_total / self.other_distinct as f64)
-                        } else {
-                            Some(0.0)
-                        }
-                    }
-                    _ => None,
-                };
-                let estimate = match point_refinement {
-                    Some(point) => mcv_part + point,
-                    None => mcv_part + hist_part,
-                };
-                estimate.clamp(0.0, self.mcv_total + self.other_total)
-            }
-        }
-    }
-}
 
 /// How many MCVs and buckets each column gets.
 #[derive(Debug, Clone, Copy)]
@@ -160,7 +43,7 @@ impl Default for Histogram1dConfig {
 /// Postgres-style estimator: per-column MCV + equi-depth histogram combined
 /// under independence.
 pub struct PostgresEstimator {
-    stats: Vec<ColumnStats>,
+    stats: Vec<ColumnHistogram>,
     num_rows: u64,
 }
 
@@ -170,7 +53,7 @@ impl PostgresEstimator {
         let stats = table
             .columns()
             .iter()
-            .map(|c| ColumnStats::build(&c.value_counts(), table.num_rows(), config.num_mcv, config.num_buckets))
+            .map(|c| ColumnHistogram::build(&c.value_counts(), table.num_rows(), config.num_mcv, config.num_buckets))
             .collect();
         Self { stats, num_rows: table.num_rows() as u64 }
     }
@@ -194,7 +77,7 @@ impl SelectivityEstimator for PostgresEstimator {
     }
 
     fn size_bytes(&self) -> usize {
-        self.stats.iter().map(|s| (s.mcv.len() * 12) + (s.bucket_bounds.len() * 4) + 32).sum()
+        self.stats.iter().map(ColumnHistogram::size_bytes).sum()
     }
 }
 

@@ -4,38 +4,39 @@
 //! evaluating it on the sample. Excellent for high-selectivity queries,
 //! collapses once the true cardinality drops below ~1/sample-size (no hits
 //! in the sample), which is exactly the behaviour Tables 3–5 show.
+//!
+//! The sample itself lives in [`naru_core::stats::TableSample`], shared
+//! with the serving path's statistics sidecar; this module wraps it in the
+//! Table-2 [`SelectivityEstimator`] framing.
 
 use std::time::Instant;
 
+use naru_core::stats::TableSample;
 use naru_data::Table;
-use naru_query::{try_count_matches, Estimate, EstimateError, Query, SelectivityEstimator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use naru_query::{Estimate, EstimateError, Query, SelectivityEstimator};
 
 /// Uniform materialized-sample estimator.
 pub struct SampleEstimator {
-    sample: Table,
+    sample: TableSample,
     name: String,
-    /// Row count of the *full* table, for cardinality reporting.
-    table_rows: u64,
 }
 
 impl SampleEstimator {
     /// Keeps `fraction` of the table's rows, sampled uniformly without
     /// replacement.
     pub fn build(table: &Table, fraction: f64, seed: u64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "sample fraction must be in (0, 1]");
-        let k = ((table.num_rows() as f64 * fraction).round() as usize).max(1);
-        Self::build_with_rows(table, k, seed)
+        Self::wrap(TableSample::build(table, fraction, seed), table.num_rows())
     }
 
     /// Keeps exactly `k` rows.
     pub fn build_with_rows(table: &Table, k: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rows = table.sample_row_indices(&mut rng, k.min(table.num_rows()));
-        let sample = table.take_rows(&rows);
-        let pct = 100.0 * sample.num_rows() as f64 / table.num_rows().max(1) as f64;
-        Self { sample, name: format!("Sample({pct:.1}%)"), table_rows: table.num_rows() as u64 }
+        Self::wrap(TableSample::build_with_rows(table, k, seed), table.num_rows())
+    }
+
+    fn wrap(sample: TableSample, table_rows: usize) -> Self {
+        let pct = 100.0 * sample.num_rows() as f64 / table_rows.max(1) as f64;
+        let name = format!("Sample({pct:.1}%)");
+        Self { sample, name }
     }
 
     /// Number of rows kept.
@@ -51,17 +52,12 @@ impl SelectivityEstimator for SampleEstimator {
 
     fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
         let start = Instant::now();
-        if self.sample.num_rows() == 0 {
-            return Err(EstimateError::untrained("materialized sample is empty"));
-        }
-        let hits = try_count_matches(&self.sample, query)?;
-        let sel = hits as f64 / self.sample.num_rows() as f64;
-        Ok(Estimate::closed_form(sel, self.table_rows, start.elapsed()))
+        let sel = self.sample.try_selectivity(query)?;
+        Ok(Estimate::closed_form(sel, self.sample.table_rows(), start.elapsed()))
     }
 
     fn size_bytes(&self) -> usize {
-        // The sample is stored dictionary-encoded: 4 bytes per cell.
-        self.sample.num_rows() * self.sample.num_columns() * 4
+        self.sample.size_bytes()
     }
 }
 

@@ -147,7 +147,10 @@ fn main() {
         ("queries", scale.queries.to_string()),
         ("num_samples", scale.num_samples.to_string()),
         ("model_params", model_params.to_string()),
-        ("threads", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).to_string()),
+        // Detected cores vs what the tensor kernels will actually use
+        // (their parallel tier caps at 8 threads).
+        ("threads_detected", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).to_string()),
+        ("threads_used", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).min(8).to_string()),
         (
             "baseline_path",
             "\"pre-refactor: naive kernels + allocating conditionals + uncompacted sampler\"".to_string(),

@@ -13,11 +13,20 @@
 //!   * *latency* (closed-loop): a small client fleet keeps one request in
 //!     flight each, yielding the p50/p95 *queue-wait* (submission → worker
 //!     dequeue, from [`ServeStats`]) and p50/p95 *end-to-end* latency
-//!     (submission → response at the client) of an interactive workload.
+//!     (submission → response at the client) of an interactive workload;
+//! * **skewed** — a Zipf-skewed, repetitive request stream served twice in
+//!   the same run: once by the full tiered pipeline (exact-stats tier 0,
+//!   sketch tier 1, model tier 2, predicate-keyed estimate cache) and once
+//!   by a tier-2-only configuration (statistics stripped, cache off). The
+//!   section records the cache hit rate, per-tier request counts and
+//!   end-to-end latency quantiles (keyed by each answer's `Provenance`),
+//!   and both throughputs; the run asserts the tiered configuration is
+//!   strictly faster on this workload.
 //!
-//! Every served selectivity is asserted bit-identical to the
-//! single-session reference — the pool must never trade correctness for
-//! throughput.
+//! The uniform phases serve through a stats-less engine so every served
+//! selectivity is asserted bit-identical to the single-session model
+//! reference — the pool must never trade correctness for throughput. The
+//! skewed phase is where the fast tiers are allowed to answer.
 //!
 //! ```text
 //! cargo run --release -p naru-bench --bin bench_serve            # default scale
@@ -32,10 +41,10 @@ use std::time::Instant;
 use naru_bench::latency::latency_quantiles_json;
 use naru_core::{NaruConfig, NaruEstimator};
 use naru_data::synthetic::dmv_like;
-use naru_query::{generate_workload, Query, WorkloadConfig};
+use naru_query::{generate_workload, Predicate, Provenance, Query, WorkloadConfig};
 use naru_serve::{ServeConfig, Server};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 struct BenchScale {
     rows: usize,
@@ -98,7 +107,12 @@ fn main() {
     let (estimator, _) = NaruEstimator::train(&table, &config);
     let model_params = estimator.model().param_count();
     println!("trained MADE ({} params) in {:.1}s", model_params, train_start.elapsed().as_secs_f64());
-    let engine = estimator.into_engine();
+    // `tiered_engine` carries the exact-statistics sidecar built during
+    // training (used by the skewed phase); the uniform phases serve through
+    // the stats-less clone so every answer comes from the model and can be
+    // asserted bit-identical to the single-session reference.
+    let tiered_engine = estimator.into_engine();
+    let engine = tiered_engine.clone().without_table_stats();
 
     // The request stream: a generated workload, cycled up to the request
     // budget so the queue actually fills.
@@ -191,6 +205,121 @@ fn main() {
         runs.push(run);
     }
 
+    // ---- Skewed phase: tiered pipeline + cache vs tier-2-only ----
+    //
+    // Production estimation traffic is repetitive and much of it is easy;
+    // this phase measures what the tiered pipeline buys on such a stream.
+    // A Zipf-ish distribution over a small pool of distinct queries (easy
+    // single-column probes first — the hot head — hard model-tier
+    // conjunctions in the tail) is served by the full tiered engine with
+    // the estimate cache on, then by the same model with statistics
+    // stripped and the cache off. Determinism makes the two answer streams
+    // comparable; the tiered run must be strictly faster.
+    let skew_workers = WORKER_COUNTS.iter().copied().max().unwrap();
+    let skew_clients = (skew_workers * 2).min(8);
+    let skewed_requests = scale.requests * 2;
+
+    let mut pool: Vec<Query> = vec![
+        Query::all(),
+        Query::new(vec![Predicate::eq(0, 1)]),
+        Query::new(vec![Predicate::eq(1, 2)]),
+        Query::new(vec![Predicate::le(6, 900)]),
+        Query::new(vec![Predicate::ge(7, 1)]),
+        Query::new(vec![Predicate::eq(0, 1), Predicate::le(6, 1200)]),
+        Query::new(vec![Predicate::eq(1, 2), Predicate::ge(7, 1)]),
+    ];
+    pool.extend(workload.iter().take(16).map(|lq| lq.query.clone()));
+    let weights: Vec<f64> = (0..pool.len()).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let weight_total: f64 = weights.iter().sum();
+    let mut skew_rng = StdRng::seed_from_u64(11);
+    let skewed: Vec<Query> = (0..skewed_requests)
+        .map(|_| {
+            let mut r = skew_rng.gen_range(0.0..weight_total);
+            let mut idx = 0;
+            for (i, w) in weights.iter().enumerate() {
+                idx = i;
+                if r < *w {
+                    break;
+                }
+                r -= w;
+            }
+            pool[idx].clone()
+        })
+        .collect();
+
+    let run_closed_loop = |server: &Server, requests: &[Query]| -> (f64, Vec<(Provenance, f64)>) {
+        let start = Instant::now();
+        let mut results: Vec<(Provenance, f64)> = Vec::with_capacity(requests.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..skew_clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut measured = Vec::new();
+                        let mut i = c;
+                        while i < requests.len() {
+                            let submitted = Instant::now();
+                            let served = server.estimate(&requests[i]).expect("valid request");
+                            measured.push((served.estimate.provenance, submitted.elapsed().as_secs_f64() * 1000.0));
+                            i += skew_clients;
+                        }
+                        measured
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("client thread panicked"));
+            }
+        });
+        (start.elapsed().as_secs_f64(), results)
+    };
+
+    let skew_config = ServeConfig::default()
+        .with_workers(skew_workers)
+        .with_queue_capacity(skewed_requests.max(64))
+        .with_max_batch(16);
+    let tiered_server = Server::start(tiered_engine.clone(), skew_config.clone().with_cache_capacity(512));
+    let (tiered_secs, tiered_results) = run_closed_loop(&tiered_server, &skewed);
+    let tiered_metrics = tiered_server.shutdown();
+    assert_eq!(
+        tiered_metrics.cache_hits + tiered_metrics.served,
+        skewed_requests as u64,
+        "every skewed request is either a cache hit or served by a worker"
+    );
+
+    let model_server = Server::start(engine.clone(), skew_config);
+    let (model_secs, _) = run_closed_loop(&model_server, &skewed);
+    let model_metrics = model_server.shutdown();
+    assert_eq!(model_metrics.served, skewed_requests as u64);
+    assert_eq!(model_metrics.tier2_served, skewed_requests as u64, "the stripped engine must serve all-model");
+
+    let tiered_qps = skewed_requests as f64 / tiered_secs;
+    let tier2_only_qps = skewed_requests as f64 / model_secs;
+    let cache_hit_rate = tiered_metrics.cache_hit_rate().unwrap_or(0.0);
+    println!(
+        "skewed ({} requests, {} distinct): tiered {:.1} queries/sec vs tier-2-only {:.1} queries/sec ({:.2}x), cache hit rate {:.1}%",
+        skewed_requests,
+        pool.len(),
+        tiered_qps,
+        tier2_only_qps,
+        tiered_qps / tier2_only_qps,
+        100.0 * cache_hit_rate
+    );
+    assert!(
+        tiered_qps > tier2_only_qps,
+        "tiered serving ({tiered_qps:.1} qps) must beat the all-model configuration ({tier2_only_qps:.1} qps) on the skewed workload"
+    );
+
+    // Per-tier counts and end-to-end latency quantiles, keyed by each
+    // response's provenance as the client saw it.
+    let tier_json = |provenance: Provenance| -> String {
+        let lat: Vec<f64> = tiered_results.iter().filter(|(p, _)| *p == provenance).map(|&(_, ms)| ms).collect();
+        if lat.is_empty() {
+            "{\"count\": 0, \"latency\": null}".to_string()
+        } else {
+            format!("{{\"count\": {}, \"latency\": {}}}", lat.len(), latency_quantiles_json(&lat))
+        }
+    };
+
     let best = runs.iter().map(|r| r.queries_per_sec).fold(0.0f64, f64::max);
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"scale\": \"{}\",\n", scale.label));
@@ -199,7 +328,9 @@ fn main() {
     out.push_str(&format!("  \"requests\": {},\n", scale.requests));
     out.push_str(&format!("  \"num_samples\": {},\n", scale.num_samples));
     out.push_str(&format!("  \"model_params\": {model_params},\n"));
-    out.push_str(&format!("  \"threads\": {},\n", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)));
+    let threads_detected = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    out.push_str(&format!("  \"threads_detected\": {threads_detected},\n"));
+    out.push_str(&format!("  \"threads_used\": {skew_workers},\n"));
     out.push_str(&format!("  \"single_session_batched\": {{\"queries_per_sec\": {single_session_qps:.2}}},\n"));
     out.push_str("  \"serve\": [\n");
     for (i, run) in runs.iter().enumerate() {
@@ -216,6 +347,30 @@ fn main() {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"skewed\": {\n");
+    out.push_str(&format!("    \"requests\": {skewed_requests},\n"));
+    out.push_str(&format!("    \"distinct_queries\": {},\n", pool.len()));
+    out.push_str(&format!("    \"workers\": {skew_workers},\n"));
+    out.push_str(&format!("    \"clients\": {skew_clients},\n"));
+    out.push_str(&format!(
+        "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"hit_rate\": {:.4}}},\n",
+        tiered_metrics.cache_hits, tiered_metrics.cache_misses, tiered_metrics.cache_evictions, cache_hit_rate
+    ));
+    out.push_str("    \"tiers\": {\n");
+    let tier_order = [Provenance::Tier0Exact, Provenance::Tier1Sketch, Provenance::Tier2Model, Provenance::CacheHit];
+    for (i, provenance) in tier_order.iter().enumerate() {
+        out.push_str(&format!(
+            "      \"{}\": {}{}\n",
+            provenance.label(),
+            tier_json(*provenance),
+            if i + 1 < tier_order.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    },\n");
+    out.push_str(&format!("    \"tiered_queries_per_sec\": {tiered_qps:.2},\n"));
+    out.push_str(&format!("    \"tier2_only_queries_per_sec\": {tier2_only_qps:.2},\n"));
+    out.push_str(&format!("    \"tiered_vs_tier2_only\": {:.3}\n", tiered_qps / tier2_only_qps));
+    out.push_str("  },\n");
     out.push_str(&format!("  \"best_queries_per_sec\": {best:.2},\n"));
     out.push_str(&format!(
         "  \"best_vs_single_session_batched\": {:.3}\n",

@@ -31,10 +31,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use naru_query::{Estimate, EstimateError, Query};
+use naru_query::{ColumnConstraint, Estimate, EstimateError, Query};
 
 use crate::density::ConditionalDensity;
-use crate::sampler::{progressive_walk, SamplerScratch};
+use crate::sampler::{progressive_walk, progressive_walk_memo, PrefixMemo, SamplerScratch};
+use crate::stats::TableStats;
+use crate::tiered::{TierConfig, TieredSession};
 
 /// A density shareable across threads — what an [`Engine`] holds.
 pub type SharedDensity = Arc<dyn ConditionalDensity + Send + Sync>;
@@ -44,12 +46,20 @@ pub type SharedDensity = Arc<dyn ConditionalDensity + Send + Sync>;
 ///
 /// `Engine` is `Clone` (the artifact lives behind an `Arc`) and `Send +
 /// Sync`; spawn one [`Session`] per worker thread via [`Engine::session`].
+///
+/// An engine may additionally carry a [`TableStats`] sidecar (attached via
+/// [`Engine::with_table_stats`], or automatically by
+/// `NaruEstimator::into_engine` after training). The sidecar never changes
+/// what [`Engine::session`] computes; it only enables the tiered fast paths
+/// of [`Engine::tiered_session`].
 #[derive(Clone)]
 pub struct Engine {
     density: SharedDensity,
     num_rows: u64,
     default_samples: usize,
     default_seed: u64,
+    table_stats: Option<Arc<TableStats>>,
+    tier_config: TierConfig,
 }
 
 impl Engine {
@@ -62,7 +72,14 @@ impl Engine {
     /// Wraps an already-shared density (e.g. one `Arc` serving several
     /// engines with different default knobs).
     pub fn from_arc(density: SharedDensity, num_rows: u64) -> Self {
-        Self { density, num_rows, default_samples: 2000, default_seed: 0 }
+        Self {
+            density,
+            num_rows,
+            default_samples: 2000,
+            default_seed: 0,
+            table_stats: None,
+            tier_config: TierConfig::default(),
+        }
     }
 
     /// Sets the default progressive-sample count inherited by new sessions.
@@ -77,6 +94,32 @@ impl Engine {
         self
     }
 
+    /// Attaches a [`TableStats`] sidecar, enabling the tier-0/tier-1 fast
+    /// paths of [`Engine::tiered_session`].
+    pub fn with_table_stats(self, stats: TableStats) -> Self {
+        self.with_shared_table_stats(Arc::new(stats))
+    }
+
+    /// Attaches an already-shared [`TableStats`] sidecar.
+    pub fn with_shared_table_stats(mut self, stats: Arc<TableStats>) -> Self {
+        self.table_stats = Some(stats);
+        self
+    }
+
+    /// Drops the statistics sidecar: tiered sessions from this engine run
+    /// every query through the model (tier 2 only). Useful as the
+    /// all-model baseline in benchmarks.
+    pub fn without_table_stats(mut self) -> Self {
+        self.table_stats = None;
+        self
+    }
+
+    /// Sets the tier-routing configuration inherited by tiered sessions.
+    pub fn with_tier_config(mut self, config: TierConfig) -> Self {
+        self.tier_config = config;
+        self
+    }
+
     /// Opens a new session: a clone of the shared artifact plus fresh
     /// (empty) scratch. Cheap; buffers materialize on the first estimate.
     pub fn session(&self) -> Session {
@@ -87,12 +130,31 @@ impl Engine {
             seed: self.default_seed,
             scratch: SamplerScratch::default(),
             constraints: Vec::new(),
+            memo: PrefixMemo::default(),
         }
+    }
+
+    /// Opens a tiered session: tier-0 exact statistics and tier-1 sketches
+    /// answer the easy queries, the model session answers the rest. On an
+    /// engine without a [`TableStats`] sidecar this is a pure tier-2
+    /// passthrough, bit-identical to [`Engine::session`].
+    pub fn tiered_session(&self) -> TieredSession {
+        TieredSession::new(self.session(), self.table_stats.clone(), self.tier_config.clone())
     }
 
     /// The shared density.
     pub fn density(&self) -> &(dyn ConditionalDensity + Send + Sync) {
         &*self.density
+    }
+
+    /// The statistics sidecar, when one is attached.
+    pub fn table_stats(&self) -> Option<&Arc<TableStats>> {
+        self.table_stats.as_ref()
+    }
+
+    /// The tier-routing configuration tiered sessions inherit.
+    pub fn tier_config(&self) -> &TierConfig {
+        &self.tier_config
     }
 
     /// Row count of the modeled table.
@@ -127,6 +189,9 @@ pub struct Session {
     scratch: SamplerScratch,
     /// Reused constraint-compilation buffer (`try_constraints_into`).
     constraints: Vec<naru_query::ColumnConstraint>,
+    /// Partial-walk checkpoints reused across a batch by queries sharing a
+    /// column prefix (self-invalidating on seed/sample-count changes).
+    memo: PrefixMemo,
 }
 
 impl Session {
@@ -156,6 +221,16 @@ impl Session {
         self.num_rows
     }
 
+    /// Number of modeled columns.
+    pub fn num_columns(&self) -> usize {
+        self.density.num_columns()
+    }
+
+    /// Domain sizes of the modeled columns.
+    pub fn domain_sizes(&self) -> &[usize] {
+        self.density.domain_sizes()
+    }
+
     /// Estimates one query with the session's current knobs.
     pub fn estimate(&mut self, query: &Query) -> Result<Estimate, EstimateError> {
         self.estimate_with_samples(query, self.num_samples)
@@ -177,8 +252,59 @@ impl Session {
 
     /// Estimates a batch of queries, one result per query in order, reusing
     /// the session scratch across the whole batch.
+    ///
+    /// Beyond scratch reuse, the batch path memoizes partial walks: queries
+    /// are compiled up front and processed in an order that places shared
+    /// column prefixes next to each other, so a query whose first `k`
+    /// compiled constraints match its predecessor resumes the sampler after
+    /// column `k` instead of re-running those forward passes (identical
+    /// queries reduce to a single walk). Every individual result is
+    /// bit-for-bit identical to what [`Session::estimate`] returns for that
+    /// query, and results come back in the caller's order.
     pub fn estimate_batch(&mut self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
-        queries.iter().map(|q| self.estimate(q)).collect()
+        let n = self.density.num_columns();
+        // Same per-query error semantics as the sequential path: a
+        // degenerate domain fails every query identically.
+        if let Some(column) = self.density.domain_sizes().iter().position(|&d| d == 0) {
+            return queries.iter().map(|_| Err(EstimateError::EmptyDomain { column })).collect();
+        }
+        let mut results: Vec<Option<Result<Estimate, EstimateError>>> = vec![None; queries.len()];
+        let mut compiled: Vec<Option<Vec<ColumnConstraint>>> = vec![None; queries.len()];
+        let mut order: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, query) in queries.iter().enumerate() {
+            match query.try_constraints(n) {
+                Ok(constraints) => {
+                    compiled[i] = Some(constraints);
+                    order.push(i);
+                }
+                Err(err) => results[i] = Some(Err(err)),
+            }
+        }
+        // Lexicographic order over compiled constraint vectors clusters
+        // shared prefixes (the sort is stable, so ties keep caller order
+        // and the whole batch stays deterministic).
+        order.sort_by(|&a, &b| compiled[a].cmp(&compiled[b]));
+        for &i in &order {
+            let constraints = compiled[i].as_ref().expect("sorted indices are compiled");
+            let start = Instant::now();
+            let walk = progressive_walk_memo(
+                &*self.density,
+                constraints,
+                self.num_samples,
+                self.seed,
+                &mut self.scratch,
+                &mut self.memo,
+            );
+            let live = self.num_samples.max(1) - walk.dead_paths;
+            results[i] = Some(Ok(Estimate::sampled(walk.selectivity, self.num_rows, live, start.elapsed())));
+        }
+        results.into_iter().map(|r| r.expect("every query is answered")).collect()
+    }
+
+    /// Drops the batch path's memoized partial walks (they are also
+    /// self-invalidating; this just releases their memory).
+    pub fn clear_memo(&mut self) {
+        self.memo.clear();
     }
 }
 

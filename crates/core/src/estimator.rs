@@ -23,6 +23,7 @@ use crate::encoding::EncodingPolicy;
 use crate::engine::{estimate_with_scratch, Engine};
 use crate::model::{MadeModel, ModelConfig};
 use crate::sampler::SamplerScratch;
+use crate::stats::TableStats;
 use crate::train::{train_model, TrainConfig, TrainReport};
 
 /// Configuration for building a Naru estimator end-to-end.
@@ -175,6 +176,7 @@ pub struct NaruEstimator {
     num_rows: u64,
     num_samples: usize,
     seed: u64,
+    table_stats: Option<TableStats>,
     scratch: Mutex<EstimatorScratch>,
 }
 
@@ -184,13 +186,38 @@ impl NaruEstimator {
     pub fn train(table: &Table, config: &NaruConfig) -> (Self, TrainReport) {
         let mut model = MadeModel::new(table.schema().domain_sizes(), &config.model);
         let report = train_model(&mut model, table, &config.train);
-        (Self::from_model(model, config.num_samples, table.num_rows() as u64), report)
+        // Training is the one place with the raw table in hand, so build the
+        // exact-statistics sidecar here; `into_engine` carries it into the
+        // tiered serving path.
+        let estimator = Self::from_model(model, config.num_samples, table.num_rows() as u64)
+            .with_table_stats(TableStats::build(table));
+        (estimator, report)
     }
 
     /// Wraps an already-trained model. `num_rows` is the modeled table's row
     /// count, used to report estimated cardinalities.
     pub fn from_model(model: MadeModel, num_samples: usize, num_rows: u64) -> Self {
-        Self { model, num_rows, num_samples, seed: 0, scratch: Mutex::new(EstimatorScratch::default()) }
+        Self {
+            model,
+            num_rows,
+            num_samples,
+            seed: 0,
+            table_stats: None,
+            scratch: Mutex::new(EstimatorScratch::default()),
+        }
+    }
+
+    /// Attaches (or replaces) the exact-statistics sidecar used by the
+    /// tiered serving path. `train` does this automatically; `from_model`
+    /// callers who have the table can opt in here.
+    pub fn with_table_stats(mut self, stats: TableStats) -> Self {
+        self.table_stats = Some(stats);
+        self
+    }
+
+    /// The exact-statistics sidecar, if one was built or attached.
+    pub fn table_stats(&self) -> Option<&TableStats> {
+        self.table_stats.as_ref()
     }
 
     /// Changes the number of progressive samples (Naru-1000 vs Naru-2000 …).
@@ -239,7 +266,11 @@ impl NaruEstimator {
     /// the model moves into an `Arc`). The engine inherits the estimator's
     /// sample count and seed as session defaults.
     pub fn into_engine(self) -> Engine {
-        Engine::new(self.model, self.num_rows).with_samples(self.num_samples).with_seed(self.seed)
+        let engine = Engine::new(self.model, self.num_rows).with_samples(self.num_samples).with_seed(self.seed);
+        match self.table_stats {
+            Some(stats) => engine.with_table_stats(stats),
+            None => engine,
+        }
     }
 }
 

@@ -23,7 +23,13 @@
 //! * [`estimator`] — the [`NaruEstimator`] facade implementing the
 //!   workspace-wide `SelectivityEstimator` trait,
 //! * [`engine`] — the serving-oriented [`Engine`]/[`Session`] split: one
-//!   shared immutable artifact, one lock-free mutable scratch per thread.
+//!   shared immutable artifact, one lock-free mutable scratch per thread,
+//! * [`stats`] — exact per-column summaries, MCV/equi-depth histograms, HLL
+//!   NDV sketches, and uniform row samples shared by the tiered router and
+//!   the baseline estimators,
+//! * [`tiered`] — the tiered estimation pipeline: exact statistics (tier
+//!   0), sketches under a q-error budget (tier 1), then the model (tier 2),
+//!   with per-answer [`Provenance`](naru_query::Provenance) tags.
 
 pub mod columnwise;
 pub mod density;
@@ -34,6 +40,8 @@ pub mod estimator;
 pub mod model;
 pub mod oracle;
 pub mod sampler;
+pub mod stats;
+pub mod tiered;
 pub mod train;
 
 pub use columnwise::{ColumnwiseConfig, ColumnwiseModel};
@@ -45,6 +53,8 @@ pub use estimator::{NaruConfig, NaruConfigBuilder, NaruEstimator, SamplingEstima
 pub use model::{MadeModel, ModelConfig};
 pub use oracle::{calibrate_epsilon, NoisyOracle, OracleDensity};
 pub use sampler::{uniform_sampling_estimate, ProgressiveSampler, SampleEstimate, SamplerConfig};
+pub use stats::{ColumnHistogram, ColumnSummary, NdvSketch, StatsConfig, TableSample, TableStats};
+pub use tiered::{TierConfig, TieredSession};
 pub use train::{
     fine_tune, table_tuples, train_model, EpochStats, TrainConfig, TrainReport, TrainWorkspace, TrainableDensity,
 };

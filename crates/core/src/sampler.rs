@@ -232,6 +232,201 @@ pub(crate) fn progressive_walk<D: ConditionalDensity + ?Sized>(
     SampleEstimate { selectivity, dead_paths: s - live, columns_walked: last_filtered + 1 }
 }
 
+/// A checkpoint of the walk's full per-path state after one column:
+/// enough to resume the walk at the next column bit-for-bit.
+#[derive(Debug)]
+struct PrefixSnapshot {
+    /// The live paths' tuples, exactly `live * n` ids.
+    tuples: Vec<u32>,
+    /// The live paths' accumulated weights, exactly `live` entries.
+    weights: Vec<f64>,
+    /// Number of live paths at this point of the walk.
+    live: usize,
+    /// The RNG state after sampling this column (cloneable by design).
+    rng: StdRng,
+}
+
+/// Memoized per-column state of the most recent walk, so a following walk
+/// whose compiled constraints share a column prefix can resume after the
+/// shared columns instead of re-running their forward passes.
+///
+/// Because the sampler walks columns in order and its state after column
+/// `i` depends only on the seed, the path count, and the constraints of
+/// columns `0..=i`, restoring a snapshot reproduces the fresh walk
+/// bit-for-bit: the restored RNG continues the identical stream and the
+/// density re-encodes the restored tuples to identical inputs. The memo is
+/// invalidated whenever the seed or path count changes.
+#[derive(Debug, Default)]
+pub(crate) struct PrefixMemo {
+    valid: bool,
+    num_samples: usize,
+    seed: u64,
+    /// Compiled constraints of the memoized walk (one per column).
+    constraints: Vec<ColumnConstraint>,
+    /// `snaps[i]` is the state after walking column `i`; on a fully-dead
+    /// walk the dying column has no snapshot.
+    snaps: Vec<PrefixSnapshot>,
+    /// Column at which the memoized walk lost every path, if it did.
+    dead_col: Option<usize>,
+}
+
+impl PrefixMemo {
+    /// Drops all memoized state.
+    pub(crate) fn clear(&mut self) {
+        self.valid = false;
+        self.snaps.clear();
+        self.constraints.clear();
+        self.dead_col = None;
+    }
+}
+
+/// [`progressive_walk`] with prefix memoization: identical results for any
+/// single call, but consecutive calls whose constraint vectors share a
+/// leading column prefix (same seed, same path count) skip the shared
+/// columns' forward passes by resuming from the memoized state. The batch
+/// path sorts its queries so shared prefixes are adjacent, which turns
+/// repeated and near-duplicate queries into O(changed columns) work.
+pub(crate) fn progressive_walk_memo<D: ConditionalDensity + ?Sized>(
+    density: &D,
+    constraints: &[ColumnConstraint],
+    num_samples: usize,
+    seed: u64,
+    scratch: &mut SamplerScratch,
+    memo: &mut PrefixMemo,
+) -> SampleEstimate {
+    let n = density.num_columns();
+    assert_eq!(constraints.len(), n, "one constraint per column required");
+    let domains = density.domain_sizes();
+    let s = num_samples.max(1);
+
+    // Early exits, identical to the fresh walk. Neither consumes RNG state
+    // or scratch, so the memo stays untouched and valid for the next query.
+    if constraints.iter().enumerate().any(|(i, c)| c.count(domains[i]) == 0) {
+        return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: 0 };
+    }
+    let last_filtered = constraints.iter().rposition(|c| !matches!(c, ColumnConstraint::Any));
+    let Some(last_filtered) = last_filtered else {
+        return SampleEstimate { selectivity: 1.0, dead_paths: 0, columns_walked: 0 };
+    };
+
+    // Longest usable shared prefix: leading columns whose constraints match
+    // the memoized walk, capped by the snapshots we actually have and by
+    // the columns this query walks at all.
+    let mut shared = 0usize;
+    if memo.valid && memo.num_samples == num_samples && memo.seed == seed && memo.constraints.len() == n {
+        while shared < memo.snaps.len() && shared <= last_filtered && memo.constraints[shared] == constraints[shared] {
+            shared += 1;
+        }
+        // The memoized walk died at the column right after our shared
+        // prefix, under the same constraint: this walk dies there too.
+        if memo.dead_col == Some(shared)
+            && shared == memo.snaps.len()
+            && shared <= last_filtered
+            && memo.constraints[shared] == constraints[shared]
+        {
+            return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: shared + 1 };
+        }
+    }
+
+    let mut rng;
+    let mut live;
+    scratch.infer.reset();
+    if shared > 0 {
+        // Resume: restore the checkpoint taken right after the last shared
+        // column. The density's scratch was reset, so its first
+        // conditionals call re-encodes the restored prefix wholesale.
+        let snap = &memo.snaps[shared - 1];
+        scratch.tuples.clear();
+        scratch.tuples.extend_from_slice(&snap.tuples);
+        scratch.weights.clear();
+        scratch.weights.extend_from_slice(&snap.weights);
+        live = snap.live;
+        rng = snap.rng.clone();
+    } else {
+        scratch.tuples.clear();
+        scratch.tuples.resize(s * n, 0);
+        scratch.weights.clear();
+        scratch.weights.resize(s, 1.0);
+        live = s;
+        rng = StdRng::seed_from_u64(seed);
+    }
+
+    // Re-key the memo to this walk: shared snapshots stay, the rest are
+    // replaced as we walk.
+    memo.valid = true;
+    memo.num_samples = num_samples;
+    memo.seed = seed;
+    memo.constraints.clear();
+    memo.constraints.extend_from_slice(constraints);
+    memo.snaps.truncate(shared);
+    memo.dead_col = None;
+
+    for col in shared..=last_filtered {
+        let constraint = &constraints[col];
+        let domain = domains[col];
+        let is_any = matches!(constraint, ColumnConstraint::Any);
+        scratch.allowed.clear();
+        if !is_any {
+            for id in 0..domain as u32 {
+                if constraint.matches(id) {
+                    scratch.allowed.push(id);
+                }
+            }
+        }
+
+        density.conditionals_into(&scratch.tuples[..live * n], n, col, &mut scratch.probs, &mut scratch.infer);
+        debug_assert_eq!(scratch.probs.shape(), (live, domain));
+
+        scratch.keep.clear();
+        let mut write = 0usize;
+        for path in 0..live {
+            let row = scratch.probs.row(path);
+            let sampled = if is_any {
+                sample_categorical(&mut rng, row).map(|id| id as u32)
+            } else {
+                let mut mass = 0.0f64;
+                for &id in &scratch.allowed {
+                    mass += row[id as usize].max(0.0) as f64;
+                }
+                if !mass.is_finite() || mass <= 0.0 {
+                    None
+                } else {
+                    scratch.weights[path] *= mass;
+                    sample_allowed(&mut rng, row, &scratch.allowed, mass)
+                }
+            };
+            if let Some(id) = sampled {
+                scratch.tuples[path * n + col] = id;
+                if write != path {
+                    scratch.tuples.copy_within(path * n..(path + 1) * n, write * n);
+                    scratch.weights[write] = scratch.weights[path];
+                }
+                scratch.keep.push(path as u32);
+                write += 1;
+            }
+        }
+
+        if write < live {
+            live = write;
+            if live == 0 {
+                memo.dead_col = Some(col);
+                return SampleEstimate { selectivity: 0.0, dead_paths: s, columns_walked: col + 1 };
+            }
+            scratch.infer.compact_rows(&scratch.keep);
+        }
+
+        memo.snaps.push(PrefixSnapshot {
+            tuples: scratch.tuples[..live * n].to_vec(),
+            weights: scratch.weights[..live].to_vec(),
+            live,
+            rng: rng.clone(),
+        });
+    }
+
+    let selectivity = (scratch.weights[..live].iter().sum::<f64>() / s as f64).clamp(0.0, 1.0);
+    SampleEstimate { selectivity, dead_paths: s - live, columns_walked: last_filtered + 1 }
+}
+
 impl ProgressiveSampler {
     /// The pre-optimization implementation of progressive sampling, kept
     /// verbatim as the baseline: per-column allocating `conditionals`

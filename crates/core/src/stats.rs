@@ -1,0 +1,652 @@
+//! Reusable per-table statistics: exact per-column summaries, MCV +
+//! equi-depth histograms, HLL-style NDV sketches, and materialized uniform
+//! samples.
+//!
+//! This module is the shared statistics layer behind two consumers:
+//!
+//! * the tiered estimation pipeline (`TieredSession`), whose tier 0 answers
+//!   trivially-exact predicates from [`TableStats`] and whose tier 1
+//!   combines per-column [`ColumnHistogram`] selectivities under an
+//!   independence assumption, and
+//! * the classical baselines in `naru-baselines` (`PostgresEstimator`,
+//!   `Dbms1Estimator`, `SampleEstimator`), which delegate here so the
+//!   serving fast path and the paper's Table 2 stand-ins share one
+//!   implementation instead of two.
+//!
+//! Everything here is immutable after construction and cheap relative to
+//! the model: building [`TableStats`] is a handful of passes over the
+//! dictionary-encoded columns.
+
+use naru_data::Table;
+use naru_query::{try_count_matches, ColumnConstraint, EstimateError, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Knobs for [`TableStats::build_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct StatsConfig {
+    /// Most-common-values list length per column histogram (Postgres'
+    /// `statistics_target` analogue).
+    pub num_mcv: usize,
+    /// Equi-depth bucket count per column histogram.
+    pub num_buckets: usize,
+    /// Columns whose domain is at most this large keep their exact
+    /// per-value row counts, enabling tier-0 exact answers for arbitrary
+    /// single-column predicates on them. Set to 0 to disable exact counts
+    /// (tier 0 then only answers structurally trivial queries).
+    pub exact_counts_max_domain: usize,
+    /// HLL register address width in bits (`2^precision` one-byte
+    /// registers per column). Clamped to `4..=16`.
+    pub sketch_precision: u8,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        Self { num_mcv: 100, num_buckets: 100, exact_counts_max_domain: 4096, sketch_precision: 12 }
+    }
+}
+
+/// Per-column statistics: MCV list + equi-depth histogram on the rest.
+///
+/// Promoted from the `naru-baselines` Postgres stand-in so the tiered
+/// serving path and the baselines share one implementation. The estimate
+/// combines the exact MCV frequencies with a uniform-within-bucket
+/// assumption over the remaining values.
+#[derive(Debug, Clone)]
+pub struct ColumnHistogram {
+    /// (id, frequency) pairs for the most common values.
+    mcv: Vec<(u32, f64)>,
+    /// Total frequency captured by the MCV list.
+    mcv_total: f64,
+    /// Equi-depth bucket boundaries (inclusive upper bounds, by id) over the
+    /// non-MCV values.
+    bucket_bounds: Vec<u32>,
+    /// Frequency mass per bucket (uniform within the bucket).
+    bucket_mass: f64,
+    /// Number of distinct non-MCV values (for equality estimates).
+    other_distinct: usize,
+    /// Frequency mass not captured by the MCVs.
+    other_total: f64,
+}
+
+impl ColumnHistogram {
+    /// Builds the histogram from a column's per-id row counts.
+    pub fn build(counts: &[u64], num_rows: usize, num_mcv: usize, num_buckets: usize) -> Self {
+        let n = num_rows.max(1) as f64;
+        // MCVs: the `num_mcv` most frequent values.
+        let mut by_freq: Vec<(u32, u64)> =
+            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(id, &c)| (id as u32, c)).collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mcv: Vec<(u32, f64)> = by_freq.iter().take(num_mcv).map(|&(id, c)| (id, c as f64 / n)).collect();
+        let mcv_total: f64 = mcv.iter().map(|&(_, f)| f).sum();
+        let mcv_ids: std::collections::HashSet<u32> = mcv.iter().map(|&(id, _)| id).collect();
+
+        // Remaining values go into an equi-depth histogram over ids.
+        let mut rest: Vec<(u32, u64)> = by_freq.iter().copied().filter(|(id, _)| !mcv_ids.contains(id)).collect();
+        rest.sort_by_key(|&(id, _)| id);
+        let other_count: u64 = rest.iter().map(|&(_, c)| c).sum();
+        let other_total = other_count as f64 / n;
+        let other_distinct = rest.len();
+
+        let buckets = num_buckets.max(1).min(rest.len().max(1));
+        let per_bucket = (other_count as f64 / buckets as f64).max(1.0);
+        let mut bucket_bounds = Vec::with_capacity(buckets);
+        let mut acc = 0u64;
+        for &(id, c) in &rest {
+            acc += c;
+            if acc as f64 >= per_bucket * (bucket_bounds.len() + 1) as f64 {
+                bucket_bounds.push(id);
+            }
+        }
+        if let Some(&(last_id, _)) = rest.last() {
+            if bucket_bounds.last() != Some(&last_id) {
+                bucket_bounds.push(last_id);
+            }
+        }
+        let bucket_mass = if bucket_bounds.is_empty() { 0.0 } else { other_total / bucket_bounds.len() as f64 };
+
+        Self { mcv, mcv_total, bucket_bounds, bucket_mass, other_distinct, other_total }
+    }
+
+    /// Estimated fraction of rows whose id satisfies the constraint,
+    /// assuming uniformity inside histogram buckets.
+    pub fn selectivity(&self, constraint: &ColumnConstraint) -> f64 {
+        match constraint {
+            ColumnConstraint::Any => 1.0,
+            ColumnConstraint::Empty => 0.0,
+            _ => {
+                // Exact contribution from the MCV list.
+                let mcv_part: f64 = self.mcv.iter().filter(|(id, _)| constraint.matches(*id)).map(|&(_, f)| f).sum();
+                // Histogram contribution: fraction of each bucket's id range
+                // that intersects the constraint, times the bucket mass.
+                let mut hist_part = 0.0;
+                let mut lo = 0u32;
+                for &hi in &self.bucket_bounds {
+                    let width = (hi.saturating_sub(lo)) as f64 + 1.0;
+                    let overlap = match constraint {
+                        ColumnConstraint::Range { lo: c_lo, hi: c_hi } => {
+                            let o_lo = (*c_lo).max(lo);
+                            let o_hi = (*c_hi).min(hi);
+                            if o_lo > o_hi {
+                                0.0
+                            } else {
+                                (o_hi - o_lo) as f64 + 1.0
+                            }
+                        }
+                        ColumnConstraint::Set(ids) => ids.iter().filter(|&&id| id >= lo && id <= hi).count() as f64,
+                        ColumnConstraint::Exclude(v) => {
+                            if *v >= lo && *v <= hi {
+                                width - 1.0
+                            } else {
+                                width
+                            }
+                        }
+                        ColumnConstraint::ExcludeSet(ids) => {
+                            let holes = ids.iter().filter(|&&id| id >= lo && id <= hi).count();
+                            width - holes as f64
+                        }
+                        _ => 0.0,
+                    };
+                    hist_part += self.bucket_mass * (overlap / width).clamp(0.0, 1.0);
+                    lo = hi.saturating_add(1);
+                }
+                // Equality predicates on non-MCV values: uniform spread over
+                // the remaining distinct values is the classic assumption.
+                let point_refinement = match constraint {
+                    ColumnConstraint::Range { lo, hi } if lo == hi => {
+                        let in_mcv = self.mcv.iter().any(|&(id, _)| id == *lo);
+                        if in_mcv {
+                            None
+                        } else if self.other_distinct > 0 {
+                            Some(self.other_total / self.other_distinct as f64)
+                        } else {
+                            Some(0.0)
+                        }
+                    }
+                    _ => None,
+                };
+                let estimate = match point_refinement {
+                    Some(point) => mcv_part + point,
+                    None => mcv_part + hist_part,
+                };
+                estimate.clamp(0.0, self.mcv_total + self.other_total)
+            }
+        }
+    }
+
+    /// Summary footprint: 12 bytes per MCV entry, 4 per bucket bound, plus
+    /// the fixed scalars.
+    pub fn size_bytes(&self) -> usize {
+        (self.mcv.len() * 12) + (self.bucket_bounds.len() * 4) + 32
+    }
+}
+
+/// A HyperLogLog-style distinct-count sketch over 64-bit hashed values.
+///
+/// `2^precision` one-byte registers track the maximum leading-zero rank
+/// seen per register; [`NdvSketch::estimate`] applies the standard harmonic
+/// mean with the small-range (linear counting) correction. Accuracy is the
+/// usual ~`1.04 / sqrt(2^precision)` relative error, more than enough for
+/// tier-1 distinct-count reasoning.
+#[derive(Debug, Clone)]
+pub struct NdvSketch {
+    registers: Vec<u8>,
+    precision: u8,
+}
+
+impl NdvSketch {
+    /// Creates an empty sketch; `precision` is clamped to `4..=16`.
+    pub fn new(precision: u8) -> Self {
+        let precision = precision.clamp(4, 16);
+        Self { registers: vec![0u8; 1usize << precision], precision }
+    }
+
+    /// Mixes a raw value into a well-distributed 64-bit hash
+    /// (splitmix64-style finalizer).
+    fn mix(value: u64) -> u64 {
+        let mut z = value.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Observes one value (duplicates are free).
+    pub fn insert(&mut self, value: u64) {
+        let hash = Self::mix(value);
+        let index = (hash >> (64 - self.precision)) as usize;
+        let remaining = hash << self.precision;
+        // Rank = position of the first set bit in the remaining stream.
+        let rank = (remaining.leading_zeros() as u8 + 1).min(64 - self.precision + 1);
+        if rank > self.registers[index] {
+            self.registers[index] = rank;
+        }
+    }
+
+    /// Estimated number of distinct inserted values.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting over empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merges another sketch of the same precision (register-wise max).
+    pub fn merge(&mut self, other: &NdvSketch) {
+        assert_eq!(self.precision, other.precision, "cannot merge sketches of different precision");
+        for (r, &o) in self.registers.iter_mut().zip(&other.registers) {
+            *r = (*r).max(o);
+        }
+    }
+
+    /// One byte per register.
+    pub fn size_bytes(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+/// A materialized uniform sample of a table, shared by the `Sample`
+/// baseline and any consumer that wants sample-based selectivity.
+#[derive(Debug)]
+pub struct TableSample {
+    sample: Table,
+    table_rows: u64,
+}
+
+impl TableSample {
+    /// Keeps `fraction` of the table's rows, sampled uniformly without
+    /// replacement.
+    pub fn build(table: &Table, fraction: f64, seed: u64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "sample fraction must be in (0, 1]");
+        let k = ((table.num_rows() as f64 * fraction).round() as usize).max(1);
+        Self::build_with_rows(table, k, seed)
+    }
+
+    /// Keeps exactly `k` rows (clamped to the table size).
+    pub fn build_with_rows(table: &Table, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = table.sample_row_indices(&mut rng, k.min(table.num_rows()));
+        let sample = table.take_rows(&rows);
+        Self { sample, table_rows: table.num_rows() as u64 }
+    }
+
+    /// Number of rows kept.
+    pub fn num_rows(&self) -> usize {
+        self.sample.num_rows()
+    }
+
+    /// Row count of the *full* table the sample was drawn from.
+    pub fn table_rows(&self) -> u64 {
+        self.table_rows
+    }
+
+    /// Fraction of sample rows matching the query. Fails
+    /// [`EstimateError::Untrained`] on an empty sample and propagates
+    /// query-validation errors from the executor.
+    pub fn try_selectivity(&self, query: &Query) -> Result<f64, EstimateError> {
+        if self.sample.num_rows() == 0 {
+            return Err(EstimateError::untrained("materialized sample is empty"));
+        }
+        let hits = try_count_matches(&self.sample, query)?;
+        Ok(hits as f64 / self.sample.num_rows() as f64)
+    }
+
+    /// The sample is stored dictionary-encoded: 4 bytes per cell.
+    pub fn size_bytes(&self) -> usize {
+        self.sample.num_rows() * self.sample.num_columns() * 4
+    }
+}
+
+/// Everything [`TableStats`] keeps for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnSummary {
+    /// Dictionary domain size (number of encodable ids).
+    pub domain_size: usize,
+    /// Exact number of distinct ids present in the column.
+    pub distinct: u64,
+    /// Fraction of rows with no value. The dictionary encoding in
+    /// `naru-data` has no null representation, so this is always 0 here; the
+    /// field exists so the sidecar's schema matches what a real system's
+    /// catalog would carry.
+    pub null_fraction: f64,
+    /// Smallest id present, `None` when the column is empty.
+    pub min_id: Option<u32>,
+    /// Largest id present, `None` when the column is empty.
+    pub max_id: Option<u32>,
+    /// Exact per-id row counts, kept only when `domain_size <=
+    /// exact_counts_max_domain`.
+    counts: Option<Vec<u64>>,
+    /// MCV + equi-depth histogram for tier-1 approximate answers.
+    pub histogram: ColumnHistogram,
+    /// HLL sketch of the column's values (mergeable distinct-count summary).
+    pub ndv_sketch: NdvSketch,
+}
+
+impl ColumnSummary {
+    /// Exact per-id row counts when stored.
+    pub fn exact_counts(&self) -> Option<&[u64]> {
+        self.counts.as_deref()
+    }
+}
+
+/// How a constraint relates to one column's stored statistics during
+/// tier-0 classification.
+enum ColumnAnswer {
+    /// The constraint keeps every row of the column.
+    Full,
+    /// Exactly this many rows match (from stored exact counts).
+    Exact(u64),
+    /// The statistics cannot answer this constraint exactly.
+    Unknown,
+}
+
+/// Per-column exact summaries + histograms + sketches for a whole table:
+/// the sidecar an `Engine` consults before running the model.
+///
+/// Tier 0 uses [`TableStats::exact_cardinality`], which answers only when
+/// the result is provably exact; tier 1 uses
+/// [`TableStats::sketch_selectivity`], the per-column histogram product
+/// under independence.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    num_rows: u64,
+    columns: Vec<ColumnSummary>,
+}
+
+impl TableStats {
+    /// Builds statistics for every column with [`StatsConfig::default`].
+    pub fn build(table: &Table) -> Self {
+        Self::build_with(table, &StatsConfig::default())
+    }
+
+    /// Builds statistics for every column.
+    pub fn build_with(table: &Table, config: &StatsConfig) -> Self {
+        let num_rows = table.num_rows() as u64;
+        let columns = table
+            .columns()
+            .iter()
+            .map(|column| {
+                let counts = column.value_counts();
+                let distinct = counts.iter().filter(|&&c| c > 0).count() as u64;
+                let min_id = counts.iter().position(|&c| c > 0).map(|i| i as u32);
+                let max_id = counts.iter().rposition(|&c| c > 0).map(|i| i as u32);
+                let histogram = ColumnHistogram::build(&counts, table.num_rows(), config.num_mcv, config.num_buckets);
+                let mut ndv_sketch = NdvSketch::new(config.sketch_precision);
+                for (id, &c) in counts.iter().enumerate() {
+                    if c > 0 {
+                        ndv_sketch.insert(id as u64);
+                    }
+                }
+                let domain_size = column.domain_size();
+                let keep_counts = config.exact_counts_max_domain > 0 && domain_size <= config.exact_counts_max_domain;
+                ColumnSummary {
+                    domain_size,
+                    distinct,
+                    null_fraction: 0.0,
+                    min_id,
+                    max_id,
+                    counts: keep_counts.then_some(counts),
+                    histogram,
+                    ndv_sketch,
+                }
+            })
+            .collect();
+        Self { num_rows, columns }
+    }
+
+    /// Row count of the summarized table.
+    pub fn num_rows(&self) -> u64 {
+        self.num_rows
+    }
+
+    /// Number of summarized columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The summary for one column.
+    pub fn column(&self, index: usize) -> &ColumnSummary {
+        &self.columns[index]
+    }
+
+    /// Classifies one column's constraint against its stored statistics.
+    fn classify(&self, col: usize, constraint: &ColumnConstraint) -> ColumnAnswer {
+        let summary = &self.columns[col];
+        // Structurally empty over this domain: no id can match, so the
+        // whole query provably matches nothing, regardless of the data.
+        if constraint.count(summary.domain_size) == 0 {
+            return ColumnAnswer::Exact(0);
+        }
+        if let Some(counts) = &summary.counts {
+            // Exact counts stored: sum the matching ids. Domains here are
+            // small by construction, so a linear scan is fine.
+            let matched: u64 =
+                counts.iter().enumerate().filter(|(id, _)| constraint.matches(*id as u32)).map(|(_, &c)| c).sum();
+            return if matched == self.num_rows { ColumnAnswer::Full } else { ColumnAnswer::Exact(matched) };
+        }
+        // No exact counts: min/max still prove full coverage or emptiness.
+        let (Some(min_id), Some(max_id)) = (summary.min_id, summary.max_id) else {
+            // No values present at all (zero-row table): trivially full.
+            return ColumnAnswer::Full;
+        };
+        match constraint {
+            ColumnConstraint::Any => ColumnAnswer::Full,
+            ColumnConstraint::Range { lo, hi } => {
+                if *lo <= min_id && *hi >= max_id {
+                    ColumnAnswer::Full
+                } else if *lo > max_id || *hi < min_id {
+                    ColumnAnswer::Exact(0)
+                } else {
+                    ColumnAnswer::Unknown
+                }
+            }
+            ColumnConstraint::Exclude(v) => {
+                if *v < min_id || *v > max_id {
+                    ColumnAnswer::Full
+                } else {
+                    ColumnAnswer::Unknown
+                }
+            }
+            ColumnConstraint::ExcludeSet(ids) => {
+                if ids.iter().all(|&id| id < min_id || id > max_id) {
+                    ColumnAnswer::Full
+                } else {
+                    ColumnAnswer::Unknown
+                }
+            }
+            ColumnConstraint::Set(ids) => {
+                if ids.iter().all(|&id| id > max_id || id < min_id) {
+                    ColumnAnswer::Exact(0)
+                } else {
+                    ColumnAnswer::Unknown
+                }
+            }
+            // `Empty` is structurally zero and was handled above.
+            ColumnConstraint::Empty => ColumnAnswer::Exact(0),
+        }
+    }
+
+    /// The exact number of matching rows, when the stored statistics can
+    /// prove it; `None` when any uncertainty remains. Exactness holds in
+    /// three shapes: every constraint provably keeps all rows (answer =
+    /// `num_rows`), some constraint provably keeps none (answer = 0), or
+    /// exactly one column is genuinely filtered and its exact per-id counts
+    /// are stored (answer = that column's matched-row sum; cross-column
+    /// correlation cannot leak into a single-column count).
+    pub fn exact_cardinality(&self, constraints: &[ColumnConstraint]) -> Option<u64> {
+        assert_eq!(constraints.len(), self.columns.len(), "constraint vector width mismatch");
+        let mut partial: Option<u64> = None;
+        for (col, constraint) in constraints.iter().enumerate() {
+            match self.classify(col, constraint) {
+                ColumnAnswer::Full => {}
+                ColumnAnswer::Exact(0) => return Some(0),
+                ColumnAnswer::Exact(m) => {
+                    if partial.is_some() {
+                        // Two genuinely-filtered columns: the joint count
+                        // needs correlation information we do not store.
+                        return None;
+                    }
+                    partial = Some(m);
+                }
+                ColumnAnswer::Unknown => return None,
+            }
+        }
+        Some(partial.unwrap_or(self.num_rows))
+    }
+
+    /// Tier-1 approximate selectivity: the product of per-column histogram
+    /// selectivities under the independence assumption.
+    pub fn sketch_selectivity(&self, constraints: &[ColumnConstraint]) -> f64 {
+        assert_eq!(constraints.len(), self.columns.len(), "constraint vector width mismatch");
+        constraints
+            .iter()
+            .enumerate()
+            .map(|(col, c)| self.columns[col].histogram.selectivity(c))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Total summary footprint across columns.
+    pub fn size_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| {
+                c.histogram.size_bytes() + c.ndv_sketch.size_bytes() + c.counts.as_ref().map_or(0, |v| v.len() * 8) + 48
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_data::synthetic::{dmv_like, independent_table};
+    use naru_data::Column;
+    use naru_query::{Predicate, Query};
+
+    #[test]
+    fn ndv_sketch_tracks_distinct_counts() {
+        let mut sketch = NdvSketch::new(12);
+        for v in 0..5000u64 {
+            sketch.insert(v);
+            sketch.insert(v); // duplicates are free
+        }
+        let est = sketch.estimate();
+        assert!((est - 5000.0).abs() / 5000.0 < 0.1, "estimate {est} too far from 5000");
+
+        let mut small = NdvSketch::new(12);
+        for v in 0..17u64 {
+            small.insert(v);
+        }
+        let est = small.estimate();
+        assert!((est - 17.0).abs() < 3.0, "small-range estimate {est} too far from 17");
+    }
+
+    #[test]
+    fn ndv_sketch_merge_is_a_union() {
+        let mut a = NdvSketch::new(10);
+        let mut b = NdvSketch::new(10);
+        for v in 0..1000u64 {
+            a.insert(v);
+        }
+        for v in 500..1500u64 {
+            b.insert(v);
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        assert!((est - 1500.0).abs() / 1500.0 < 0.15, "union estimate {est} too far from 1500");
+    }
+
+    #[test]
+    fn exact_cardinality_answers_trivial_and_single_column_queries() {
+        let table = dmv_like(3000, 5);
+        let stats = TableStats::build(&table);
+        let n = table.num_columns();
+
+        // Unconstrained: everything matches.
+        let all = Query::all().try_constraints(n).unwrap();
+        assert_eq!(stats.exact_cardinality(&all), Some(3000));
+
+        // Single-column predicates on exact-count columns are exact.
+        for q in [
+            Query::new(vec![Predicate::eq(0, 1)]),
+            Query::new(vec![Predicate::le(6, 900)]),
+            Query::new(vec![Predicate::neq(1, 2)]),
+        ] {
+            let constraints = q.try_constraints(n).unwrap();
+            let expected = naru_query::try_count_matches(&table, &q).unwrap();
+            assert_eq!(stats.exact_cardinality(&constraints), Some(expected), "query {q:?}");
+        }
+
+        // Two genuinely filtered columns: cannot be exact.
+        let two = Query::new(vec![Predicate::eq(0, 1), Predicate::eq(1, 1)]).try_constraints(n).unwrap();
+        assert_eq!(stats.exact_cardinality(&two), None);
+
+        // A structurally empty constraint zeroes the whole query even next
+        // to an unanswerable one.
+        let empty = Query::new(vec![Predicate::between(0, 5, 2), Predicate::eq(1, 0)]).try_constraints(n).unwrap();
+        assert_eq!(stats.exact_cardinality(&empty), Some(0));
+    }
+
+    #[test]
+    fn exact_cardinality_uses_min_max_when_counts_are_dropped() {
+        let table = independent_table(500, &[40, 60], 3);
+        let config = StatsConfig { exact_counts_max_domain: 0, ..StatsConfig::default() };
+        let stats = TableStats::build_with(&table, &config);
+        // Full-domain range: provably all rows despite no stored counts.
+        let full = Query::new(vec![Predicate::le(0, 39)]).try_constraints(2).unwrap();
+        assert_eq!(stats.exact_cardinality(&full), Some(500));
+        // Disjoint range: provably zero rows.
+        let min = stats.column(1).min_id.unwrap();
+        if min > 0 {
+            let below = Query::new(vec![Predicate::lt(1, min)]).try_constraints(2).unwrap();
+            assert_eq!(stats.exact_cardinality(&below), Some(0));
+        }
+        // A genuine partial filter is unanswerable without counts.
+        let partial = Query::new(vec![Predicate::eq(0, 3)]).try_constraints(2).unwrap();
+        assert_eq!(stats.exact_cardinality(&partial), None);
+    }
+
+    #[test]
+    fn summaries_record_domain_shape() {
+        let table = Table::new(
+            "t",
+            vec![Column::from_ids("a", vec![2, 3, 3, 7], 10), Column::from_ids("b", vec![0, 1, 2, 3], 4)],
+        );
+        let stats = TableStats::build(&table);
+        let a = stats.column(0);
+        assert_eq!((a.min_id, a.max_id, a.distinct), (Some(2), Some(7), 3));
+        assert_eq!(a.null_fraction, 0.0);
+        assert_eq!(a.exact_counts().unwrap()[3], 2);
+        assert!(stats.size_bytes() > 0);
+        assert_eq!(stats.num_rows(), 4);
+        assert_eq!(stats.num_columns(), 2);
+    }
+
+    #[test]
+    fn table_sample_selectivity_matches_direct_evaluation() {
+        let table = dmv_like(1200, 9);
+        let sample = TableSample::build(&table, 1.0, 5);
+        let q = Query::new(vec![Predicate::eq(0, 0), Predicate::le(6, 800)]);
+        let sel = sample.try_selectivity(&q).unwrap();
+        let truth = naru_query::true_selectivity(&table, &q);
+        assert!((sel - truth).abs() < 1e-12);
+        assert_eq!(sample.num_rows(), 1200);
+        assert_eq!(sample.table_rows(), 1200);
+        assert_eq!(sample.size_bytes(), 1200 * table.num_columns() * 4);
+        let empty = TableSample::build_with_rows(&table, 0, 1);
+        assert!(matches!(empty.try_selectivity(&q), Err(EstimateError::Untrained { .. })));
+    }
+}

@@ -11,6 +11,38 @@
 use std::fmt;
 use std::time::Duration;
 
+/// Which path of the tiered estimation pipeline produced an [`Estimate`].
+///
+/// The tiered pipeline (see `TieredSession` in `naru-core`) tries cheap
+/// answers before running the model; serving adds a result cache on top.
+/// Estimators that sit outside the pipeline (baselines, a plain `Session`)
+/// report [`Provenance::Tier2Model`], the full-estimator path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Answered exactly from stored per-column statistics, no model run.
+    Tier0Exact,
+    /// Answered approximately from histograms/sketches under an
+    /// independence assumption, within a configured q-error budget.
+    Tier1Sketch,
+    /// Answered by the full estimator (progressive sampling over the model).
+    Tier2Model,
+    /// Returned verbatim from a server-side result cache; the payload is the
+    /// estimate that populated the entry, only this tag differs.
+    CacheHit,
+}
+
+impl Provenance {
+    /// Stable lowercase label, convenient for metrics and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Provenance::Tier0Exact => "tier0_exact",
+            Provenance::Tier1Sketch => "tier1_sketch",
+            Provenance::Tier2Model => "tier2_model",
+            Provenance::CacheHit => "cache_hit",
+        }
+    }
+}
+
 /// The outcome of one successful selectivity estimation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Estimate {
@@ -24,18 +56,34 @@ pub struct Estimate {
     pub live_paths: Option<usize>,
     /// Wall-clock time spent producing this estimate.
     pub wall_time: Duration,
+    /// Which pipeline path produced the answer. Constructors default to
+    /// [`Provenance::Tier2Model`]; tiered/cached paths override it via
+    /// [`Estimate::with_provenance`].
+    pub provenance: Provenance,
 }
 
 impl Estimate {
     /// An estimate from a closed-form (non-sampling) estimator.
     pub fn closed_form(selectivity: f64, num_rows: u64, wall_time: Duration) -> Self {
         let selectivity = selectivity.clamp(0.0, 1.0);
-        Self { selectivity, estimated_rows: selectivity * num_rows as f64, live_paths: None, wall_time }
+        Self {
+            selectivity,
+            estimated_rows: selectivity * num_rows as f64,
+            live_paths: None,
+            wall_time,
+            provenance: Provenance::Tier2Model,
+        }
     }
 
     /// An estimate from a sampling estimator, with its live-path count.
     pub fn sampled(selectivity: f64, num_rows: u64, live_paths: usize, wall_time: Duration) -> Self {
         Self { live_paths: Some(live_paths), ..Self::closed_form(selectivity, num_rows, wall_time) }
+    }
+
+    /// The same estimate tagged with a different [`Provenance`].
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = provenance;
+        self
     }
 
     /// The estimated cardinality rounded to whole rows.
@@ -110,6 +158,19 @@ mod tests {
         let e = Estimate::sampled(0.25, 1000, 42, Duration::ZERO);
         assert_eq!(e.cardinality(), 250);
         assert_eq!(e.live_paths, Some(42));
+    }
+
+    #[test]
+    fn provenance_defaults_to_model_and_is_overridable() {
+        let e = Estimate::closed_form(0.5, 100, Duration::ZERO);
+        assert_eq!(e.provenance, Provenance::Tier2Model);
+        let tagged = e.clone().with_provenance(Provenance::CacheHit);
+        assert_eq!(tagged.provenance, Provenance::CacheHit);
+        // Everything but the tag is unchanged.
+        assert_eq!(tagged.selectivity, e.selectivity);
+        assert_eq!(tagged.estimated_rows, e.estimated_rows);
+        assert_eq!(Provenance::Tier0Exact.label(), "tier0_exact");
+        assert_eq!(Provenance::Tier1Sketch.label(), "tier1_sketch");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Canonical, order-normalized query identity for caching and dedup.
+//!
+//! `Query` equality is structural: `a=1 AND b<=3` and `b<=3 AND a=1` are
+//! different predicate vectors even though they denote the same region.
+//! A result cache keyed on the raw predicate list would store one entry
+//! per phrasing. [`QueryKey`] instead captures the *compiled* form — one
+//! [`ColumnConstraint`] per table column, produced by
+//! [`Query::try_constraints`] — which is invariant under predicate
+//! reordering because per-column constraint intersection is commutative
+//! and associative over its canonical output forms.
+//!
+//! The key normalizes predicate *order* (and same-column predicate
+//! merging), not arbitrary semantic equivalence: `a IN (1,2,3)` and
+//! `a BETWEEN 1 AND 3` compile to different constraint representations and
+//! therefore different keys, even when they match the same ids.
+
+use crate::estimate::EstimateError;
+use crate::predicate::ColumnConstraint;
+use crate::query::Query;
+
+/// An order-normalized, hashable identity for a [`Query`] against a table
+/// with a fixed column count.
+///
+/// Two queries produce equal keys iff they compile to the same per-column
+/// constraint vector, so permuting predicates (or splitting one range into
+/// two conjunct halves that intersect back to it) does not change the key.
+/// Keys from different `num_columns` never collide on equality (the vector
+/// lengths differ).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    constraints: Vec<ColumnConstraint>,
+}
+
+impl QueryKey {
+    /// Compiles `query` against a `num_columns`-wide schema into its
+    /// canonical key. Fails with [`EstimateError::ColumnOutOfRange`] when a
+    /// predicate addresses a column outside the schema, exactly like the
+    /// estimation entry points — an invalid query has no cacheable identity.
+    pub fn new(query: &Query, num_columns: usize) -> Result<Self, EstimateError> {
+        Ok(Self { constraints: query.try_constraints(num_columns)? })
+    }
+
+    /// The compiled per-column constraints backing the key.
+    pub fn constraints(&self) -> &[ColumnConstraint] {
+        &self.constraints
+    }
+
+    /// The schema width this key was compiled against.
+    pub fn num_columns(&self) -> usize {
+        self.constraints.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(key: &QueryKey) -> u64 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn predicate_order_does_not_change_the_key() {
+        let preds = vec![
+            Predicate::between(0, 2, 9),
+            Predicate::neq(1, 4),
+            Predicate::in_set(2, vec![1, 5, 7]),
+            Predicate::ge(3, 3),
+        ];
+        let reference = QueryKey::new(&Query::new(preds.clone()), 5).unwrap();
+        // Every rotation and the full reversal must agree, equality and hash.
+        for rot in 0..preds.len() {
+            let mut permuted = preds.clone();
+            permuted.rotate_left(rot);
+            let key = QueryKey::new(&Query::new(permuted), 5).unwrap();
+            assert_eq!(key, reference, "rotation {rot} changed the key");
+            assert_eq!(hash_of(&key), hash_of(&reference));
+        }
+        let mut reversed = preds;
+        reversed.reverse();
+        let key = QueryKey::new(&Query::new(reversed), 5).unwrap();
+        assert_eq!(key, reference);
+        assert_eq!(hash_of(&key), hash_of(&reference));
+    }
+
+    #[test]
+    fn same_column_conjuncts_normalize_like_their_merge() {
+        // `2 <= a AND a <= 9` in either order equals the single between.
+        let split_a = QueryKey::new(&Query::new(vec![Predicate::ge(0, 2), Predicate::le(0, 9)]), 2).unwrap();
+        let split_b = QueryKey::new(&Query::new(vec![Predicate::le(0, 9), Predicate::ge(0, 2)]), 2).unwrap();
+        let merged = QueryKey::new(&Query::new(vec![Predicate::between(0, 2, 9)]), 2).unwrap();
+        assert_eq!(split_a, merged);
+        assert_eq!(split_b, merged);
+    }
+
+    #[test]
+    fn distinct_regions_get_distinct_keys() {
+        let a = QueryKey::new(&Query::new(vec![Predicate::eq(0, 1)]), 3).unwrap();
+        let b = QueryKey::new(&Query::new(vec![Predicate::eq(0, 2)]), 3).unwrap();
+        let c = QueryKey::new(&Query::new(vec![Predicate::eq(1, 1)]), 3).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(QueryKey::new(&Query::all(), 3).unwrap().num_columns(), 3);
+    }
+
+    #[test]
+    fn invalid_queries_have_no_key() {
+        let err = QueryKey::new(&Query::new(vec![Predicate::eq(7, 0)]), 3).unwrap_err();
+        assert_eq!(err, EstimateError::ColumnOutOfRange { column: 7, num_columns: 3 });
+    }
+}

@@ -7,8 +7,11 @@
 //!   per-column [`ColumnConstraint`] representation consumed by estimators,
 //! * [`query`] — conjunctive [`Query`] plus the [`SelectivityEstimator`]
 //!   trait implemented by Naru and every baseline,
-//! * [`estimate`] — the rich [`Estimate`] result and typed
-//!   [`EstimateError`] shared by every estimator's fallible entry points,
+//! * [`estimate`] — the rich [`Estimate`] result (with its tier
+//!   [`Provenance`] tag) and typed [`EstimateError`] shared by every
+//!   estimator's fallible entry points,
+//! * [`key`] — the order-normalized, hashable [`QueryKey`] used by result
+//!   caches to dedupe semantically identical queries,
 //! * [`executor`] — exact selectivity by scanning (ground truth),
 //! * [`workload`] — the §6.1.3 query generator (in-distribution and OOD),
 //! * [`metrics`] — the multiplicative error (q-error) and the
@@ -16,13 +19,15 @@
 
 pub mod estimate;
 pub mod executor;
+pub mod key;
 pub mod metrics;
 pub mod predicate;
 pub mod query;
 pub mod workload;
 
-pub use estimate::{Estimate, EstimateError};
+pub use estimate::{Estimate, EstimateError, Provenance};
 pub use executor::{count_matches, true_selectivity, try_count_matches};
+pub use key::QueryKey;
 pub use metrics::{q_error, q_error_from_estimate, q_error_from_selectivity, ErrorQuantiles, SelectivityBucket};
 pub use predicate::{ColumnConstraint, Op, Predicate};
 pub use query::{Query, SelectivityEstimator};

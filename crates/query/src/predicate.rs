@@ -45,7 +45,7 @@ impl Op {
 
 /// A single predicate `column op literal` (or `column IN set`), expressed
 /// over dictionary ids.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Predicate {
     /// Column index in the table.
     pub column: usize,
@@ -181,7 +181,12 @@ impl Predicate {
 
 /// The set of ids a column is restricted to. `Any` means the column is not
 /// filtered (a wildcard in the paper's terminology).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The derived `Ord` is an arbitrary-but-total structural order; it exists
+/// so batch schedulers can sort compiled constraint vectors and place
+/// queries sharing a column prefix next to each other (see
+/// `Session::estimate_batch` in `naru-core`), not to express set inclusion.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ColumnConstraint {
     /// No restriction.
     Any,

@@ -9,7 +9,11 @@ use crate::predicate::{ColumnConstraint, Predicate};
 ///
 /// Multiple predicates on the same column are allowed; they are intersected
 /// when the query is compiled into per-column constraints.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality and the derived `Hash` are structural (predicate order
+/// matters); for an order-normalized identity suitable as a cache key, use
+/// [`QueryKey`](crate::QueryKey).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     predicates: Vec<Predicate>,
 }

@@ -1,0 +1,211 @@
+//! The predicate-keyed estimate cache.
+//!
+//! Production estimation traffic is repetitive: plan enumeration re-costs
+//! the same predicates, dashboards re-issue the same filters, and skewed
+//! workloads concentrate on a few hot queries. Because estimation here is
+//! deterministic (sessions re-seed per query), a cached answer is
+//! *bit-identical* to recomputing it — so the server can consult a cache
+//! before spending queue capacity and model time.
+//!
+//! Keys are [`QueryKey`]s: order-normalized compiled constraint vectors, so
+//! `a=1 AND b<5` and `b<5 AND a=1` share an entry. The cache is sharded —
+//! each shard is an independent `Mutex<HashMap + FIFO>` — so concurrent
+//! submitters rarely contend on the same lock. Eviction is FIFO per shard,
+//! bounded by the configured total capacity. Hit / miss / eviction counters
+//! are lock-free and surface in
+//! [`MetricsSnapshot`](crate::stats::MetricsSnapshot).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use naru_query::{Estimate, Provenance, QueryKey};
+
+/// One independently locked slice of the cache.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<QueryKey, Estimate>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<QueryKey>,
+}
+
+/// A bounded, sharded, predicate-keyed estimate cache.
+#[derive(Debug)]
+pub struct EstimateCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EstimateCache {
+    /// Builds a cache holding at most (roughly) `capacity` entries spread
+    /// over `num_shards` independent locks. Both are clamped to at least 1;
+    /// the per-shard bound is `ceil(capacity / num_shards)`, so the total
+    /// never exceeds `capacity` rounded up to a multiple of the shard count.
+    pub fn new(capacity: usize, num_shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let num_shards = num_shards.max(1).min(capacity);
+        let per_shard_capacity = capacity.div_ceil(num_shards);
+        let shards = (0..num_shards).map(|_| Mutex::new(Shard::default())).collect();
+        Self {
+            shards,
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &QueryKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up. A hit returns the stored estimate re-tagged
+    /// [`Provenance::CacheHit`] (the stored copy keeps the provenance of
+    /// the tier that originally computed it); every call bumps exactly one
+    /// of the hit / miss counters.
+    pub fn get(&self, key: &QueryKey) -> Option<Estimate> {
+        let shard = self.shard(key).lock().expect("estimate cache poisoned");
+        match shard.entries.get(key) {
+            Some(estimate) => {
+                let found = estimate.clone().with_provenance(Provenance::CacheHit);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(found)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `estimate` under `key`, evicting the shard's oldest entry if
+    /// it is full. Re-inserting an existing key refreshes the value without
+    /// growing the shard.
+    pub fn insert(&self, key: QueryKey, estimate: Estimate) {
+        let mut evicted = false;
+        {
+            let mut shard = self.shard(&key).lock().expect("estimate cache poisoned");
+            if shard.entries.insert(key.clone(), estimate).is_none() {
+                shard.order.push_back(key);
+                if shard.order.len() > self.per_shard_capacity {
+                    if let Some(oldest) = shard.order.pop_front() {
+                        shard.entries.remove(&oldest);
+                        evicted = true;
+                    }
+                }
+            }
+        }
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("estimate cache poisoned").entries.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of independent shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_query::{Predicate, Query};
+    use std::time::Duration;
+
+    fn key(query: &Query) -> QueryKey {
+        QueryKey::new(query, 4).unwrap()
+    }
+
+    fn estimate(selectivity: f64) -> Estimate {
+        Estimate::closed_form(selectivity, 1000, Duration::from_micros(5))
+    }
+
+    #[test]
+    fn hit_returns_the_stored_estimate_retagged() {
+        let cache = EstimateCache::new(8, 2);
+        let q = Query::new(vec![Predicate::eq(0, 1), Predicate::le(2, 9)]);
+        assert!(cache.get(&key(&q)).is_none());
+        cache.insert(key(&q), estimate(0.25).with_provenance(Provenance::Tier1Sketch));
+
+        let hit = cache.get(&key(&q)).expect("cached");
+        assert_eq!(hit.selectivity, 0.25);
+        assert_eq!(hit.provenance, Provenance::CacheHit);
+        // Order-normalized key: the reversed predicate list hits too.
+        let reversed = Query::new(vec![Predicate::le(2, 9), Predicate::eq(0, 1)]);
+        assert!(cache.get(&key(&reversed)).is_some());
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_each_shard() {
+        let cache = EstimateCache::new(4, 1);
+        for v in 0..6u32 {
+            let q = Query::new(vec![Predicate::eq(0, v)]);
+            cache.insert(key(&q), estimate(f64::from(v) / 10.0));
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 2);
+        // The oldest entries are the evicted ones.
+        assert!(cache.get(&key(&Query::new(vec![Predicate::eq(0, 0)]))).is_none());
+        assert!(cache.get(&key(&Query::new(vec![Predicate::eq(0, 5)]))).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let cache = EstimateCache::new(2, 1);
+        let q = Query::new(vec![Predicate::ge(1, 3)]);
+        cache.insert(key(&q), estimate(0.5));
+        cache.insert(key(&q), estimate(0.75));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get(&key(&q)).unwrap().selectivity, 0.75);
+    }
+
+    #[test]
+    fn capacity_and_shards_are_clamped() {
+        let cache = EstimateCache::new(0, 0);
+        assert_eq!(cache.num_shards(), 1);
+        assert!(cache.is_empty());
+        let q = Query::all();
+        cache.insert(key(&q), estimate(1.0));
+        assert_eq!(cache.len(), 1);
+        // More shards than capacity collapses to one entry per shard.
+        let tiny = EstimateCache::new(2, 16);
+        assert_eq!(tiny.num_shards(), 2);
+    }
+}

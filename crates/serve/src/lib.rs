@@ -12,10 +12,33 @@
 //!   rejects with [`ServeError::Overloaded`] when it is full (shed load at
 //!   the edge), while [`Server::submit`] blocks until space frees up
 //!   (backpressure);
+//! * **tiered execution** — each worker answers through a
+//!   [`TieredSession`](naru_core::TieredSession): queries the engine's
+//!   statistics sidecar can prove exactly are answered in microseconds
+//!   (tier 0), histogram sketches take narrow queries within a q-error
+//!   budget (tier 1), and only the residual runs the model's progressive
+//!   sampler (tier 2). Every [`Estimate`](naru_query::Estimate) carries a
+//!   [`Provenance`](naru_query::Provenance) tag and the per-tier
+//!   [`MetricsSnapshot`] counters (`tier0_served` / `tier1_served` /
+//!   `tier2_served`) partition `served` accordingly. Engines without
+//!   statistics serve everything at tier 2, bit-identical to before;
+//! * **estimate caching** — with
+//!   [`ServeConfig::cache_capacity`] `> 0`, submissions first consult a
+//!   bounded, sharded cache keyed by order-normalized
+//!   [`QueryKey`](naru_query::QueryKey)s. A hit resolves the ticket at
+//!   submit time with the cached [`Estimate`](naru_query::Estimate)
+//!   re-tagged [`Provenance::CacheHit`](naru_query::Provenance) — no queue
+//!   slot, no worker, and no `accepted` increment (hits bypass admission
+//!   control). [`MetricsSnapshot::cache_hits`] / `cache_misses` /
+//!   `cache_evictions` track the cache; determinism makes hits
+//!   bit-identical to recomputation;
 //! * **micro-batching** — a worker opportunistically drains up to
 //!   [`ServeConfig::max_batch`] queued requests and answers them through a
-//!   single `Session::estimate_batch` call, amortizing per-wakeup overhead
-//!   under load without adding latency when the queue is shallow;
+//!   single batched estimate call, amortizing per-wakeup overhead under
+//!   load without adding latency when the queue is shallow. Within a
+//!   micro-batch, model-tier queries sharing a column prefix reuse the
+//!   sampler's partial per-column state (prefix memoization), so
+//!   repetitive batches cost far less than their query count suggests;
 //! * **rich responses** — every answered request carries the full
 //!   [`Estimate`](naru_query::Estimate) plus [`ServeStats`] (queue wait,
 //!   execution time, worker id, batch size), and failures are typed
@@ -52,11 +75,13 @@
 //! assert_eq!(metrics.served, 1);
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod queue;
 pub mod server;
 pub mod stats;
 
+pub use cache::EstimateCache;
 pub use error::ServeError;
 pub use queue::{BoundedQueue, TryPushError};
 pub use server::{ServeConfig, ServedEstimate, Server, Ticket};

@@ -1,16 +1,18 @@
-//! The worker-pool server: one shared [`Engine`], N workers with a
-//! [`Session`] each, fed by the bounded request queue.
+//! The worker-pool server: one shared [`Engine`], N workers with a tiered
+//! session each, fed by the bounded request queue, fronted by an optional
+//! predicate-keyed estimate cache.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use naru_core::{Engine, Session};
-use naru_query::{Estimate, Query};
+use naru_core::{Engine, TieredSession};
+use naru_query::{Estimate, Provenance, Query, QueryKey};
 
+use crate::cache::EstimateCache;
 use crate::error::ServeError;
 use crate::queue::{BoundedQueue, TryPushError};
 use crate::stats::{Metrics, MetricsSnapshot, ServeStats};
@@ -27,12 +29,19 @@ pub struct ServeConfig {
     /// (opportunistic micro-batching). Clamped to at least 1; 1 disables
     /// batching.
     pub max_batch: usize,
+    /// Total entries in the predicate-keyed estimate cache consulted before
+    /// enqueueing. `0` (the default) disables the cache entirely: every
+    /// request goes through admission control and a worker.
+    pub cache_capacity: usize,
+    /// Independent locks the cache is split across (ignored when the cache
+    /// is disabled). Clamped to at least 1.
+    pub cache_shards: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-        Self { num_workers: workers, queue_capacity: 256, max_batch: 16 }
+        Self { num_workers: workers, queue_capacity: 256, max_batch: 16, cache_capacity: 0, cache_shards: 8 }
     }
 }
 
@@ -54,6 +63,18 @@ impl ServeConfig {
         self.max_batch = max_batch;
         self
     }
+
+    /// Sets the estimate-cache capacity (`0` disables the cache).
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Sets the estimate-cache shard count.
+    pub fn with_cache_shards(mut self, cache_shards: usize) -> Self {
+        self.cache_shards = cache_shards;
+        self
+    }
 }
 
 /// A successful response: the [`Estimate`] plus how the request moved
@@ -69,32 +90,52 @@ pub struct ServedEstimate {
 
 type Response = Result<ServedEstimate, ServeError>;
 
-/// One queued unit of work: the query plus its reply channel.
+/// One queued unit of work: the query plus its reply channel. `key` is the
+/// request's cache key, pre-computed at submit time so the worker can store
+/// a successful answer without recompiling the query (absent when the cache
+/// is off or the query failed to compile — the worker surfaces the error).
 struct Request {
     query: Query,
+    key: Option<QueryKey>,
     submitted_at: Instant,
     reply: SyncSender<Response>,
 }
 
 impl Request {
-    fn new(query: Query) -> (Self, Ticket) {
+    fn new(query: Query, key: Option<QueryKey>) -> (Self, Ticket) {
         let (reply, rx) = sync_channel(1);
-        (Self { query, submitted_at: Instant::now(), reply }, Ticket { rx })
+        (Self { query, key, submitted_at: Instant::now(), reply }, Ticket { inner: TicketInner::Pending(rx) })
     }
+}
+
+#[derive(Debug)]
+enum TicketInner {
+    /// Answered at submit time by the estimate cache.
+    Ready(Box<Response>),
+    /// In flight: a worker will reply on the channel.
+    Pending(Receiver<Response>),
 }
 
 /// A handle to one in-flight request. [`Ticket::wait`] blocks until the
 /// owning worker responds; dropping the ticket abandons the response (the
-/// request still executes).
+/// request still executes). Cache hits are answered at submit time, so
+/// their tickets resolve without blocking.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: Receiver<Response>,
+    inner: TicketInner,
 }
 
 impl Ticket {
+    fn ready(response: Response) -> Self {
+        Self { inner: TicketInner::Ready(Box::new(response)) }
+    }
+
     /// Blocks until the request completes.
     pub fn wait(self) -> Response {
-        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+        match self.inner {
+            TicketInner::Ready(response) => *response,
+            TicketInner::Pending(rx) => rx.recv().unwrap_or(Err(ServeError::WorkerLost)),
+        }
     }
 }
 
@@ -108,23 +149,30 @@ impl Ticket {
 pub struct Server {
     queue: Arc<BoundedQueue<Request>>,
     metrics: Arc<Metrics>,
+    cache: Option<Arc<EstimateCache>>,
+    num_columns: usize,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Spawns the worker pool. Each worker opens its own [`Session`] from
-    /// `engine` (inheriting the engine's sample-count and seed defaults)
-    /// and parks on the queue until work or shutdown arrives.
+    /// Spawns the worker pool. Each worker opens its own tiered session
+    /// from `engine` (inheriting the engine's sample-count / seed defaults
+    /// and its statistics sidecar, if any) and parks on the queue until
+    /// work or shutdown arrives.
     pub fn start(engine: Engine, config: ServeConfig) -> Self {
         let num_workers = config.num_workers.max(1);
         let max_batch = config.max_batch.max(1);
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity.max(1)));
         let metrics = Arc::new(Metrics::default());
+        let cache = (config.cache_capacity > 0)
+            .then(|| Arc::new(EstimateCache::new(config.cache_capacity, config.cache_shards)));
+        let num_columns = engine.num_columns();
         let workers = (0..num_workers)
             .map(|id| {
-                let session = engine.session();
+                let session = engine.tiered_session();
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
+                let cache = cache.clone();
                 std::thread::Builder::new()
                     .name(format!("naru-serve-{id}"))
                     .spawn(move || {
@@ -139,8 +187,10 @@ impl Server {
                         // drain is itself guarded: if the queue lock is the
                         // thing that poisoned, tickets resolve to
                         // WorkerLost when the server (and queue) drop.
-                        if catch_unwind(AssertUnwindSafe(|| worker_loop(id, session, &queue, &metrics, max_batch)))
-                            .is_err()
+                        if catch_unwind(AssertUnwindSafe(|| {
+                            worker_loop(id, session, &queue, &metrics, cache.as_deref(), max_batch)
+                        }))
+                        .is_err()
                         {
                             let _ = catch_unwind(AssertUnwindSafe(|| {
                                 queue.close();
@@ -157,14 +207,48 @@ impl Server {
                     .expect("failed to spawn serve worker")
             })
             .collect();
-        Self { queue, metrics, workers }
+        Self { queue, metrics, cache, num_columns, workers }
+    }
+
+    /// Consults the cache before enqueueing. `Err(ticket)` is a hit: the
+    /// ticket is already resolved, no queue slot is consumed. `Ok(key)`
+    /// means "enqueue, and store the answer under this key if present".
+    ///
+    /// Cache hits deliberately bypass admission control: they consume no
+    /// queue capacity and do not count as `accepted` — only `cache_hits`
+    /// moves. Un-compilable queries miss the cache (`key = None`) and flow
+    /// to a worker so the error surfaces through the normal typed path.
+    fn check_cache(&self, query: &Query) -> Result<Option<QueryKey>, Ticket> {
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        let Ok(key) = QueryKey::new(query, self.num_columns) else {
+            return Ok(None);
+        };
+        match cache.get(&key) {
+            Some(estimate) => {
+                let stats = ServeStats {
+                    queue_wait: Duration::ZERO,
+                    execution: Duration::ZERO,
+                    worker: usize::MAX,
+                    batch_size: 0,
+                };
+                Err(Ticket::ready(Ok(ServedEstimate { estimate, stats })))
+            }
+            None => Ok(Some(key)),
+        }
     }
 
     /// Admission-controlled submit: rejects with
     /// [`ServeError::Overloaded`] when the queue is full instead of
-    /// blocking the caller.
+    /// blocking the caller. Cache hits resolve immediately and are never
+    /// rejected.
     pub fn try_submit(&self, query: Query) -> Result<Ticket, ServeError> {
-        let (request, ticket) = Request::new(query);
+        let key = match self.check_cache(&query) {
+            Ok(key) => key,
+            Err(ticket) => return Ok(ticket),
+        };
+        let (request, ticket) = Request::new(query, key);
         // Acceptance is counted by the queue itself, inside its critical
         // section, so a request can never be dequeued (let alone served)
         // before it is counted.
@@ -179,9 +263,13 @@ impl Server {
     }
 
     /// Blocking submit: waits for queue space. Fails only once shutdown has
-    /// begun.
+    /// begun. Cache hits resolve immediately without waiting.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServeError> {
-        let (request, ticket) = Request::new(query);
+        let key = match self.check_cache(&query) {
+            Ok(key) => key,
+            Err(ticket) => return Ok(ticket),
+        };
+        let (request, ticket) = Request::new(query, key);
         match self.queue.push(request) {
             Ok(()) => Ok(ticket),
             Err(_) => Err(ServeError::ShuttingDown),
@@ -215,7 +303,17 @@ impl Server {
         // `completed() <= accepted` even against in-flight submitters.
         let mut snapshot = self.metrics.snapshot();
         snapshot.accepted = self.queue.total_pushed();
+        if let Some(cache) = &self.cache {
+            snapshot.cache_hits = cache.hits();
+            snapshot.cache_misses = cache.misses();
+            snapshot.cache_evictions = cache.evictions();
+        }
         snapshot
+    }
+
+    /// Entries currently in the estimate cache (`0` when disabled).
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.len())
     }
 
     /// Begins shutdown without waiting: new submissions fail with
@@ -249,25 +347,28 @@ impl Drop for Server {
 }
 
 /// One worker: park on the queue, drain up to `max_batch` requests, answer
-/// them through a single `estimate_batch` call, repeat until the queue
-/// closes and empties.
+/// them through a single tiered `estimate_batch` call (fast tiers inline,
+/// the model residual through the prefix-memoizing batch path), repeat
+/// until the queue closes and empties. Successful answers whose request
+/// carries a cache key are stored for future submitters.
 fn worker_loop(
     worker: usize,
-    mut session: Session,
+    mut session: TieredSession,
     queue: &BoundedQueue<Request>,
     metrics: &Metrics,
+    cache: Option<&EstimateCache>,
     max_batch: usize,
 ) {
     let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
     let mut queries: Vec<Query> = Vec::with_capacity(max_batch);
-    let mut replies: Vec<(Instant, SyncSender<Response>)> = Vec::with_capacity(max_batch);
+    let mut replies: Vec<(Instant, Option<QueryKey>, SyncSender<Response>)> = Vec::with_capacity(max_batch);
     while queue.pop_batch(max_batch, &mut batch) {
         let dequeued_at = Instant::now();
         queries.clear();
         replies.clear();
         for request in batch.drain(..) {
             queries.push(request.query);
-            replies.push((request.submitted_at, request.reply));
+            replies.push((request.submitted_at, request.key, request.reply));
         }
         let batch_size = queries.len();
         // Contain estimator panics: a panicking density must not kill the
@@ -283,10 +384,19 @@ fn worker_loop(
                 .collect(),
         };
         metrics.batches.fetch_add(1, Ordering::Relaxed);
-        for ((submitted_at, reply), result) in replies.drain(..).zip(results) {
+        for ((submitted_at, key, reply), result) in replies.drain(..).zip(results) {
             let response = match result {
                 Ok(Ok(estimate)) => {
                     metrics.served.fetch_add(1, Ordering::Relaxed);
+                    let tier_counter = match estimate.provenance {
+                        Provenance::Tier0Exact => &metrics.tier0_served,
+                        Provenance::Tier1Sketch => &metrics.tier1_served,
+                        Provenance::Tier2Model | Provenance::CacheHit => &metrics.tier2_served,
+                    };
+                    tier_counter.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(cache), Some(key)) = (cache, key) {
+                        cache.insert(key, estimate.clone());
+                    }
                     let stats = ServeStats {
                         queue_wait: dequeued_at.saturating_duration_since(submitted_at),
                         execution: estimate.wall_time,
@@ -370,8 +480,65 @@ mod tests {
     }
 
     #[test]
+    fn cache_hit_round_trip_matches_the_fresh_miss() {
+        let engine = tiny_engine();
+        let server = Server::start(engine, ServeConfig::default().with_workers(2).with_cache_capacity(32));
+        let q = Query::new(vec![Predicate::le(0, 3), Predicate::ge(1, 1)]);
+
+        let fresh = server.estimate(&q).unwrap();
+        // Same predicates, different order: the normalized key still hits.
+        let reordered = Query::new(vec![Predicate::ge(1, 1), Predicate::le(0, 3)]);
+        let hit = server.estimate(&reordered).unwrap();
+
+        assert_eq!(hit.estimate.provenance, naru_query::Provenance::CacheHit);
+        assert_eq!(hit.estimate.selectivity, fresh.estimate.selectivity);
+        assert_eq!(hit.estimate.estimated_rows, fresh.estimate.estimated_rows);
+        assert_eq!(hit.estimate.live_paths, fresh.estimate.live_paths);
+        assert_eq!(hit.stats.worker, usize::MAX);
+        assert_eq!(hit.stats.batch_size, 0);
+
+        let metrics = server.shutdown();
+        assert_eq!(metrics.cache_hits, 1);
+        assert_eq!(metrics.cache_misses, 1);
+        assert_eq!(metrics.cache_hit_rate(), Some(0.5));
+        // The hit bypassed admission control entirely.
+        assert_eq!(metrics.accepted, 1);
+        assert_eq!(metrics.served, 1);
+    }
+
+    #[test]
+    fn tier_counters_partition_served() {
+        let server = Server::start(tiny_engine(), ServeConfig::default().with_workers(1));
+        for _ in 0..3 {
+            server.estimate(&Query::new(vec![Predicate::le(0, 3)])).unwrap();
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.served, 3);
+        assert_eq!(metrics.tier0_served + metrics.tier1_served + metrics.tier2_served, 3);
+        // A stats-less engine serves everything through the model tier.
+        assert_eq!(metrics.tier2_served, 3);
+        assert_eq!(metrics.cache_hits, 0);
+    }
+
+    #[test]
+    fn invalid_queries_skip_the_cache_and_fail_typed() {
+        let server = Server::start(tiny_engine(), ServeConfig::default().with_workers(1).with_cache_capacity(8));
+        let bad = Query::new(vec![Predicate::eq(9, 0)]);
+        for _ in 0..2 {
+            let err = server.estimate(&bad).unwrap_err();
+            assert_eq!(err, ServeError::Estimate(EstimateError::ColumnOutOfRange { column: 9, num_columns: 2 }));
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.failed, 2, "errors are recomputed, never cached");
+        assert_eq!(metrics.cache_hits, 0);
+    }
+
+    #[test]
     fn config_knobs_are_clamped_sane() {
-        let server = Server::start(tiny_engine(), ServeConfig { num_workers: 0, queue_capacity: 0, max_batch: 0 });
+        let server = Server::start(
+            tiny_engine(),
+            ServeConfig { num_workers: 0, queue_capacity: 0, max_batch: 0, cache_capacity: 0, cache_shards: 0 },
+        );
         assert_eq!(server.num_workers(), 1);
         assert_eq!(server.queue_capacity(), 1);
         assert!(server.estimate(&Query::all()).is_ok());

@@ -33,13 +33,16 @@ pub(crate) struct Metrics {
     pub served: AtomicU64,
     pub failed: AtomicU64,
     pub batches: AtomicU64,
+    pub tier0_served: AtomicU64,
+    pub tier1_served: AtomicU64,
+    pub tier2_served: AtomicU64,
 }
 
 impl Metrics {
     /// Snapshots the worker-side counters; the caller fills `accepted` from
-    /// the queue **after** this read (service implies prior acceptance, so
-    /// reading completions first keeps `completed() <= accepted` invariant
-    /// under concurrent traffic).
+    /// the queue and the `cache_*` fields from the cache **after** this
+    /// read (service implies prior acceptance, so reading completions first
+    /// keeps `completed() <= accepted` invariant under concurrent traffic).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             accepted: 0,
@@ -47,11 +50,33 @@ impl Metrics {
             served: self.served.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            tier0_served: self.tier0_served.load(Ordering::Relaxed),
+            tier1_served: self.tier1_served.load(Ordering::Relaxed),
+            tier2_served: self.tier2_served.load(Ordering::Relaxed),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
         }
     }
 }
 
 /// A point-in-time copy of the server's counters.
+///
+/// The cache counters deserve a precise reading:
+///
+/// * `cache_hits` — submissions answered directly from the estimate cache.
+///   Hits bypass admission control: they consume no queue slot and are
+///   **not** part of `accepted` or `served`, so the steady-state invariant
+///   is `hits + accepted == submissions` (modulo rejections).
+/// * `cache_misses` — cache lookups that found nothing; the request then
+///   went through the normal queue → worker path.
+/// * `cache_evictions` — entries displaced by FIFO eviction to stay within
+///   [`ServeConfig::cache_capacity`](crate::ServeConfig::cache_capacity).
+///
+/// All three stay `0` when the cache is disabled (the default). The
+/// `tier*_served` counters split `served` by the
+/// [`Provenance`](naru_query::Provenance) of each worker-produced answer:
+/// `tier0_served + tier1_served + tier2_served == served`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Requests admitted into the queue (by either submit flavor).
@@ -64,12 +89,30 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Micro-batches executed across all workers.
     pub batches: u64,
+    /// Served answers proven exactly by table statistics (tier 0).
+    pub tier0_served: u64,
+    /// Served answers from histogram sketches within budget (tier 1).
+    pub tier1_served: u64,
+    /// Served answers from the model's progressive sampler (tier 2).
+    pub tier2_served: u64,
+    /// Submissions answered from the estimate cache (bypassing the queue).
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to the worker path.
+    pub cache_misses: u64,
+    /// Cache entries displaced by FIFO eviction.
+    pub cache_evictions: u64,
 }
 
 impl MetricsSnapshot {
     /// Requests that received *some* response (success or typed error).
     pub fn completed(&self) -> u64 {
         self.served + self.failed
+    }
+
+    /// Fraction of cache lookups that hit, or `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.cache_hits + self.cache_misses;
+        (lookups > 0).then(|| self.cache_hits as f64 / lookups as f64)
     }
 }
 
@@ -88,5 +131,15 @@ mod tests {
         assert_eq!(snap.rejected, 0);
         assert_eq!(snap.completed(), 5);
         assert_eq!(snap.batches, 2);
+        assert_eq!(snap.cache_hits, 0, "cache counters are filled from the cache by the caller");
+        assert_eq!(snap.cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn cache_hit_rate_counts_both_outcomes() {
+        let mut snap = Metrics::default().snapshot();
+        snap.cache_hits = 3;
+        snap.cache_misses = 1;
+        assert_eq!(snap.cache_hit_rate(), Some(0.75));
     }
 }

@@ -16,11 +16,16 @@
 //!   [`query::EstimateError`] result types,
 //! * [`baselines`] — the estimators the paper compares against,
 //! * [`core`] — Naru itself: autoregressive density models, training,
-//!   progressive sampling, and the serving-oriented [`core::Engine`] /
-//!   [`core::Session`] API,
+//!   progressive sampling, the serving-oriented [`core::Engine`] /
+//!   [`core::Session`] API, and the tiered fast paths
+//!   ([`core::TableStats`] + [`core::TieredSession`]: exact stats at
+//!   tier 0, histogram/sketch answers at tier 1, the model at tier 2,
+//!   each estimate tagged with its [`query::Provenance`]),
 //! * [`serve`] — the worker-pool serving subsystem: a bounded request
-//!   queue with admission control, per-worker sessions, opportunistic
-//!   micro-batching, and graceful drain-on-shutdown.
+//!   queue with admission control, per-worker tiered sessions, a
+//!   sharded predicate-keyed [`serve::EstimateCache`], opportunistic
+//!   micro-batching with shared-prefix memoization, and graceful
+//!   drain-on-shutdown.
 //!
 //! ## The Engine/Session estimation API
 //!
@@ -124,8 +129,8 @@ pub use naru_tensor as tensor;
 
 /// Commonly used types, importable with `use naru::prelude::*`.
 pub mod prelude {
-    pub use naru_core::{Engine, NaruConfig, NaruEstimator, Session};
+    pub use naru_core::{Engine, NaruConfig, NaruEstimator, Session, TableStats, TierConfig, TieredSession};
     pub use naru_data::{Column, Table, Value};
-    pub use naru_query::{Estimate, EstimateError, Predicate, Query, SelectivityEstimator};
-    pub use naru_serve::{ServeConfig, ServeError, ServeStats, ServedEstimate, Server, Ticket};
+    pub use naru_query::{Estimate, EstimateError, Predicate, Provenance, Query, QueryKey, SelectivityEstimator};
+    pub use naru_serve::{EstimateCache, ServeConfig, ServeError, ServeStats, ServedEstimate, Server, Ticket};
 }

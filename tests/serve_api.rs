@@ -222,7 +222,10 @@ fn concurrent_clients_all_get_exact_answers() {
 fn queue_saturation_rejects_with_overloaded_and_recovers() {
     let gate = Arc::new(Gate::default());
     let engine = GatedDensity::engine(Arc::clone(&gate));
-    let server = Server::start(engine, ServeConfig { num_workers: 1, queue_capacity: 2, max_batch: 1 });
+    let server = Server::start(
+        engine,
+        ServeConfig { num_workers: 1, queue_capacity: 2, max_batch: 1, ..ServeConfig::default() },
+    );
     let q = Query::new(vec![Predicate::le(0, 2)]);
 
     // First request occupies the worker (parked on the gate)...
@@ -262,7 +265,10 @@ fn queue_saturation_rejects_with_overloaded_and_recovers() {
 fn shutdown_drains_every_accepted_request() {
     let gate = Arc::new(Gate::default());
     let engine = GatedDensity::engine(Arc::clone(&gate));
-    let server = Server::start(engine, ServeConfig { num_workers: 2, queue_capacity: 16, max_batch: 4 });
+    let server = Server::start(
+        engine,
+        ServeConfig { num_workers: 2, queue_capacity: 16, max_batch: 4, ..ServeConfig::default() },
+    );
     let q = Query::new(vec![Predicate::ge(1, 1)]);
 
     let tickets: Vec<_> = (0..8).map(|_| server.submit(q.clone()).unwrap()).collect();
