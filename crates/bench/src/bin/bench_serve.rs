@@ -21,7 +21,17 @@
 //!   section records the cache hit rate, per-tier request counts and
 //!   end-to-end latency quantiles (keyed by each answer's `Provenance`),
 //!   and both throughputs; the run asserts the tiered configuration is
-//!   strictly faster on this workload.
+//!   strictly faster on this workload;
+//! * **overload** — three request classes (interactive / batch /
+//!   best-effort) storm a small pool with more offered work than it can
+//!   absorb, twice in the same run: once with priority lanes plus a
+//!   [`DegradePolicy`] that routes the deadline-carrying background
+//!   classes to cheap degraded walks, and once through a single FIFO lane
+//!   at uniform full quality. Mid-storm, a handful of already-expired
+//!   requests must shed and a handful of cancelled tickets must be
+//!   skipped. The run asserts the interactive p95 under priority
+//!   scheduling beats the FIFO baseline, and that
+//!   `served + failed + shed + cancelled == accepted` holds exactly.
 //!
 //! The uniform phases serve through a stats-less engine so every served
 //! selectivity is asserted bit-identical to the single-session model
@@ -36,13 +46,15 @@
 //!
 //! [`ServeStats`]: naru_serve::ServeStats
 
-use std::time::Instant;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use naru_bench::latency::latency_quantiles_json;
 use naru_core::{NaruConfig, NaruEstimator};
 use naru_data::synthetic::dmv_like;
 use naru_query::{generate_workload, Predicate, Provenance, Query, WorkloadConfig};
-use naru_serve::{ServeConfig, Server};
+use naru_serve::{DegradePolicy, ServeConfig, ServeError, Server, SubmitOptions, Ticket};
+use naru_tensor::stats::percentile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +86,58 @@ struct ServeRun {
     e2e_ms: Vec<f64>,
     /// Micro-batches executed across both phases.
     batches: u64,
+}
+
+/// Requests each overload-storm class keeps in flight at once.
+const STORM_WINDOW: usize = 8;
+
+/// Drives one class's stream with a sliding window of `STORM_WINDOW`
+/// requests in flight, returning the end-to-end latency (ms) of every
+/// served request. With `extras`, injects the mid-storm chaos batch.
+fn storm_class(server: &Server, queries: &[Query], count: usize, options: SubmitOptions, extras: bool) -> Vec<f64> {
+    let mut e2e = Vec::with_capacity(count);
+    let mut inflight: VecDeque<(Instant, Ticket)> = VecDeque::new();
+    for i in 0..count {
+        if extras && i == count / 2 {
+            storm_extras(server, queries);
+        }
+        while inflight.len() >= STORM_WINDOW {
+            let (submitted, ticket) = inflight.pop_front().expect("window non-empty");
+            ticket.wait().expect("overload request must be served");
+            e2e.push(submitted.elapsed().as_secs_f64() * 1000.0);
+        }
+        let ticket = server.submit_with(queries[i % queries.len()].clone(), options).expect("server admitting");
+        inflight.push_back((Instant::now(), ticket));
+    }
+    for (submitted, ticket) in inflight {
+        ticket.wait().expect("overload request must be served");
+        e2e.push(submitted.elapsed().as_secs_f64() * 1000.0);
+    }
+    e2e
+}
+
+/// Mid-storm chaos: four requests admitted with an already-expired
+/// deadline (the pool must shed every one) and four tickets cancelled
+/// right after admission (workers must skip them).
+fn storm_extras(server: &Server, queries: &[Query]) {
+    let expired: Vec<Ticket> = (0..4)
+        .map(|i| {
+            let options = SubmitOptions::best_effort().deadline_within(Duration::ZERO);
+            server.submit_with(queries[i % queries.len()].clone(), options).expect("server admitting")
+        })
+        .collect();
+    for ticket in expired {
+        assert!(
+            matches!(ticket.wait(), Err(ServeError::DeadlineExceeded)),
+            "a zero-budget request must be shed, not served"
+        );
+    }
+    for i in 0..4 {
+        server
+            .submit_with(queries[i % queries.len()].clone(), SubmitOptions::batch())
+            .expect("server admitting")
+            .cancel();
+    }
 }
 
 fn main() {
@@ -138,7 +202,8 @@ fn main() {
         let server = Server::start(
             engine.clone(),
             ServeConfig::default().with_workers(workers).with_queue_capacity(scale.requests.max(64)).with_max_batch(16),
-        );
+        )
+        .expect("valid serve config");
 
         // Phase 1 — throughput, open-loop burst: queue the whole stream up
         // front so workers drain full micro-batches back to back, then
@@ -277,7 +342,8 @@ fn main() {
         .with_workers(skew_workers)
         .with_queue_capacity(skewed_requests.max(64))
         .with_max_batch(16);
-    let tiered_server = Server::start(tiered_engine.clone(), skew_config.clone().with_cache_capacity(512));
+    let tiered_server =
+        Server::start(tiered_engine.clone(), skew_config.clone().with_cache_capacity(512)).expect("valid serve config");
     let (tiered_secs, tiered_results) = run_closed_loop(&tiered_server, &skewed);
     let tiered_metrics = tiered_server.shutdown();
     assert_eq!(
@@ -286,7 +352,7 @@ fn main() {
         "every skewed request is either a cache hit or served by a worker"
     );
 
-    let model_server = Server::start(engine.clone(), skew_config);
+    let model_server = Server::start(engine.clone(), skew_config).expect("valid serve config");
     let (model_secs, _) = run_closed_loop(&model_server, &skewed);
     let model_metrics = model_server.shutdown();
     assert_eq!(model_metrics.served, skewed_requests as u64);
@@ -307,6 +373,97 @@ fn main() {
     assert!(
         tiered_qps > tier2_only_qps,
         "tiered serving ({tiered_qps:.1} qps) must beat the all-model configuration ({tier2_only_qps:.1} qps) on the skewed workload"
+    );
+
+    // ---- Overload phase: priority lanes + degradation vs FIFO baseline ----
+    //
+    // Three classes storm a deliberately small pool (more offered work than
+    // it can absorb). In the priority run the background classes carry
+    // comfortable deadlines and a DegradePolicy whose budgets sit far above
+    // any real walk time, so every deadline-carrying request takes the
+    // cheap degraded rung deterministically while the interactive class
+    // runs at full quality; the baseline pushes the identical streams
+    // through one FIFO lane at uniform full quality. Same binary, same
+    // machine, same model — the delta is pure scheduling policy.
+    let overload_workers = 2;
+    let per_class = scale.requests;
+    let overload_config =
+        ServeConfig::default().with_workers(overload_workers).with_queue_capacity(48).with_max_batch(8);
+    let degrade = DegradePolicy::default()
+        .with_full_walk_budget(Duration::from_secs(600))
+        .with_sketch_budget(Duration::from_secs(300))
+        .with_sketch_fallback_samples(16);
+    let background_deadline = Duration::from_secs(60);
+
+    let priority_server =
+        Server::start(engine.clone(), overload_config.clone().with_degrade(degrade)).expect("valid serve config");
+    let priority_options = [
+        SubmitOptions::interactive(),
+        SubmitOptions::batch().deadline_within(background_deadline),
+        SubmitOptions::best_effort().deadline_within(background_deadline),
+    ];
+    let mut priority_e2e: [Vec<f64>; 3] = Default::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = priority_options
+            .iter()
+            .enumerate()
+            .map(|(class, &options)| {
+                let server = &priority_server;
+                let requests = &requests;
+                scope.spawn(move || storm_class(server, requests, per_class, options, class == 2))
+            })
+            .collect();
+        for (class, handle) in handles.into_iter().enumerate() {
+            priority_e2e[class] = handle.join().expect("storm thread panicked");
+        }
+    });
+    let priority_metrics = priority_server.shutdown();
+    assert_eq!(priority_metrics.shed, 4, "every zero-budget chaos request must shed");
+    assert!(priority_metrics.cancelled > 0, "cancelled chaos tickets must be skipped by workers");
+    assert_eq!(
+        priority_metrics.degraded_served,
+        2 * per_class as u64,
+        "every deadline-carrying background request must be served degraded"
+    );
+    assert_eq!(
+        priority_metrics.accounted(),
+        priority_metrics.accepted,
+        "served + failed + shed + cancelled must equal accepted"
+    );
+
+    let baseline_server = Server::start(engine.clone(), overload_config).expect("valid serve config");
+    let mut baseline_e2e: [Vec<f64>; 3] = Default::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let server = &baseline_server;
+                let requests = &requests;
+                scope.spawn(move || storm_class(server, requests, per_class, SubmitOptions::default(), false))
+            })
+            .collect();
+        for (class, handle) in handles.into_iter().enumerate() {
+            baseline_e2e[class] = handle.join().expect("storm thread panicked");
+        }
+    });
+    let baseline_metrics = baseline_server.shutdown();
+    assert_eq!(baseline_metrics.served, 3 * per_class as u64);
+
+    let interactive_p95 = percentile(&priority_e2e[0], 95.0);
+    let baseline_p95 = percentile(&baseline_e2e[0], 95.0);
+    println!(
+        "overload ({} workers, {} requests/class): interactive p95 {:.2}ms with priority+degradation vs {:.2}ms FIFO ({:.2}x); {} shed, {} cancelled, {} degraded",
+        overload_workers,
+        per_class,
+        interactive_p95,
+        baseline_p95,
+        baseline_p95 / interactive_p95,
+        priority_metrics.shed,
+        priority_metrics.cancelled,
+        priority_metrics.degraded_served
+    );
+    assert!(
+        interactive_p95 < baseline_p95,
+        "interactive p95 under priority scheduling ({interactive_p95:.2}ms) must beat the FIFO baseline ({baseline_p95:.2}ms)"
     );
 
     // Per-tier counts and end-to-end latency quantiles, keyed by each
@@ -357,7 +514,13 @@ fn main() {
         tiered_metrics.cache_hits, tiered_metrics.cache_misses, tiered_metrics.cache_evictions, cache_hit_rate
     ));
     out.push_str("    \"tiers\": {\n");
-    let tier_order = [Provenance::Tier0Exact, Provenance::Tier1Sketch, Provenance::Tier2Model, Provenance::CacheHit];
+    let tier_order = [
+        Provenance::Tier0Exact,
+        Provenance::Tier1Sketch,
+        Provenance::Tier2Model,
+        Provenance::Degraded,
+        Provenance::CacheHit,
+    ];
     for (i, provenance) in tier_order.iter().enumerate() {
         out.push_str(&format!(
             "      \"{}\": {}{}\n",
@@ -370,6 +533,27 @@ fn main() {
     out.push_str(&format!("    \"tiered_queries_per_sec\": {tiered_qps:.2},\n"));
     out.push_str(&format!("    \"tier2_only_queries_per_sec\": {tier2_only_qps:.2},\n"));
     out.push_str(&format!("    \"tiered_vs_tier2_only\": {:.3}\n", tiered_qps / tier2_only_qps));
+    out.push_str("  },\n");
+    out.push_str("  \"overload\": {\n");
+    out.push_str(&format!("    \"workers\": {overload_workers},\n"));
+    out.push_str(&format!("    \"per_class_requests\": {per_class},\n"));
+    out.push_str(&format!("    \"window\": {STORM_WINDOW},\n"));
+    out.push_str(&format!("    \"shed\": {},\n", priority_metrics.shed));
+    out.push_str(&format!("    \"cancelled\": {},\n", priority_metrics.cancelled));
+    out.push_str(&format!("    \"degraded\": {},\n", priority_metrics.degraded_served));
+    out.push_str(&format!(
+        "    \"priority\": {{\"interactive_e2e\": {}, \"batch_e2e\": {}, \"best_effort_e2e\": {}}},\n",
+        latency_quantiles_json(&priority_e2e[0]),
+        latency_quantiles_json(&priority_e2e[1]),
+        latency_quantiles_json(&priority_e2e[2])
+    ));
+    out.push_str(&format!(
+        "    \"baseline\": {{\"interactive_e2e\": {}}},\n",
+        latency_quantiles_json(&baseline_e2e[0])
+    ));
+    out.push_str(&format!("    \"interactive_p95_ms\": {interactive_p95:.3},\n"));
+    out.push_str(&format!("    \"baseline_interactive_p95_ms\": {baseline_p95:.3},\n"));
+    out.push_str(&format!("    \"interactive_p95_speedup\": {:.3}\n", baseline_p95 / interactive_p95));
     out.push_str("  },\n");
     out.push_str(&format!("  \"best_queries_per_sec\": {best:.2},\n"));
     out.push_str(&format!(

@@ -54,7 +54,7 @@ pub use model::{MadeModel, ModelConfig};
 pub use oracle::{calibrate_epsilon, NoisyOracle, OracleDensity};
 pub use sampler::{uniform_sampling_estimate, ProgressiveSampler, SampleEstimate, SamplerConfig};
 pub use stats::{ColumnHistogram, ColumnSummary, NdvSketch, StatsConfig, TableSample, TableStats};
-pub use tiered::{TierConfig, TieredSession};
+pub use tiered::{DegradedMode, TierConfig, TieredSession};
 pub use train::{
     fine_tune, table_tuples, train_model, EpochStats, TrainConfig, TrainReport, TrainWorkspace, TrainableDensity,
 };

@@ -61,6 +61,33 @@ impl TierConfig {
     }
 }
 
+/// How far [`TieredSession::estimate_degraded`] may cut quality when a
+/// request's deadline budget (or the server's backlog) cannot afford the
+/// full model walk.
+///
+/// Both rungs first try the normal tier-0/tier-1 fast paths — when the
+/// statistics *prove* the answer, or the sketch is within its configured
+/// budget anyway, degradation changes nothing and the estimate keeps its
+/// ordinary provenance. Only when the routing actually cut quality is the
+/// answer tagged [`Provenance::Degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Run the model walk with this (reduced) number of progressive-sample
+    /// paths instead of the session's configured count. The middle rung of
+    /// the degradation ladder: still model-quality in shape, cheaper and
+    /// noisier. Clamped to at least 1.
+    ReducedSamples(usize),
+    /// Skip the model entirely and answer from the statistics sidecar's
+    /// histogram sketches, ignoring the tier-1 q-error budget gate. On a
+    /// session without statistics this falls back to a model walk with
+    /// `fallback_samples` paths (clamped to at least 1) — the cheapest
+    /// model answer available.
+    SketchOnly {
+        /// Sample count of the stats-less fallback walk.
+        fallback_samples: usize,
+    },
+}
+
 /// A [`Session`](crate::Session) wrapped with the tier-0/tier-1 fast paths.
 ///
 /// Built by `Engine::tiered_session`. Without a [`TableStats`] sidecar the
@@ -143,6 +170,42 @@ impl TieredSession {
         match self.fast_path(query)? {
             Some(estimate) => Ok(estimate),
             None => self.session.estimate(query),
+        }
+    }
+
+    /// Estimates one query through a *degraded* path: the normal tier-0 /
+    /// tier-1 fast tiers still answer when they can (their answers are as
+    /// good as the undegraded ones, so they keep their ordinary
+    /// provenance), but the expensive full model walk is replaced by the
+    /// rung `mode` selects. Answers produced by the cut-quality rung are
+    /// tagged [`Provenance::Degraded`].
+    ///
+    /// Errors are identical to [`TieredSession::estimate`]: degradation
+    /// never changes which typed error a malformed query produces.
+    pub fn estimate_degraded(&mut self, query: &Query, mode: DegradedMode) -> Result<Estimate, EstimateError> {
+        if let Some(estimate) = self.fast_path(query)? {
+            return Ok(estimate);
+        }
+        match mode {
+            DegradedMode::ReducedSamples(samples) => self
+                .session
+                .estimate_with_samples(query, samples.max(1))
+                .map(|estimate| estimate.with_provenance(Provenance::Degraded)),
+            DegradedMode::SketchOnly { fallback_samples } => match &self.stats {
+                Some(stats) => {
+                    // `fast_path` compiled the constraints (it only returns
+                    // `Ok(None)` with stats present after compiling them),
+                    // so the sketch can answer without revalidating.
+                    let start = Instant::now();
+                    let selectivity = stats.sketch_selectivity(&self.constraints);
+                    Ok(Estimate::closed_form(selectivity, stats.num_rows(), start.elapsed())
+                        .with_provenance(Provenance::Degraded))
+                }
+                None => self
+                    .session
+                    .estimate_with_samples(query, fallback_samples.max(1))
+                    .map(|estimate| estimate.with_provenance(Provenance::Degraded)),
+            },
         }
     }
 
@@ -279,6 +342,73 @@ mod tests {
             assert_eq!(s.provenance, b.provenance);
         }
         let _ = n;
+    }
+
+    #[test]
+    fn degraded_reduced_samples_tags_and_shrinks_the_walk() {
+        let (engine, _) = tiered_engine(1500, 19);
+        let mut tiered = engine.tiered_session();
+        // Three filtered columns: neither fast tier answers.
+        let q = Query::new(vec![Predicate::eq(0, 1), Predicate::le(6, 1200), Predicate::ge(7, 1)]);
+        let full = tiered.estimate(&q).unwrap();
+        assert_eq!(full.provenance, Provenance::Tier2Model);
+
+        let degraded = tiered.estimate_degraded(&q, DegradedMode::ReducedSamples(25)).unwrap();
+        assert_eq!(degraded.provenance, Provenance::Degraded);
+        assert!(degraded.live_paths.unwrap() <= 25);
+        // A reduced walk is bit-identical to an explicit reduced-sample call.
+        let reference = engine.session().estimate_with_samples(&q, 25).unwrap();
+        assert_eq!(degraded.selectivity, reference.selectivity);
+    }
+
+    #[test]
+    fn degraded_sketch_only_forces_the_sketch_past_the_budget_gate() {
+        let (engine, _) = tiered_engine(1500, 23);
+        let mut tiered = engine.tiered_session();
+        // Three filtered columns exceed the tier-1 budget, so the normal
+        // path runs the model — the degraded sketch rung answers anyway.
+        let q = Query::new(vec![Predicate::eq(0, 1), Predicate::le(6, 1200), Predicate::ge(7, 1)]);
+        let degraded = tiered.estimate_degraded(&q, DegradedMode::SketchOnly { fallback_samples: 8 }).unwrap();
+        assert_eq!(degraded.provenance, Provenance::Degraded);
+        assert!(degraded.live_paths.is_none(), "a sketch answer runs no sample paths");
+        assert!((0.0..=1.0).contains(&degraded.selectivity));
+    }
+
+    #[test]
+    fn degraded_keeps_fast_tier_answers_undegraded() {
+        let (engine, table) = tiered_engine(1000, 29);
+        let mut tiered = engine.tiered_session();
+        // Tier 0 proves this single-column query: degradation must not
+        // touch it (the answer is already exact).
+        let q = Query::new(vec![Predicate::le(6, 900)]);
+        let est = tiered.estimate_degraded(&q, DegradedMode::ReducedSamples(10)).unwrap();
+        assert_eq!(est.provenance, Provenance::Tier0Exact);
+        assert_eq!(est.cardinality(), naru_query::try_count_matches(&table, &q).unwrap());
+    }
+
+    #[test]
+    fn degraded_sketch_only_falls_back_to_a_reduced_walk_without_stats() {
+        let table = correlated_pair(800, 8, 0.9, 31);
+        let engine = Engine::new(OracleDensity::new(&table), table.num_rows() as u64).with_samples(150);
+        let mut tiered = engine.tiered_session();
+        let q = Query::new(vec![Predicate::eq(0, 1), Predicate::ge(1, 2)]);
+        let est = tiered.estimate_degraded(&q, DegradedMode::SketchOnly { fallback_samples: 16 }).unwrap();
+        assert_eq!(est.provenance, Provenance::Degraded);
+        assert!(est.live_paths.unwrap() <= 16, "stats-less sketch rung degrades to a reduced walk");
+    }
+
+    #[test]
+    fn degraded_errors_match_the_model_path() {
+        let (engine, table) = tiered_engine(500, 37);
+        let mut tiered = engine.tiered_session();
+        let n = table.num_columns();
+        let bad = Query::new(vec![Predicate::eq(n + 1, 0)]);
+        for mode in [DegradedMode::ReducedSamples(10), DegradedMode::SketchOnly { fallback_samples: 10 }] {
+            assert_eq!(
+                tiered.estimate_degraded(&bad, mode),
+                Err(EstimateError::ColumnOutOfRange { column: n + 1, num_columns: n })
+            );
+        }
     }
 
     #[test]

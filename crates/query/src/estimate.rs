@@ -29,6 +29,11 @@ pub enum Provenance {
     /// Returned verbatim from a server-side result cache; the payload is the
     /// estimate that populated the entry, only this tag differs.
     CacheHit,
+    /// Answered through a *degraded* path chosen under deadline or overload
+    /// pressure: a reduced-sample model walk or a forced sketch answer that
+    /// the normal routing would not have used. The estimate is best-effort —
+    /// callers that need full quality should retry with more budget.
+    Degraded,
 }
 
 impl Provenance {
@@ -39,6 +44,7 @@ impl Provenance {
             Provenance::Tier1Sketch => "tier1_sketch",
             Provenance::Tier2Model => "tier2_model",
             Provenance::CacheHit => "cache_hit",
+            Provenance::Degraded => "degraded",
         }
     }
 }
@@ -171,6 +177,7 @@ mod tests {
         assert_eq!(tagged.estimated_rows, e.estimated_rows);
         assert_eq!(Provenance::Tier0Exact.label(), "tier0_exact");
         assert_eq!(Provenance::Tier1Sketch.label(), "tier1_sketch");
+        assert_eq!(Provenance::Degraded.label(), "degraded");
     }
 
     #[test]

@@ -6,15 +6,15 @@ use naru_query::EstimateError;
 
 /// Why the serving layer could not answer a request.
 ///
-/// The first three variants are *server* conditions — the request never ran
-/// (or its worker died). [`ServeError::Estimate`] means the request was
-/// accepted, scheduled, and executed, but the estimator itself rejected the
-/// query; the inner [`EstimateError`] carries the per-query diagnosis.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The server-condition variants mean the request never ran (or its worker
+/// died). [`ServeError::Estimate`] means the request was accepted,
+/// scheduled, and executed, but the estimator itself rejected the query;
+/// the inner [`EstimateError`] carries the per-query diagnosis.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
-    /// Admission control refused the request: the bounded queue is at
-    /// capacity. Back off and retry, or use the blocking
-    /// [`Server::submit`](crate::Server::submit).
+    /// Admission control refused the request: the bounded queue (or the
+    /// request's priority class) is at capacity. Back off and retry, or
+    /// use the blocking [`Server::submit`](crate::Server::submit).
     Overloaded {
         /// The queue capacity that was exhausted.
         capacity: usize,
@@ -28,8 +28,91 @@ pub enum ServeError {
     /// The estimator panicked while executing this request. The panic is
     /// contained: the worker survives and keeps serving other requests.
     Panicked,
+    /// The request's [`Deadline`](crate::Deadline) passed before a worker
+    /// reached it; it was shed without executing the estimator.
+    DeadlineExceeded,
+    /// The estimator produced a nonsensical payload (non-finite or
+    /// out-of-range selectivity). The server refuses to serve or cache it.
+    InvalidEstimate,
+    /// [`Server::start`](crate::Server::start) rejected the configuration
+    /// before spawning anything.
+    Config(ConfigError),
     /// The request executed but the estimator rejected the query.
     Estimate(EstimateError),
+}
+
+/// A [`ServeConfig`](crate::ServeConfig) value the server refuses to run
+/// with. Returned by [`Server::start`](crate::Server::start) wrapped in
+/// [`ServeError::Config`] — invalid configs fail fast instead of being
+/// silently clamped into something the operator did not ask for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `num_workers` is zero: nothing would ever drain the queue.
+    ZeroWorkers,
+    /// `queue_capacity` is zero: no request could ever be admitted.
+    ZeroQueueCapacity,
+    /// `max_batch` is zero: workers could never dequeue anything.
+    ZeroMaxBatch,
+    /// Caching is enabled but `cache_shards` is zero.
+    ZeroCacheShards,
+    /// More cache shards than cache entries: some shards could never hold
+    /// a single entry.
+    CacheShardsExceedCapacity {
+        /// The configured shard count.
+        shards: usize,
+        /// The configured total entry capacity.
+        capacity: usize,
+    },
+    /// A per-class queue share is outside `(0, 1]`.
+    InvalidShare {
+        /// Which share knob was out of range.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fault-injection probability is outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// Which probability knob was out of range.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A [`DegradePolicy`](crate::DegradePolicy) sample count is zero: the
+    /// degraded rung could never produce an estimate.
+    ZeroDegradeSamples,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroWorkers => write!(f, "num_workers must be at least 1"),
+            Self::ZeroQueueCapacity => write!(f, "queue_capacity must be at least 1"),
+            Self::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            Self::ZeroCacheShards => {
+                write!(f, "cache_shards must be at least 1 when caching is enabled")
+            }
+            Self::CacheShardsExceedCapacity { shards, capacity } => {
+                write!(f, "cache_shards ({shards}) must not exceed cache_capacity ({capacity})")
+            }
+            Self::InvalidShare { name, value } => {
+                write!(f, "{name} must be in (0, 1], got {value}")
+            }
+            Self::InvalidProbability { name, value } => {
+                write!(f, "{name} must be a probability in [0, 1], got {value}")
+            }
+            Self::ZeroDegradeSamples => {
+                write!(f, "degrade policy sample counts must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for ServeError {
+    fn from(err: ConfigError) -> Self {
+        Self::Config(err)
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -41,6 +124,13 @@ impl fmt::Display for ServeError {
             Self::ShuttingDown => write!(f, "server is shutting down"),
             Self::WorkerLost => write!(f, "worker terminated before responding"),
             Self::Panicked => write!(f, "estimator panicked while executing the request"),
+            Self::DeadlineExceeded => {
+                write!(f, "deadline expired before the request was executed")
+            }
+            Self::InvalidEstimate => {
+                write!(f, "estimator produced a non-finite or out-of-range selectivity")
+            }
+            Self::Config(err) => write!(f, "invalid serve configuration: {err}"),
             Self::Estimate(err) => write!(f, "estimation failed: {err}"),
         }
     }
@@ -50,6 +140,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Estimate(err) => Some(err),
+            Self::Config(err) => Some(err),
             _ => None,
         }
     }
@@ -73,6 +164,20 @@ mod tests {
         assert!(ServeError::Panicked.to_string().contains("panicked"));
         let wrapped = ServeError::from(EstimateError::ColumnOutOfRange { column: 7, num_columns: 3 });
         assert!(wrapped.to_string().contains("column 7"));
+        assert!(ServeError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServeError::InvalidEstimate.to_string().contains("selectivity"));
+    }
+
+    #[test]
+    fn config_errors_display_the_offending_knob() {
+        let err = ServeError::from(ConfigError::CacheShardsExceedCapacity { shards: 16, capacity: 4 });
+        assert!(err.to_string().contains("16"));
+        assert!(err.to_string().contains("4"));
+        let share = ConfigError::InvalidShare { name: "batch_queue_share", value: 1.5 };
+        assert!(share.to_string().contains("batch_queue_share"));
+        assert!(share.to_string().contains("1.5"));
+        use std::error::Error;
+        assert!(ServeError::Config(ConfigError::ZeroWorkers).source().is_some());
     }
 
     #[test]

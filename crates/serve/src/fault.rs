@@ -1,0 +1,160 @@
+//! Fault injection: plain runtime knobs that make the server hurt itself
+//! on purpose.
+//!
+//! Robustness claims ("panics are contained", "the watchdog respawns dead
+//! workers", "accounting never leaks a request") are only as good as the
+//! tests that exercise them. [`FaultInjection`] turns the failure modes on
+//! deliberately — no compile-time features, just probabilities — so the
+//! chaos suite (`crates/serve/tests/chaos.rs`) and ad-hoc load tests can
+//! drive the server through sustained failure and assert the invariants:
+//!
+//! * `served + failed + shed + cancelled == accepted` (nothing leaks);
+//! * a dead worker is respawned and the pool keeps serving;
+//! * shutdown still drains every accepted request;
+//! * a poisoned (non-finite) estimate is rejected, never served or cached.
+//!
+//! All knobs default to off; a default [`FaultInjection`] adds zero
+//! overhead to the hot path (workers skip the fault RNG entirely).
+
+use std::time::Duration;
+
+use crate::error::ConfigError;
+
+/// Chaos knobs, attached via
+/// [`ServeConfig::with_faults`](crate::ServeConfig::with_faults).
+/// Injection is deterministic given [`FaultInjection::seed`] (each worker
+/// derives its own RNG from the seed, its id, and its respawn generation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjection {
+    /// Per-request probability that execution panics inside the estimator
+    /// (exercises per-request panic containment: the request fails with
+    /// [`ServeError::Panicked`](crate::ServeError::Panicked), the worker
+    /// survives).
+    pub panic_probability: f64,
+    /// Per-batch probability that the worker thread itself dies after
+    /// draining a batch (exercises the watchdog: the batch's requests fail
+    /// with [`ServeError::WorkerLost`](crate::ServeError::WorkerLost), the
+    /// worker is respawned).
+    pub death_probability: f64,
+    /// Per-batch probability of an injected stall of [`FaultInjection::stall`]
+    /// before executing (exercises deadline expiry and queue pressure).
+    pub stall_probability: f64,
+    /// Length of an injected stall.
+    pub stall: Duration,
+    /// Per-request probability that a successful estimate is replaced with
+    /// a non-finite payload before validation (exercises the server's
+    /// output validation: the request fails with
+    /// [`ServeError::InvalidEstimate`](crate::ServeError::InvalidEstimate)
+    /// and is never cached).
+    pub poison_probability: f64,
+    /// Forces admission control to treat the queue as saturated:
+    /// [`Server::try_submit`](crate::Server::try_submit) rejects every
+    /// request with `Overloaded`. Blocking `submit` is unaffected.
+    pub force_saturation: bool,
+    /// Seed of the deterministic fault RNG.
+    pub seed: u64,
+}
+
+impl Default for FaultInjection {
+    fn default() -> Self {
+        Self {
+            panic_probability: 0.0,
+            death_probability: 0.0,
+            stall_probability: 0.0,
+            stall: Duration::from_millis(5),
+            poison_probability: 0.0,
+            force_saturation: false,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultInjection {
+    /// Sets the per-request estimator-panic probability.
+    pub fn with_panic_probability(mut self, p: f64) -> Self {
+        self.panic_probability = p;
+        self
+    }
+
+    /// Sets the per-batch worker-death probability.
+    pub fn with_death_probability(mut self, p: f64) -> Self {
+        self.death_probability = p;
+        self
+    }
+
+    /// Sets the per-batch stall probability and stall length.
+    pub fn with_stall(mut self, p: f64, stall: Duration) -> Self {
+        self.stall_probability = p;
+        self.stall = stall;
+        self
+    }
+
+    /// Sets the per-request estimate-poisoning probability.
+    pub fn with_poison_probability(mut self, p: f64) -> Self {
+        self.poison_probability = p;
+        self
+    }
+
+    /// Forces admission control to reject every `try_submit`.
+    pub fn with_forced_saturation(mut self, on: bool) -> Self {
+        self.force_saturation = on;
+        self
+    }
+
+    /// Sets the fault RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether every probabilistic knob is off (workers then skip the
+    /// fault RNG entirely).
+    pub fn is_noop(&self) -> bool {
+        self.panic_probability == 0.0
+            && self.death_probability == 0.0
+            && self.stall_probability == 0.0
+            && self.poison_probability == 0.0
+    }
+
+    /// Validates every probability is a finite value in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, value) in [
+            ("panic_probability", self.panic_probability),
+            ("death_probability", self.death_probability),
+            ("stall_probability", self.stall_probability),
+            ("poison_probability", self.poison_probability),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::InvalidProbability { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop_and_valid() {
+        let faults = FaultInjection::default();
+        assert!(faults.is_noop());
+        assert!(faults.validate().is_ok());
+        // force_saturation alone is not probabilistic: still a no-op for
+        // the worker-side RNG.
+        assert!(FaultInjection::default().with_forced_saturation(true).is_noop());
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_rejected() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            let faults = FaultInjection::default().with_panic_probability(bad);
+            assert!(matches!(
+                faults.validate(),
+                Err(ConfigError::InvalidProbability { name: "panic_probability", .. })
+            ));
+        }
+        assert!(FaultInjection::default().with_panic_probability(1.0).with_death_probability(0.5).validate().is_ok());
+    }
+}

@@ -47,14 +47,38 @@
 //!   silent drop. Even a *panicking* density is contained: the worker
 //!   catches it, answers the poisoning request with
 //!   [`ServeError::Panicked`], and keeps serving everything else;
+//! * **priorities and deadlines** — every submission may carry
+//!   [`SubmitOptions`]: a [`Priority`] class ([`Priority::Interactive`] /
+//!   [`Priority::Batch`] / [`Priority::BestEffort`]) with per-class
+//!   admission caps and strict dequeue ordering, and an optional
+//!   [`Deadline`]. A request whose deadline expires while it queues is
+//!   *shed* at dequeue — answered [`ServeError::DeadlineExceeded`] without
+//!   ever running the estimator;
+//! * **cancellation** — a [`Ticket`] can be cancelled (or simply dropped);
+//!   workers skip abandoned requests before doing any work, and
+//!   [`Ticket::wait_timeout`] bounds how long a caller blocks;
+//! * **graceful degradation** — with a [`DegradePolicy`] attached, a
+//!   request whose remaining deadline budget (or the observed queue depth)
+//!   makes the full model walk unaffordable is answered through a cheaper
+//!   rung — a reduced-sample walk, or the statistics sketch outright — and
+//!   tagged [`Provenance::Degraded`](naru_query::Provenance::Degraded)
+//!   (counted in [`MetricsSnapshot::degraded_served`], never cached);
+//! * **supervision and chaos testing** — a watchdog thread respawns
+//!   workers that die to a panic ([`MetricsSnapshot::worker_respawns`]),
+//!   and [`FaultInjection`] provides runtime knobs (injected panics,
+//!   worker deaths, stalls, poisoned estimates, forced saturation) that the
+//!   chaos test suite uses to prove the lifecycle invariants under fire;
 //! * **graceful shutdown** — [`Server::shutdown`] (or dropping the server)
 //!   stops admission, drains every accepted request to completion, and
-//!   joins the workers: no accepted request is ever lost.
+//!   joins the workers: no accepted request is ever lost. After the drain
+//!   the accounting identity holds exactly:
+//!   `served + failed + shed + cancelled == accepted`
+//!   ([`MetricsSnapshot::accounted`]).
 //!
-//! Estimates are deterministic: sessions re-seed per query, so a served
-//! answer is bit-for-bit identical to a direct sequential `Session` call
-//! with the same engine knobs, regardless of worker count, scheduling
-//! order, or batch boundaries.
+//! Full-quality estimates are deterministic: sessions re-seed per query, so
+//! a served answer is bit-for-bit identical to a direct sequential
+//! `Session` call with the same engine knobs, regardless of worker count,
+//! scheduling order, or batch boundaries.
 //!
 //! ```
 //! use naru_core::{Engine, IndependentDensity};
@@ -63,7 +87,7 @@
 //!
 //! // Any trained artifact works; a closed-form density keeps the example fast.
 //! let engine = Engine::new(IndependentDensity::uniform(&[8, 8]), 10_000).with_samples(64);
-//! let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(4));
+//! let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(4)).unwrap();
 //!
 //! let ticket = server.try_submit(Query::new(vec![Predicate::le(0, 3)])).unwrap();
 //! let served = ticket.wait().unwrap();
@@ -73,16 +97,23 @@
 //!
 //! let metrics = server.shutdown();
 //! assert_eq!(metrics.served, 1);
+//! assert_eq!(metrics.accounted(), metrics.accepted);
 //! ```
 
 pub mod cache;
 pub mod error;
+pub mod fault;
+pub mod policy;
 pub mod queue;
+pub mod request;
 pub mod server;
 pub mod stats;
 
 pub use cache::EstimateCache;
-pub use error::ServeError;
-pub use queue::{BoundedQueue, TryPushError};
+pub use error::{ConfigError, ServeError};
+pub use fault::FaultInjection;
+pub use policy::{DegradePolicy, Route};
+pub use queue::{BoundedQueue, Disposition, Scheduled, TryPushError};
+pub use request::{Deadline, Priority, SubmitOptions};
 pub use server::{ServeConfig, ServedEstimate, Server, Ticket};
 pub use stats::{MetricsSnapshot, ServeStats};

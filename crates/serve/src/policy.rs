@@ -1,0 +1,167 @@
+//! Graceful degradation: trade estimate quality for latency when the full
+//! model walk is unaffordable.
+//!
+//! Naru's progressive-sampling estimates are inherently anytime and
+//! approximate, and the tiered pipeline already produces cheap sketch
+//! answers — so under deadline or overload pressure the server should
+//! *degrade* to a faster rung rather than fail. A [`DegradePolicy`] encodes
+//! the ladder:
+//!
+//! 1. **full** — the ordinary tiered estimate (stats fast paths, then the
+//!    full-sample model walk);
+//! 2. **reduced** — the model walk with
+//!    [`DegradePolicy::reduced_samples`] paths: model-shaped, cheaper,
+//!    noisier;
+//! 3. **sketch** — no model at all: the statistics sidecar's histogram
+//!    sketch answers past its usual q-error gate (or, without stats, a
+//!    minimal [`DegradePolicy::sketch_fallback_samples`]-path walk).
+//!
+//! The rung is chosen per request at *dequeue* time, from the request's
+//! remaining deadline budget and the queue depth the worker observes.
+//! Answers from rungs 2 and 3 are tagged
+//! [`Provenance::Degraded`](naru_query::Provenance::Degraded) so callers
+//! can tell (and the server never caches them).
+
+use std::time::Duration;
+
+/// The degradation rung chosen for one request at dequeue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Full quality: the ordinary tiered estimate.
+    Full,
+    /// Reduced-sample model walk ([`DegradePolicy::reduced_samples`]).
+    Reduced,
+    /// Stats-only sketch answer (model skipped entirely).
+    Sketch,
+}
+
+/// When and how far to degrade. Attached to the server via
+/// [`ServeConfig::with_degrade`](crate::ServeConfig::with_degrade); a
+/// server without a policy never degrades.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// A request whose remaining deadline budget is at or below this is
+    /// routed to the reduced-sample rung instead of the full walk.
+    pub full_walk_budget: Duration,
+    /// A request whose remaining budget is at or below this skips the
+    /// model entirely and takes the sketch rung. Should be below
+    /// [`DegradePolicy::full_walk_budget`] to make the ladder monotone.
+    pub sketch_budget: Duration,
+    /// Sample-path count of the reduced rung. Must be at least 1
+    /// (validated at [`Server::start`](crate::Server::start)).
+    pub reduced_samples: usize,
+    /// Queue depth (observed at dequeue, after draining the batch) at or
+    /// above which even deadline-less requests take the reduced rung.
+    /// `usize::MAX` (the default) disables depth-based degradation.
+    pub reduced_depth: usize,
+    /// Queue depth at or above which deadline-less requests take the
+    /// sketch rung. `usize::MAX` disables.
+    pub sketch_depth: usize,
+    /// Sample-path count used when a sketch-rung request reaches an engine
+    /// without a statistics sidecar. Must be at least 1.
+    pub sketch_fallback_samples: usize,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            full_walk_budget: Duration::from_millis(25),
+            sketch_budget: Duration::from_millis(2),
+            reduced_samples: 250,
+            reduced_depth: usize::MAX,
+            sketch_depth: usize::MAX,
+            sketch_fallback_samples: 64,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Sets the remaining-budget threshold below which the full walk is
+    /// replaced by the reduced rung.
+    pub fn with_full_walk_budget(mut self, budget: Duration) -> Self {
+        self.full_walk_budget = budget;
+        self
+    }
+
+    /// Sets the remaining-budget threshold below which the model is
+    /// skipped entirely.
+    pub fn with_sketch_budget(mut self, budget: Duration) -> Self {
+        self.sketch_budget = budget;
+        self
+    }
+
+    /// Sets the reduced rung's sample count.
+    pub fn with_reduced_samples(mut self, samples: usize) -> Self {
+        self.reduced_samples = samples;
+        self
+    }
+
+    /// Sets the queue-depth watermarks for depth-based degradation
+    /// (`usize::MAX` disables a rung).
+    pub fn with_depth_watermarks(mut self, reduced: usize, sketch: usize) -> Self {
+        self.reduced_depth = reduced;
+        self.sketch_depth = sketch;
+        self
+    }
+
+    /// Sets the stats-less sketch-rung fallback sample count.
+    pub fn with_sketch_fallback_samples(mut self, samples: usize) -> Self {
+        self.sketch_fallback_samples = samples;
+        self
+    }
+
+    /// Picks the rung for a request with `remaining` deadline budget
+    /// (`None` = no deadline) observed against `depth` queued requests.
+    /// Deadline pressure wins over depth pressure; the tighter rung wins
+    /// overall.
+    pub fn route(&self, remaining: Option<Duration>, depth: usize) -> Route {
+        if let Some(remaining) = remaining {
+            if remaining <= self.sketch_budget {
+                return Route::Sketch;
+            }
+            if remaining <= self.full_walk_budget {
+                return Route::Reduced;
+            }
+        }
+        if depth >= self.sketch_depth {
+            return Route::Sketch;
+        }
+        if depth >= self.reduced_depth {
+            return Route::Reduced;
+        }
+        Route::Full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_budget_picks_the_rung() {
+        let policy = DegradePolicy::default();
+        assert_eq!(policy.route(None, 0), Route::Full);
+        assert_eq!(policy.route(Some(Duration::from_secs(1)), 0), Route::Full);
+        assert_eq!(policy.route(Some(Duration::from_millis(10)), 0), Route::Reduced);
+        assert_eq!(policy.route(Some(Duration::from_millis(1)), 0), Route::Sketch);
+        assert_eq!(policy.route(Some(Duration::ZERO), 0), Route::Sketch);
+    }
+
+    #[test]
+    fn queue_depth_degrades_deadline_less_requests() {
+        let policy = DegradePolicy::default().with_depth_watermarks(8, 32);
+        assert_eq!(policy.route(None, 7), Route::Full);
+        assert_eq!(policy.route(None, 8), Route::Reduced);
+        assert_eq!(policy.route(None, 32), Route::Sketch);
+        // A comfortable deadline does not undo depth pressure.
+        assert_eq!(policy.route(Some(Duration::from_secs(60)), 8), Route::Reduced);
+        // But a tight deadline wins over a shallow queue.
+        assert_eq!(policy.route(Some(Duration::from_millis(1)), 0), Route::Sketch);
+    }
+
+    #[test]
+    fn default_policy_never_degrades_on_depth_alone() {
+        let policy = DegradePolicy::default();
+        assert_eq!(policy.route(None, usize::MAX - 1), Route::Full);
+    }
+}

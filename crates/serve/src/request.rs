@@ -1,0 +1,176 @@
+//! Per-request lifecycle metadata: priority classes, deadlines, and the
+//! submit-time options that carry them.
+//!
+//! Every submission to the [`Server`](crate::Server) may carry a
+//! [`Priority`] (which of the queue's admission classes it competes in and
+//! how early workers pick it up) and an optional [`Deadline`] (a wall-clock
+//! point after which the answer is worthless). The server uses both at
+//! *dequeue* time: expired requests are shed before wasting a worker cycle,
+//! and requests whose remaining budget cannot afford the full model walk
+//! are routed down the degradation ladder
+//! ([`DegradePolicy`](crate::DegradePolicy)).
+
+use std::time::{Duration, Instant};
+
+/// Scheduling class of a request.
+///
+/// Workers always drain the highest non-empty class first (FIFO within a
+/// class), and each class has its own admission cap inside the bounded
+/// queue, so a flood of background traffic can neither starve nor evict
+/// interactive requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic: served first, may occupy the whole
+    /// queue. The default — unannotated submissions behave exactly like
+    /// the pre-priority server.
+    #[default]
+    Interactive = 0,
+    /// Throughput traffic (plan enumeration sweeps, refresh jobs): served
+    /// after interactive work.
+    Batch = 1,
+    /// Scavenger traffic: served only when nothing better is queued, and
+    /// admitted only into its configured share of the queue
+    /// ([`ServeConfig::best_effort_queue_share`](crate::ServeConfig::best_effort_queue_share)).
+    BestEffort = 2,
+}
+
+/// Number of [`Priority`] classes (the valid `as usize` range).
+pub(crate) const NUM_PRIORITIES: usize = 3;
+
+impl Priority {
+    /// All classes, highest priority first.
+    pub const ALL: [Priority; NUM_PRIORITIES] = [Priority::Interactive, Priority::Batch, Priority::BestEffort];
+
+    /// Stable lowercase label, convenient for metrics and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::BestEffort => "best_effort",
+        }
+    }
+}
+
+/// A wall-clock point after which a request's answer is worthless.
+///
+/// Deadlines are checked when a worker dequeues the request: an expired
+/// request is *shed* — answered with
+/// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)
+/// without ever running the estimator — and a request whose remaining
+/// budget is too small for the full model walk is degraded instead
+/// (see [`DegradePolicy`](crate::DegradePolicy)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Self { at: Instant::now() + budget }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Self { at }
+    }
+
+    /// The absolute expiry instant.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// Whether the deadline has passed.
+    pub fn is_expired(&self) -> bool {
+        self.at <= Instant::now()
+    }
+}
+
+/// Per-submission scheduling options: the priority class and an optional
+/// deadline. The default (`Interactive`, no deadline) reproduces the
+/// plain `submit`/`try_submit` behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Admission class and dequeue priority.
+    pub priority: Priority,
+    /// Optional expiry; `None` means the request waits as long as it takes.
+    pub deadline: Option<Deadline>,
+}
+
+impl SubmitOptions {
+    /// Interactive, no deadline (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shorthand for a given priority class with no deadline.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a deadline `budget` from now.
+    pub fn deadline_within(self, budget: Duration) -> Self {
+        self.with_deadline(Deadline::within(budget))
+    }
+
+    /// An [`Priority::Interactive`] submission.
+    pub fn interactive() -> Self {
+        Self::new().with_priority(Priority::Interactive)
+    }
+
+    /// A [`Priority::Batch`] submission.
+    pub fn batch() -> Self {
+        Self::new().with_priority(Priority::Batch)
+    }
+
+    /// A [`Priority::BestEffort`] submission.
+    pub fn best_effort() -> Self {
+        Self::new().with_priority(Priority::BestEffort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_and_labels() {
+        assert!(Priority::Interactive < Priority::Batch);
+        assert!(Priority::Batch < Priority::BestEffort);
+        assert_eq!(Priority::default(), Priority::Interactive);
+        assert_eq!(Priority::ALL.map(|p| p.label()), ["interactive", "batch", "best_effort"]);
+    }
+
+    #[test]
+    fn deadlines_expire_and_report_remaining() {
+        let generous = Deadline::within(Duration::from_secs(3600));
+        assert!(!generous.is_expired());
+        assert!(generous.remaining() > Duration::from_secs(3000));
+
+        let expired = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(expired.is_expired());
+        assert_eq!(expired.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn submit_options_compose() {
+        let opts = SubmitOptions::best_effort().deadline_within(Duration::from_secs(1));
+        assert_eq!(opts.priority, Priority::BestEffort);
+        assert!(opts.deadline.unwrap().remaining() <= Duration::from_secs(1));
+        assert_eq!(SubmitOptions::default().priority, Priority::Interactive);
+        assert_eq!(SubmitOptions::default().deadline, None);
+        assert_eq!(SubmitOptions::batch().priority, Priority::Batch);
+    }
+}

@@ -32,10 +32,14 @@ pub(crate) struct Metrics {
     pub rejected: AtomicU64,
     pub served: AtomicU64,
     pub failed: AtomicU64,
+    pub shed: AtomicU64,
+    pub cancelled: AtomicU64,
     pub batches: AtomicU64,
     pub tier0_served: AtomicU64,
     pub tier1_served: AtomicU64,
     pub tier2_served: AtomicU64,
+    pub degraded_served: AtomicU64,
+    pub worker_respawns: AtomicU64,
 }
 
 impl Metrics {
@@ -49,10 +53,14 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             tier0_served: self.tier0_served.load(Ordering::Relaxed),
             tier1_served: self.tier1_served.load(Ordering::Relaxed),
             tier2_served: self.tier2_served.load(Ordering::Relaxed),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
@@ -74,19 +82,38 @@ impl Metrics {
 ///   [`ServeConfig::cache_capacity`](crate::ServeConfig::cache_capacity).
 ///
 /// All three stay `0` when the cache is disabled (the default). The
-/// `tier*_served` counters split `served` by the
+/// `tier*_served` + `degraded_served` counters split `served` by the
 /// [`Provenance`](naru_query::Provenance) of each worker-produced answer:
-/// `tier0_served + tier1_served + tier2_served == served`.
+/// `tier0_served + tier1_served + tier2_served + degraded_served == served`.
+///
+/// The request-lifecycle **accounting identity**: every request admitted
+/// into the queue leaves it in exactly one of four ways, so after the
+/// server drains (shutdown, or any quiescent moment)
+///
+/// ```text
+/// served + failed + shed + cancelled == accepted
+/// ```
+///
+/// ([`MetricsSnapshot::accounted`] computes the left-hand side). The chaos
+/// suite drives the server through injected panics, worker deaths, stalls,
+/// and poisoned estimates and asserts the identity holds exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Requests admitted into the queue (by either submit flavor).
     pub accepted: u64,
-    /// Requests refused by admission control (`try_submit` on a full queue).
+    /// Requests refused by admission control (`try_submit` on a full queue
+    /// or a full priority class).
     pub rejected: u64,
     /// Requests answered with an [`Estimate`](naru_query::Estimate).
     pub served: u64,
     /// Requests answered with a typed estimation error.
     pub failed: u64,
+    /// Accepted requests shed unexecuted because their deadline expired
+    /// before a worker reached them (answered `DeadlineExceeded`).
+    pub shed: u64,
+    /// Accepted requests abandoned by their submitter (ticket cancelled or
+    /// dropped) and skipped unexecuted.
+    pub cancelled: u64,
     /// Micro-batches executed across all workers.
     pub batches: u64,
     /// Served answers proven exactly by table statistics (tier 0).
@@ -95,6 +122,11 @@ pub struct MetricsSnapshot {
     pub tier1_served: u64,
     /// Served answers from the model's progressive sampler (tier 2).
     pub tier2_served: u64,
+    /// Served answers produced through a degraded rung (reduced-sample walk
+    /// or forced sketch) under deadline or overload pressure.
+    pub degraded_served: u64,
+    /// Worker threads respawned by the supervisor after a crash.
+    pub worker_respawns: u64,
     /// Submissions answered from the estimate cache (bypassing the queue).
     pub cache_hits: u64,
     /// Cache lookups that fell through to the worker path.
@@ -107,6 +139,13 @@ impl MetricsSnapshot {
     /// Requests that received *some* response (success or typed error).
     pub fn completed(&self) -> u64 {
         self.served + self.failed
+    }
+
+    /// Every way an accepted request can leave the queue:
+    /// `served + failed + shed + cancelled`. Equals `accepted` once the
+    /// server has drained (and never exceeds it).
+    pub fn accounted(&self) -> u64 {
+        self.served + self.failed + self.shed + self.cancelled
     }
 
     /// Fraction of cache lookups that hit, or `None` before any lookup.
@@ -126,10 +165,13 @@ mod tests {
         m.served.store(4, Ordering::Relaxed);
         m.failed.store(1, Ordering::Relaxed);
         m.batches.store(2, Ordering::Relaxed);
+        m.shed.store(3, Ordering::Relaxed);
+        m.cancelled.store(2, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.accepted, 0, "accepted is filled from the queue by the caller");
         assert_eq!(snap.rejected, 0);
         assert_eq!(snap.completed(), 5);
+        assert_eq!(snap.accounted(), 10, "accounted = served + failed + shed + cancelled");
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.cache_hits, 0, "cache counters are filled from the cache by the caller");
         assert_eq!(snap.cache_hit_rate(), None);

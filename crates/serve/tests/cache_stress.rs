@@ -1,0 +1,108 @@
+//! Concurrency stress test for the sharded estimate cache: hammer it from
+//! many threads with interleaved hits, misses, inserts, and evictions, and
+//! check the counter invariants that the serving metrics rely on.
+//!
+//! Invariants checked after the churn:
+//!
+//! * every lookup bumps exactly one counter: `hits + misses == lookups`;
+//! * every *distinct* key ever inserted is either still resident or was
+//!   evicted exactly once: `len + evictions == distinct_inserts`;
+//! * occupancy never exceeds the sharded capacity bound
+//!   (`num_shards * ceil(capacity / num_shards)`);
+//! * a hit always returns the exact estimate stored for that key (no
+//!   cross-key or torn reads), re-tagged `CacheHit`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use naru_query::{Estimate, Predicate, Provenance, Query, QueryKey};
+use naru_serve::EstimateCache;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_THREADS: usize = 8;
+const KEYS_PER_THREAD: u32 = 100;
+const LOOKUPS_PER_THREAD: usize = 3_000;
+const CAPACITY: usize = 64;
+const SHARDS: usize = 8;
+
+fn key_for(v: u32) -> QueryKey {
+    let query = Query::new(vec![Predicate::eq(0, v), Predicate::le(1, v % 50)]);
+    QueryKey::new(&query, 4).expect("stress keys compile")
+}
+
+/// The estimate stored under key `v`, derived from `v` so any reader can
+/// verify a hit's payload without shared state.
+fn estimate_for(v: u32) -> Estimate {
+    Estimate::closed_form(f64::from(v % 97) / 97.0, 10_000, Duration::from_micros(3))
+}
+
+#[test]
+fn concurrent_churn_preserves_counter_invariants() {
+    let cache = EstimateCache::new(CAPACITY, SHARDS);
+    let total_keys = NUM_THREADS as u32 * KEYS_PER_THREAD;
+    let lookups = AtomicU64::new(0);
+    let verified_hits = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..NUM_THREADS {
+            let cache = &cache;
+            let lookups = &lookups;
+            let verified_hits = &verified_hits;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xCAFE + t as u64);
+                let base = t as u32 * KEYS_PER_THREAD;
+                let mut next_insert = 0u32;
+                for i in 0..LOOKUPS_PER_THREAD {
+                    // Interleave: this thread inserts its own disjoint key
+                    // range exactly once each, while probing the whole key
+                    // space (so most lookups race other threads' inserts
+                    // and evictions).
+                    if i % 4 == 0 && next_insert < KEYS_PER_THREAD {
+                        let v = base + next_insert;
+                        cache.insert(key_for(v), estimate_for(v));
+                        next_insert += 1;
+                    }
+                    let probe = rng.gen_range(0..total_keys);
+                    lookups.fetch_add(1, Ordering::Relaxed);
+                    if let Some(hit) = cache.get(&key_for(probe)) {
+                        assert_eq!(hit.provenance, Provenance::CacheHit);
+                        assert_eq!(
+                            hit.selectivity,
+                            estimate_for(probe).selectivity,
+                            "hit for key {probe} returned another key's payload"
+                        );
+                        verified_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // Finish this thread's insert quota even if the loop's
+                // modulo pacing didn't (it always does; belt and braces).
+                while next_insert < KEYS_PER_THREAD {
+                    let v = base + next_insert;
+                    cache.insert(key_for(v), estimate_for(v));
+                    next_insert += 1;
+                }
+            });
+        }
+    });
+
+    let lookups = lookups.load(Ordering::Relaxed);
+    assert_eq!(lookups, (NUM_THREADS * LOOKUPS_PER_THREAD) as u64);
+    assert_eq!(cache.hits() + cache.misses(), lookups, "every lookup bumps exactly one counter");
+    assert_eq!(cache.hits(), verified_hits.load(Ordering::Relaxed), "every hit was payload-verified");
+    assert!(cache.hits() > 0, "the churn must produce some hits");
+    assert!(cache.evictions() > 0, "800 distinct keys through 64 slots must evict");
+
+    // Each distinct key was inserted exactly once, so it is either still
+    // resident or was evicted exactly once.
+    assert_eq!(cache.len() as u64 + cache.evictions(), u64::from(total_keys), "resident + evicted == inserted");
+
+    // Sharded capacity bound: ceil(64 / 8) = 8 per shard, 8 shards.
+    let per_shard = CAPACITY.div_ceil(SHARDS);
+    assert!(
+        cache.len() <= cache.num_shards() * per_shard,
+        "occupancy {} exceeds the sharded bound {}",
+        cache.len(),
+        cache.num_shards() * per_shard
+    );
+}

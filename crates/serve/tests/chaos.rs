@@ -1,0 +1,366 @@
+//! Chaos suite: drive the server through injected failure and prove the
+//! request-lifecycle invariants hold under fire.
+//!
+//! Each test turns on one (or several) [`FaultInjection`] knobs and asserts
+//! the properties the serving layer claims:
+//!
+//! * the accounting identity `served + failed + shed + cancelled ==
+//!   accepted` holds exactly once the server drains — no request is ever
+//!   double-counted or leaked, whatever dies in between;
+//! * the watchdog respawns workers that die to a panic, and the pool keeps
+//!   serving;
+//! * an expired-deadline request is shed without the estimator ever
+//!   running;
+//! * a cancelled (or dropped) ticket's request is skipped, not executed;
+//! * a poisoned (non-finite) estimate is rejected and never cached;
+//! * graceful shutdown still drains and answers everything.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use naru_core::{ConditionalDensity, Engine, IndependentDensity};
+use naru_query::{Predicate, Query};
+use naru_serve::{FaultInjection, Priority, ServeConfig, ServeError, Server, SubmitOptions, Ticket};
+use naru_tensor::Matrix;
+
+/// A density that counts how many conditional evaluations ever ran, so
+/// tests can prove the estimator was (or was not) executed.
+struct CountingDensity {
+    inner: IndependentDensity,
+    calls: Arc<AtomicU64>,
+}
+
+impl CountingDensity {
+    fn engine(calls: Arc<AtomicU64>) -> Engine {
+        Engine::new(Self { inner: IndependentDensity::uniform(&[6, 4]), calls }, 1_000).with_samples(16)
+    }
+}
+
+impl ConditionalDensity for CountingDensity {
+    fn num_columns(&self) -> usize {
+        self.inner.num_columns()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.inner.domain_sizes()
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.conditionals(tuples, col)
+    }
+}
+
+/// Blocks density evaluation until opened and counts entries, so a test
+/// can hold the single worker mid-request deterministically.
+#[derive(Default)]
+struct Gate {
+    state: Mutex<(bool, usize)>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn enter(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.1 += 1;
+        self.cv.notify_all();
+        while !state.0 {
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        self.state.lock().unwrap().0 = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_entered(&self, n: usize) {
+        let mut state = self.state.lock().unwrap();
+        while state.1 < n {
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn entered(&self) -> usize {
+        self.state.lock().unwrap().1
+    }
+}
+
+struct GatedDensity {
+    inner: IndependentDensity,
+    gate: Arc<Gate>,
+}
+
+impl GatedDensity {
+    fn engine(gate: Arc<Gate>) -> Engine {
+        Engine::new(Self { inner: IndependentDensity::uniform(&[6, 4]), gate }, 1_000).with_samples(16)
+    }
+}
+
+impl ConditionalDensity for GatedDensity {
+    fn num_columns(&self) -> usize {
+        self.inner.num_columns()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.inner.domain_sizes()
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        if col == 0 {
+            self.gate.enter();
+        }
+        self.inner.conditionals(tuples, col)
+    }
+}
+
+fn plain_engine() -> Engine {
+    Engine::new(IndependentDensity::uniform(&[8, 4]), 1_000).with_samples(64)
+}
+
+fn query() -> Query {
+    Query::new(vec![Predicate::le(0, 3), Predicate::ge(1, 1)])
+}
+
+fn assert_identity(metrics: &naru_serve::MetricsSnapshot) {
+    assert_eq!(
+        metrics.accounted(),
+        metrics.accepted,
+        "identity violated: served={} failed={} shed={} cancelled={} accepted={}",
+        metrics.served,
+        metrics.failed,
+        metrics.shed,
+        metrics.cancelled,
+        metrics.accepted
+    );
+}
+
+#[test]
+fn injected_panics_are_contained_and_accounted() {
+    let faults = FaultInjection::default().with_panic_probability(0.3).with_seed(7);
+    let server =
+        Server::start(plain_engine(), ServeConfig::default().with_workers(2).with_max_batch(4).with_faults(faults))
+            .unwrap();
+    let tickets: Vec<Ticket> = (0..200).map(|_| server.submit(query()).unwrap()).collect();
+    let mut served = 0u64;
+    let mut panicked = 0u64;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => served += 1,
+            Err(ServeError::Panicked) => panicked += 1,
+            Err(other) => panic!("unexpected failure mode: {other:?}"),
+        }
+    }
+    assert!(served > 0, "p=0.3 must let most requests through");
+    assert!(panicked > 0, "p=0.3 over 200 requests must inject at least one panic");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted, 200);
+    assert_eq!(metrics.served, served);
+    assert_eq!(metrics.failed, panicked);
+    assert_identity(&metrics);
+    assert_eq!(metrics.worker_respawns, 0, "contained panics must not kill workers");
+}
+
+#[test]
+fn watchdog_respawns_dead_workers_and_the_pool_keeps_serving() {
+    let faults = FaultInjection::default().with_death_probability(0.2).with_seed(11);
+    let server =
+        Server::start(plain_engine(), ServeConfig::default().with_workers(2).with_max_batch(1).with_faults(faults))
+            .unwrap();
+    // Batches of 1 with p(death)=0.2: ~30 deaths expected over 150
+    // requests. Submit-and-wait in waves so dead workers must be replaced
+    // for progress to continue.
+    let mut served = 0u64;
+    let mut lost = 0u64;
+    for _ in 0..15 {
+        let tickets: Vec<Ticket> = (0..10).map(|_| server.submit(query()).unwrap()).collect();
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(_) => served += 1,
+                Err(ServeError::WorkerLost) => lost += 1,
+                Err(other) => panic!("unexpected failure mode: {other:?}"),
+            }
+        }
+    }
+    assert!(served > 0);
+    assert!(lost > 0, "p=0.2 over 150 batches must kill at least one worker");
+    let metrics = server.shutdown();
+    assert!(metrics.worker_respawns > 0, "the watchdog must have respawned dead workers");
+    assert_eq!(metrics.served, served);
+    assert_eq!(metrics.failed, lost);
+    assert_identity(&metrics);
+}
+
+#[test]
+fn stalls_shed_expired_deadlines_but_break_nothing() {
+    let faults = FaultInjection::default().with_stall(0.8, Duration::from_millis(10)).with_seed(3);
+    let server =
+        Server::start(plain_engine(), ServeConfig::default().with_workers(1).with_max_batch(2).with_faults(faults))
+            .unwrap();
+    // Half the requests carry a deadline far shorter than the injected
+    // stalls; queued behind stalling batches, many of them must expire.
+    let mut tickets: Vec<(bool, Ticket)> = Vec::new();
+    for i in 0..60 {
+        let options = if i % 2 == 0 {
+            SubmitOptions::new().deadline_within(Duration::from_millis(1))
+        } else {
+            SubmitOptions::new()
+        };
+        tickets.push((i % 2 == 0, server.submit_with(query(), options).unwrap()));
+    }
+    let mut shed = 0u64;
+    for (has_deadline, ticket) in tickets {
+        match ticket.wait() {
+            Ok(_) => {}
+            Err(ServeError::DeadlineExceeded) => {
+                assert!(has_deadline, "only deadline-carrying requests may be shed");
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected failure mode: {other:?}"),
+        }
+    }
+    assert!(shed > 0, "10ms stalls must expire some 1ms deadlines");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.shed, shed);
+    assert_identity(&metrics);
+}
+
+#[test]
+fn poisoned_estimates_are_rejected_and_never_cached() {
+    let faults = FaultInjection::default().with_poison_probability(1.0).with_seed(5);
+    let server = Server::start(
+        plain_engine(),
+        ServeConfig::default().with_workers(2).with_cache_capacity(32).with_cache_shards(4).with_faults(faults),
+    )
+    .unwrap();
+    for _ in 0..20 {
+        assert_eq!(server.estimate(&query()).unwrap_err(), ServeError::InvalidEstimate);
+    }
+    assert_eq!(server.cache_len(), 0, "a poisoned estimate must never enter the cache");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.served, 0);
+    assert_eq!(metrics.failed, 20);
+    assert_identity(&metrics);
+}
+
+#[test]
+fn expired_deadlines_are_shed_without_executing_the_estimator() {
+    let calls = Arc::new(AtomicU64::new(0));
+    let server = Server::start(
+        CountingDensity::engine(Arc::clone(&calls)),
+        ServeConfig::default().with_workers(2).with_max_batch(4),
+    )
+    .unwrap();
+    // Every deadline is already expired at submit time: the queue must
+    // shed each request at dequeue, before any density evaluation.
+    let tickets: Vec<Ticket> = (0..10)
+        .map(|_| server.submit_with(query(), SubmitOptions::new().deadline_within(Duration::ZERO)).unwrap())
+        .collect();
+    for ticket in tickets {
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::DeadlineExceeded);
+    }
+    let metrics = server.shutdown();
+    assert_eq!(calls.load(Ordering::Relaxed), 0, "an expired request must never reach the model");
+    assert_eq!(metrics.shed, 10);
+    assert_eq!(metrics.served, 0);
+    assert_identity(&metrics);
+}
+
+#[test]
+fn forced_saturation_rejects_try_submit_but_not_blocking_submit() {
+    let faults = FaultInjection::default().with_forced_saturation(true);
+    let server = Server::start(plain_engine(), ServeConfig::default().with_workers(1).with_faults(faults)).unwrap();
+    for _ in 0..5 {
+        assert!(matches!(server.try_submit(query()), Err(ServeError::Overloaded { .. })));
+    }
+    // Blocking submits bypass the forced-saturation admission gate.
+    assert!(server.estimate(&query()).is_ok());
+    let metrics = server.shutdown();
+    assert_eq!(metrics.rejected, 5);
+    assert_eq!(metrics.accepted, 1);
+    assert_eq!(metrics.served, 1);
+    assert_identity(&metrics);
+}
+
+#[test]
+fn cancelled_tickets_skip_the_walk_entirely() {
+    let gate = Arc::new(Gate::default());
+    let server = Server::start(
+        GatedDensity::engine(Arc::clone(&gate)),
+        ServeConfig::default().with_workers(1).with_max_batch(1),
+    )
+    .unwrap();
+    let q = Query::new(vec![Predicate::le(0, 2)]);
+    // The head request parks the only worker on the gate...
+    let head = server.submit(q.clone()).unwrap();
+    gate.wait_entered(1);
+    // ...four more queue up behind it, then are abandoned (two explicitly,
+    // two by drop) while the worker is still parked.
+    let queued: Vec<Ticket> = (0..4).map(|_| server.submit(q.clone()).unwrap()).collect();
+    for (i, ticket) in queued.into_iter().enumerate() {
+        if i % 2 == 0 {
+            ticket.cancel();
+        } else {
+            drop(ticket);
+        }
+    }
+    gate.open();
+    head.wait().unwrap();
+    let metrics = server.shutdown();
+    assert_eq!(gate.entered(), 1, "cancelled requests must never start a walk");
+    assert_eq!(metrics.cancelled, 4);
+    assert_eq!(metrics.served, 1);
+    assert_eq!(metrics.accepted, 5);
+    assert_identity(&metrics);
+}
+
+#[test]
+fn shutdown_drains_and_accounts_everything_under_combined_chaos() {
+    let faults = FaultInjection::default()
+        .with_panic_probability(0.1)
+        .with_death_probability(0.05)
+        .with_stall(0.2, Duration::from_millis(1))
+        .with_poison_probability(0.1)
+        .with_seed(23);
+    let server = Server::start(
+        plain_engine(),
+        ServeConfig::default().with_workers(3).with_max_batch(4).with_queue_capacity(256).with_faults(faults),
+    )
+    .unwrap();
+    // Mixed priorities, sprinkled deadlines, a few abandoned tickets —
+    // then shutdown mid-storm. Every kept ticket must still resolve.
+    let mut kept: Vec<Ticket> = Vec::new();
+    for i in 0..120 {
+        let options = SubmitOptions::new()
+            .with_priority(match i % 3 {
+                0 => Priority::Interactive,
+                1 => Priority::Batch,
+                _ => Priority::BestEffort,
+            })
+            .deadline_within(if i % 5 == 0 { Duration::from_millis(2) } else { Duration::from_secs(60) });
+        let ticket = server.submit_with(query(), options).unwrap();
+        if i % 7 == 0 {
+            ticket.cancel();
+        } else {
+            kept.push(ticket);
+        }
+    }
+    server.close();
+    for ticket in kept {
+        match ticket.wait() {
+            Ok(_) => {}
+            Err(
+                ServeError::Panicked
+                | ServeError::WorkerLost
+                | ServeError::InvalidEstimate
+                | ServeError::DeadlineExceeded,
+            ) => {}
+            Err(other) => panic!("unexpected failure mode: {other:?}"),
+        }
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted, 120);
+    assert_identity(&metrics);
+    assert!(metrics.served > 0, "chaos at these rates must not starve the pool completely");
+}

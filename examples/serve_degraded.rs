@@ -1,0 +1,91 @@
+//! Serving: deadlines, priorities, and graceful degradation.
+//!
+//! Trains a small model, starts a [`Server`] with a [`DegradePolicy`], and
+//! submits the same query three ways:
+//!
+//! 1. no deadline — served at full quality;
+//! 2. a deadline inside the policy's budgets — served *degraded* (a cheap
+//!    reduced walk, tagged [`Provenance::Degraded`]) instead of failing;
+//! 3. an already-expired deadline — shed with
+//!    [`ServeError::DeadlineExceeded`] before any model work runs.
+//!
+//! It finishes with a cancelled ticket and the server's accounting
+//! identity: `served + failed + shed + cancelled == accepted`.
+//!
+//! ```text
+//! cargo run --release --example serve_degraded
+//! ```
+
+use std::time::Duration;
+
+use naru::core::{NaruConfig, NaruEstimator};
+use naru::data::synthetic::dmv_like;
+use naru::query::{Predicate, Provenance, Query};
+use naru::serve::{DegradePolicy, ServeConfig, ServeError, Server, SubmitOptions};
+
+fn main() {
+    // 1. Train on a synthetic DMV-style table and freeze into an Engine.
+    let table = dmv_like(4_000, 42);
+    println!("training on `{}` ({} rows x {} cols)...", table.name(), table.num_rows(), table.num_columns());
+    let (estimator, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(400));
+    // Strip the statistics sidecar so every answer must come from the
+    // model: the demo then deterministically shows the full-walk rung vs
+    // the degraded reduced walk. (A production engine would keep its
+    // stats; queries the fast tiers can answer *without* losing quality
+    // keep their normal provenance even under a deadline.)
+    let engine = estimator.into_engine().without_table_stats();
+
+    // 2. A degradation ladder with budgets far above any real walk time,
+    //    so the example's routing is deterministic: any request whose
+    //    remaining deadline budget is below 60s skips the model entirely
+    //    (sketch rung), below 120s takes a reduced-sample walk, and
+    //    deadline-less requests run at full quality.
+    let policy = DegradePolicy::default()
+        .with_full_walk_budget(Duration::from_secs(120))
+        .with_sketch_budget(Duration::from_secs(60));
+    let config = ServeConfig::default().with_workers(2).with_degrade(policy);
+    let server = Server::start(engine, config).expect("valid serve config");
+    let query = Query::new(vec![Predicate::eq(0, 1), Predicate::le(6, 900)]);
+
+    // 3. No deadline: the full-quality tiered estimate.
+    let full = server.estimate(&query).expect("valid query");
+    println!(
+        "full quality : selectivity {:.5} ({:?}, {:?})",
+        full.estimate.selectivity, full.estimate.provenance, full.stats.execution
+    );
+
+    // 4. A 10s deadline sits below the 60s sketch budget, so the server
+    //    trades quality for latency instead of risking the deadline.
+    let options = SubmitOptions::interactive().deadline_within(Duration::from_secs(10));
+    let degraded = server.estimate_with(&query, options).expect("degraded, not failed");
+    assert_eq!(degraded.estimate.provenance, Provenance::Degraded);
+    println!(
+        "degraded     : selectivity {:.5} ({:?}, {:?})",
+        degraded.estimate.selectivity, degraded.estimate.provenance, degraded.stats.execution
+    );
+
+    // 5. An already-expired deadline is shed at dequeue — a typed error,
+    //    no model work, no silent drop.
+    let expired = SubmitOptions::best_effort().deadline_within(Duration::ZERO);
+    let shed = server.estimate_with(&query, expired).expect_err("must shed");
+    assert_eq!(shed, ServeError::DeadlineExceeded);
+    println!("expired      : {shed}");
+
+    // 6. A cancelled ticket: park both workers on fresh walks, cancel a
+    //    queued request before a worker reaches it — it is skipped
+    //    entirely, never estimated.
+    let busy: Vec<_> =
+        (0..2u32).map(|i| server.submit(Query::new(vec![Predicate::le(6, 400 + i)])).expect("admitted")).collect();
+    server.submit(query.clone()).expect("admitted").cancel();
+    for ticket in busy {
+        ticket.wait().expect("valid query");
+    }
+
+    // 7. The request-lifecycle accounting identity always balances.
+    let metrics = server.shutdown();
+    println!(
+        "\naccounting   : accepted {} = served {} + failed {} + shed {} + cancelled {} ({} degraded)",
+        metrics.accepted, metrics.served, metrics.failed, metrics.shed, metrics.cancelled, metrics.degraded_served
+    );
+    assert_eq!(metrics.accounted(), metrics.accepted, "served + failed + shed + cancelled must equal accepted");
+}

@@ -24,7 +24,7 @@ fn main() {
 
     // 2. Start the worker pool: 4 workers, bounded queue, micro-batching.
     let config = ServeConfig::default().with_workers(4).with_queue_capacity(128).with_max_batch(8);
-    let server = Server::start(engine, config);
+    let server = Server::start(engine, config).expect("valid serve config");
     println!("serving with {} workers, queue capacity {}", server.num_workers(), server.queue_capacity());
 
     // 3. Hammer it from concurrent clients (closed-loop: one request in

@@ -21,10 +21,14 @@
 //!   ([`core::TableStats`] + [`core::TieredSession`]: exact stats at
 //!   tier 0, histogram/sketch answers at tier 1, the model at tier 2,
 //!   each estimate tagged with its [`query::Provenance`]),
-//! * [`serve`] — the worker-pool serving subsystem: a bounded request
-//!   queue with admission control, per-worker tiered sessions, a
-//!   sharded predicate-keyed [`serve::EstimateCache`], opportunistic
-//!   micro-batching with shared-prefix memoization, and graceful
+//! * [`serve`] — the worker-pool serving subsystem: a priority-aware
+//!   bounded request queue with per-class admission control, per-worker
+//!   tiered sessions, a sharded predicate-keyed [`serve::EstimateCache`],
+//!   opportunistic micro-batching with shared-prefix memoization,
+//!   deadlines and cancellation ([`serve::SubmitOptions`] /
+//!   [`serve::Ticket`]), deadline-pressure degradation
+//!   ([`serve::DegradePolicy`]), a supervising watchdog with fault
+//!   injection ([`serve::FaultInjection`]), and graceful
 //!   drain-on-shutdown.
 //!
 //! ## The Engine/Session estimation API
@@ -86,21 +90,30 @@
 //! applies backpressure), a pool of workers each owning one `Session`,
 //! opportunistic micro-batching into `estimate_batch`, per-request
 //! [`serve::ServeStats`] (queue wait, execution time, worker id), and a
-//! graceful shutdown that drains every accepted request:
+//! graceful shutdown that drains every accepted request. Requests can
+//! carry a [`serve::Priority`] class and a [`serve::Deadline`]; tickets
+//! can be cancelled or waited on with a timeout; and a
+//! [`serve::DegradePolicy`] trades estimate quality for latency when a
+//! deadline or queue-depth pressure makes the full model walk
+//! unaffordable (such answers are tagged
+//! [`Provenance::Degraded`](query::Provenance::Degraded)):
 //!
 //! ```no_run
 //! use naru::prelude::*;
+//! use std::time::Duration;
 //!
 //! # let table = naru::data::synthetic::dmv_like(1_000, 42);
 //! # let (estimator, _) = NaruEstimator::train(&table, &NaruConfig::small());
 //! let engine = estimator.into_engine();
-//! let server = Server::start(engine, ServeConfig::default().with_workers(4).with_max_batch(8));
-//! let ticket = server.try_submit(Query::new(vec![Predicate::eq(0, 1)]))?;
+//! let config = ServeConfig::default().with_workers(4).with_max_batch(8);
+//! let server = Server::start(engine, config).expect("valid serve config");
+//! let options = SubmitOptions::interactive().deadline_within(Duration::from_millis(50));
+//! let ticket = server.try_submit_with(Query::new(vec![Predicate::eq(0, 1)]), options)?;
 //! let served = ticket.wait()?;
 //! println!("{:.5} selectivity, {:?} in queue, worker {}",
 //!     served.estimate.selectivity, served.stats.queue_wait, served.stats.worker);
 //! let metrics = server.shutdown(); // drains in-flight work, joins workers
-//! assert_eq!(metrics.completed(), metrics.accepted);
+//! assert_eq!(metrics.accounted(), metrics.accepted);
 //! # Ok::<(), naru::serve::ServeError>(())
 //! ```
 //!
@@ -132,5 +145,8 @@ pub mod prelude {
     pub use naru_core::{Engine, NaruConfig, NaruEstimator, Session, TableStats, TierConfig, TieredSession};
     pub use naru_data::{Column, Table, Value};
     pub use naru_query::{Estimate, EstimateError, Predicate, Provenance, Query, QueryKey, SelectivityEstimator};
-    pub use naru_serve::{EstimateCache, ServeConfig, ServeError, ServeStats, ServedEstimate, Server, Ticket};
+    pub use naru_serve::{
+        ConfigError, Deadline, DegradePolicy, EstimateCache, FaultInjection, MetricsSnapshot, Priority, ServeConfig,
+        ServeError, ServeStats, ServedEstimate, Server, SubmitOptions, Ticket,
+    };
 }

@@ -12,11 +12,12 @@
 //!   [`ServeError::Estimate`] values without killing the worker.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 use naru::core::{ConditionalDensity, Engine, IndependentDensity, OracleDensity};
 use naru::data::synthetic::correlated_pair;
 use naru::prelude::*;
-use naru::serve::{ServeConfig, ServeError, Server};
+use naru::serve::{DegradePolicy, ServeConfig, ServeError, Server, SubmitOptions};
 use naru::tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,6 +121,40 @@ impl ConditionalDensity for PanickingDensity {
     }
 }
 
+/// A gated density that additionally records the column index of every
+/// conditionals evaluation, so tests can observe the exact order in which
+/// the worker executed queued requests.
+struct RecordingDensity {
+    inner: IndependentDensity,
+    gate: Arc<Gate>,
+    events: Arc<Mutex<Vec<usize>>>,
+}
+
+impl RecordingDensity {
+    fn engine(gate: Arc<Gate>, events: Arc<Mutex<Vec<usize>>>) -> Engine {
+        let inner = IndependentDensity::uniform(&[6, 4]);
+        Engine::new(Self { inner, gate, events }, 1_000).with_samples(16)
+    }
+}
+
+impl ConditionalDensity for RecordingDensity {
+    fn num_columns(&self) -> usize {
+        self.inner.num_columns()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.inner.domain_sizes()
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        self.events.lock().unwrap().push(col);
+        if col == 0 {
+            self.gate.enter();
+        }
+        self.inner.conditionals(tuples, col)
+    }
+}
+
 // --- helpers --------------------------------------------------------------
 
 fn oracle_engine() -> (Engine, Vec<Query>) {
@@ -157,7 +192,7 @@ fn single_worker_server_is_bit_identical_to_sequential_session() {
     let (engine, queries) = oracle_engine();
     let reference = sequential_reference(&engine, &queries);
 
-    let server = Server::start(engine, ServeConfig::default().with_workers(1).with_max_batch(1));
+    let server = Server::start(engine, ServeConfig::default().with_workers(1).with_max_batch(1)).unwrap();
     let tickets: Vec<_> = queries.iter().map(|q| server.submit(q.clone()).unwrap()).collect();
     for (ticket, expected) in tickets.into_iter().zip(&reference) {
         let served = ticket.wait().expect("valid query");
@@ -175,7 +210,7 @@ fn multi_worker_micro_batching_server_is_bit_identical_to_sequential_session() {
     let reference = sequential_reference(&engine, &queries);
 
     let config = ServeConfig::default().with_workers(4).with_max_batch(3).with_queue_capacity(64);
-    let server = Server::start(engine, config);
+    let server = Server::start(engine, config).unwrap();
     assert_eq!(server.num_workers(), 4);
 
     // Submit everything up front so workers actually drain micro-batches,
@@ -198,7 +233,7 @@ fn concurrent_clients_all_get_exact_answers() {
     let (engine, queries) = oracle_engine();
     let reference = sequential_reference(&engine, &queries);
 
-    let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(4));
+    let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(4)).unwrap();
     std::thread::scope(|scope| {
         for _ in 0..3 {
             let server = &server;
@@ -225,7 +260,8 @@ fn queue_saturation_rejects_with_overloaded_and_recovers() {
     let server = Server::start(
         engine,
         ServeConfig { num_workers: 1, queue_capacity: 2, max_batch: 1, ..ServeConfig::default() },
-    );
+    )
+    .unwrap();
     let q = Query::new(vec![Predicate::le(0, 2)]);
 
     // First request occupies the worker (parked on the gate)...
@@ -268,7 +304,8 @@ fn shutdown_drains_every_accepted_request() {
     let server = Server::start(
         engine,
         ServeConfig { num_workers: 2, queue_capacity: 16, max_batch: 4, ..ServeConfig::default() },
-    );
+    )
+    .unwrap();
     let q = Query::new(vec![Predicate::ge(1, 1)]);
 
     let tickets: Vec<_> = (0..8).map(|_| server.submit(q.clone()).unwrap()).collect();
@@ -289,13 +326,98 @@ fn shutdown_drains_every_accepted_request() {
     assert_eq!(metrics.served, 8);
 }
 
+// --- priority scheduling ----------------------------------------------------
+
+#[test]
+fn interactive_requests_overtake_earlier_best_effort_submissions() {
+    let gate = Arc::new(Gate::default());
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let engine = RecordingDensity::engine(Arc::clone(&gate), Arc::clone(&events));
+    let server = Server::start(
+        engine,
+        ServeConfig { num_workers: 1, queue_capacity: 16, max_batch: 1, ..ServeConfig::default() },
+    )
+    .unwrap();
+    // Column-0-only queries for the interactive class, column-1 queries
+    // for best-effort: the recorded column trace identifies which class
+    // each served request belonged to. Every query is *distinct* so the
+    // session's prefix memo cannot answer any of them without touching
+    // the density (identical repeats would be memo hits with no trace).
+    let interactive_qs = [Query::new(vec![Predicate::le(0, 2)]), Query::new(vec![Predicate::le(0, 3)])];
+    let best_effort_qs = [Query::new(vec![Predicate::ge(1, 1)]), Query::new(vec![Predicate::le(1, 2)])];
+
+    // Park the worker on a head request, then enqueue best-effort work
+    // *before* interactive work: dequeue order must invert submission
+    // order, not preserve it.
+    let head = server.submit(Query::new(vec![Predicate::le(0, 1)])).unwrap();
+    gate.wait_entered(1);
+    let best_effort: Vec<_> =
+        best_effort_qs.iter().map(|q| server.submit_with(q.clone(), SubmitOptions::best_effort()).unwrap()).collect();
+    let interactive: Vec<_> =
+        interactive_qs.iter().map(|q| server.submit_with(q.clone(), SubmitOptions::interactive()).unwrap()).collect();
+
+    gate.open();
+    for ticket in interactive.into_iter().chain(best_effort).chain([head]) {
+        ticket.wait().expect("valid query");
+    }
+
+    // Head request [0], both interactive walks [0], then the best-effort
+    // pair: the first re-walks column 0 (its unfiltered constraint differs
+    // from the memoized interactive prefix) then column 1; the second
+    // shares that unfiltered prefix and only walks column 1. All column-0
+    // interactive work strictly precedes any column-1 best-effort work, so
+    // the interactive lane drained first.
+    assert_eq!(*events.lock().unwrap(), vec![0, 0, 0, 0, 1, 1]);
+    let metrics = server.shutdown();
+    assert_eq!(metrics.served, 5);
+    assert_eq!(metrics.accounted(), metrics.accepted);
+}
+
+// --- graceful degradation ---------------------------------------------------
+
+#[test]
+fn deadline_pressure_degrades_and_degraded_answers_are_never_cached() {
+    let engine = Engine::new(IndependentDensity::uniform(&[8, 4]), 10_000).with_samples(64);
+    // Budgets far above any real wall time make the routing deterministic:
+    // a 10 s deadline is comfortably live at dequeue time but falls below
+    // the 60 s sketch budget, so the request must take the sketch rung.
+    let policy = DegradePolicy::default()
+        .with_full_walk_budget(Duration::from_secs(120))
+        .with_sketch_budget(Duration::from_secs(60));
+    let config = ServeConfig::default().with_workers(1).with_cache_capacity(8).with_degrade(policy);
+    let server = Server::start(engine, config).unwrap();
+    let query = Query::new(vec![Predicate::le(0, 5), Predicate::ge(1, 1)]);
+
+    let degraded = server
+        .estimate_with(&query, SubmitOptions::default().deadline_within(Duration::from_secs(10)))
+        .expect("degraded, not failed");
+    assert_eq!(degraded.estimate.provenance, Provenance::Degraded);
+
+    // The degraded answer must not have been cached: the same query served
+    // without a deadline recomputes at full quality...
+    let fresh = server.estimate(&query).unwrap();
+    assert_ne!(fresh.estimate.provenance, Provenance::CacheHit);
+    assert_ne!(fresh.estimate.provenance, Provenance::Degraded);
+
+    // ...and *that* answer is what later hits the cache.
+    let hit = server.estimate(&query).unwrap();
+    assert_eq!(hit.estimate.provenance, Provenance::CacheHit);
+    assert_eq!(hit.estimate.selectivity, fresh.estimate.selectivity);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.served, 2, "the cache hit never reaches the queue");
+    assert_eq!(metrics.degraded_served, 1);
+    assert_eq!(metrics.cache_hits, 1);
+    assert_eq!(metrics.accounted(), metrics.accepted);
+}
+
 // --- per-request failures -------------------------------------------------
 
 #[test]
 fn estimator_rejections_are_typed_and_do_not_kill_workers() {
     let (engine, queries) = oracle_engine();
     let reference = sequential_reference(&engine, &queries);
-    let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(2));
+    let server = Server::start(engine, ServeConfig::default().with_workers(2).with_max_batch(2)).unwrap();
 
     let bad = Query::new(vec![Predicate::eq(42, 0)]);
     let err = server.estimate(&bad).unwrap_err();
@@ -312,7 +434,8 @@ fn estimator_rejections_are_typed_and_do_not_kill_workers() {
 
 #[test]
 fn estimator_panics_are_contained_per_request() {
-    let server = Server::start(PanickingDensity::engine(), ServeConfig::default().with_workers(1).with_max_batch(8));
+    let server =
+        Server::start(PanickingDensity::engine(), ServeConfig::default().with_workers(1).with_max_batch(8)).unwrap();
     let healthy = Query::new(vec![Predicate::le(0, 2)]); // walks column 0 only
     let poison = Query::new(vec![Predicate::ge(1, 1)]); // walks through column 1
 

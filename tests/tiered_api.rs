@@ -113,7 +113,7 @@ proptest! {
         lo in 0u32..8, hi in 0u32..4,
     ) {
         let engine = Engine::new(IndependentDensity::uniform(&[8, 4]), 10_000).with_samples(64);
-        let server = Server::start(engine, ServeConfig::default().with_workers(1).with_cache_capacity(16));
+        let server = Server::start(engine, ServeConfig::default().with_workers(1).with_cache_capacity(16)).unwrap();
         let query = Query::new(vec![Predicate::ge(0, lo), Predicate::le(1, hi)]);
 
         let fresh = server.estimate(&query).unwrap().estimate;
