@@ -15,6 +15,8 @@
 //! | Supervised deep regression + sample bitmap | [`mscn`] | MSCN-base/-0/-10K |
 //! | Exact full scan (reference only)           | [`exact`] | Full Joint |
 
+#![forbid(unsafe_code)]
+
 pub mod exact;
 pub mod histogram1d;
 pub mod indep;

@@ -54,6 +54,7 @@ fn main() {
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             other => {
                 eprintln!("unknown argument {other}; supported: --smoke, --out PATH");
+                #[allow(clippy::disallowed_methods)] // CLI usage error: exit before any state exists
                 std::process::exit(2);
             }
         }

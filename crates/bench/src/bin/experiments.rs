@@ -72,6 +72,7 @@ fn main() {
             return;
         } else {
             eprintln!("unknown argument: {arg} (try --help)");
+            #[allow(clippy::disallowed_methods)] // CLI usage error: exit before any state exists
             std::process::exit(2);
         }
     }

@@ -17,6 +17,8 @@
 //! cargo run --release -p naru-bench --bin experiments -- all --quick
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod config;
 pub mod experiments;

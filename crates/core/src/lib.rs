@@ -31,6 +31,8 @@
 //!   0), sketches under a q-error budget (tier 1), then the model (tier 2),
 //!   with per-answer [`Provenance`](naru_query::Provenance) tags.
 
+#![forbid(unsafe_code)]
+
 pub mod columnwise;
 pub mod density;
 pub mod encoding;

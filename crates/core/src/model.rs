@@ -82,8 +82,11 @@ pub struct MadeModel {
 
 impl MadeModel {
     /// Builds an untrained model for a table with the given domain sizes.
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     pub fn new(domain_sizes: &[usize], config: &ModelConfig) -> Self {
+        // lint: allow(panic) - documented constructor contract: a table with no columns is a caller bug
         assert!(!domain_sizes.is_empty(), "model needs at least one column");
+        // lint: allow(panic) - documented constructor contract: an MLP needs at least one hidden layer
         assert!(!config.hidden_sizes.is_empty(), "model needs at least one hidden layer");
         let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -162,6 +165,7 @@ impl MadeModel {
 
     /// Encodes one id into column `col`'s input block of a row slice.
     #[inline]
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     fn encode_slot(&self, col: usize, id: u32, row: &mut [f32]) {
         let off = self.input_offsets[col];
         let width = self.spec.input_widths[col];
@@ -170,6 +174,7 @@ impl MadeModel {
             ColumnEncoding::OneHot => slot[id as usize] = 1.0,
             ColumnEncoding::Binary => encode_binary(id, width, slot),
             ColumnEncoding::Embedding { .. } => {
+                // lint: allow(panic) - embeddings[col] is Some for every Embedding column by construction in new()
                 let emb = self.embeddings[col].as_ref().expect("embedding present");
                 slot.copy_from_slice(emb.table().row(id as usize));
             }
@@ -199,11 +204,13 @@ impl MadeModel {
     /// Blocks `>= col` stay zero; the MADE masks hold the weights out of
     /// those blocks at exactly 0, so this is equivalent to encoding the
     /// full tuple as the allocating path does.
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     fn encode_prefix_into(&self, tuples: &[u32], rows: usize, col: usize, scratch: &mut InferenceScratch) {
         let total = self.spec.total_input();
         let n = self.domain_sizes.len();
         let fresh = !scratch.enc_valid || scratch.enc.shape() != (rows, total);
         if fresh {
+            // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
             scratch.enc.resize(rows, total);
             scratch.enc.fill_zero();
             scratch.enc_cols = 0;
@@ -249,6 +256,7 @@ impl MadeModel {
     }
 
     /// Extracts column `col`'s block from the trunk output.
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     fn output_block(&self, trunk_out: &Matrix, col: usize) -> Matrix {
         let lo = self.output_offsets[col];
         let hi = self.output_offsets[col + 1];
@@ -261,11 +269,13 @@ impl MadeModel {
 
     /// Logits over column `col`'s domain for a batch (applies embedding
     /// reuse decoding when configured).
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     fn logits_for_column(&self, trunk_out: &Matrix, col: usize) -> Matrix {
         let block = self.output_block(trunk_out, col);
         match self.output_kinds[col] {
             OutputKind::Direct => block,
             OutputKind::EmbeddingReuse => {
+                // lint: allow(panic) - embeddings[col] is Some for every EmbeddingReuse output by construction in new()
                 let emb = self.embeddings[col].as_ref().expect("embedding present");
                 emb.decode_logits(&block)
             }
@@ -289,12 +299,14 @@ impl MadeModel {
     /// live in `ws`, so a training loop that reuses one workspace runs the
     /// whole step allocation-free at steady state (mirroring what
     /// `InferenceScratch` does for the sampling hot path).
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     pub fn train_step_with(
         &mut self,
         tuples: &[Vec<u32>],
         adam: &AdamConfig,
         ws: &mut crate::train::TrainWorkspace,
     ) -> f64 {
+        // lint: allow(panic) - documented train_step contract: an empty batch has no gradient
         assert!(!tuples.is_empty(), "empty batch");
         let rows = tuples.len();
         let n = self.num_columns();
@@ -349,6 +361,7 @@ impl MadeModel {
                     }
                 }
                 OutputKind::EmbeddingReuse => {
+                    // lint: allow(panic) - embeddings[col] is Some for every EmbeddingReuse output by construction in new()
                     let emb = self.embeddings[col].as_mut().expect("embedding present");
                     emb.decode_logits_into(&ws.block, &mut ws.logits);
                     total_loss += cross_entropy_grad_into(&ws.logits, &ws.targets, &mut ws.grad_logits);
@@ -388,6 +401,7 @@ impl MadeModel {
                 for r in 0..rows {
                     ws.block_grad.row_mut(r).copy_from_slice(&input_grad.row(r)[off..off + width]);
                 }
+                // lint: allow(panic) - embeddings[col] is Some for every Embedding column by construction in new()
                 let emb = self.embeddings[col].as_mut().expect("embedding present");
                 emb.backward(&ws.targets, &ws.block_grad);
             }
@@ -413,6 +427,7 @@ impl MadeModel {
     /// Runs through a local workspace: one trunk pass, then one output
     /// *block* per column (log-softmaxed in place), so no per-column
     /// matrices are allocated.
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     pub fn log_likelihood_batch(&self, tuples: &[Vec<u32>]) -> Vec<f64> {
         if tuples.is_empty() {
             return Vec::new();
@@ -431,6 +446,7 @@ impl MadeModel {
             let logit_buf = match self.output_kinds[col] {
                 OutputKind::Direct => 2,
                 OutputKind::EmbeddingReuse => {
+                    // lint: allow(panic) - embeddings[col] is Some for every EmbeddingReuse output by construction in new()
                     let emb = self.embeddings[col].as_ref().expect("embedding present");
                     let (block, logits) = ws.pair_mut(2, 3);
                     emb.decode_logits_into(block, logits);
@@ -467,6 +483,7 @@ impl ConditionalDensity for MadeModel {
     /// incrementally-encoded input batch and the workspace activation
     /// buffers, and computes only column `col`'s output block instead of the
     /// whole output layer.
+    // lint: allow_fn(index) - indices are bounded by the model shape fixed in new(); the autoregressive kernels keep direct indexing
     fn conditionals_into(
         &self,
         tuples: &[u32],
@@ -475,6 +492,7 @@ impl ConditionalDensity for MadeModel {
         out: &mut Matrix,
         scratch: &mut InferenceScratch,
     ) {
+        // lint: allow(panic) - shape contract shared with the sampler: callers pass width-checked tuples
         assert_eq!(num_cols, self.num_columns(), "tuple width mismatch");
         let rows = tuples.len().checked_div(num_cols).unwrap_or(0);
         self.encode_prefix_into(tuples, rows, col, scratch);
@@ -486,6 +504,7 @@ impl ConditionalDensity for MadeModel {
                 self.output.forward_block_into(scratch.nn.buf(h), lo..hi, out);
             }
             OutputKind::EmbeddingReuse => {
+                // lint: allow(panic) - embeddings[col] is Some for every EmbeddingReuse output by construction in new()
                 let emb = self.embeddings[col].as_ref().expect("embedding present");
                 {
                     let (hidden, block) = scratch.nn.pair_mut(h, 2);

@@ -80,17 +80,19 @@ impl OracleDensity {
         Self { columns, domain_sizes, smoothing: alpha, cache }
     }
 
+    // lint: allow_fn(index) - prefix and tuple indices are bounded by the schema width the oracle was built from
     fn num_rows(&self) -> usize {
         self.columns[0].len()
     }
 
     /// Number of memoized prefixes across all columns (diagnostics).
     pub fn cached_prefixes(&self) -> usize {
-        self.cache.lock().expect("oracle cache poisoned").levels.iter().map(HashMap::len).sum()
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).levels.iter().map(HashMap::len).sum()
     }
 
     /// Rows matching `prefix` by a full scan (the uncached fallback and the
     /// root of the incremental refinement).
+    // lint: allow_fn(index) - prefix and tuple indices are bounded by the schema width the oracle was built from
     fn scan_matching_rows(&self, prefix: &[u32]) -> Vec<u32> {
         let mut rows: Vec<u32> = (0..self.num_rows() as u32).collect();
         for (&want, ids) in prefix.iter().zip(&self.columns) {
@@ -103,6 +105,7 @@ impl OracleDensity {
     }
 
     /// The conditional of column `col` over the given matching rows.
+    // lint: allow_fn(index) - prefix and tuple indices are bounded by the schema width the oracle was built from
     fn conditional_over(&self, rows: &[u32], col: usize) -> Vec<f32> {
         let domain = self.domain_sizes[col];
         let mut counts = vec![self.smoothing; domain];
@@ -121,6 +124,7 @@ impl OracleDensity {
 
     /// Ensures `cache[col]` holds the state for `prefix` and returns a copy
     /// of work done (the caller copies the conditional out under the lock).
+    // lint: allow_fn(index) - prefix and tuple indices are bounded by the schema width the oracle was built from
     fn with_prefix_state<R>(&self, cache: &mut PrefixCache, prefix: &[u32], f: impl FnOnce(&PrefixState) -> R) -> R {
         let col = prefix.len();
         if let Some(state) = cache.levels[col].get(prefix) {
@@ -159,10 +163,11 @@ impl ConditionalDensity for OracleDensity {
         &self.domain_sizes
     }
 
+    // lint: allow_fn(index) - prefix and tuple indices are bounded by the schema width the oracle was built from
     fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
         let domain = self.domain_sizes[col];
         let mut out = Matrix::zeros(tuples.len(), domain);
-        let cache = &mut *self.cache.lock().expect("oracle cache poisoned");
+        let cache = &mut *self.cache.lock().unwrap_or_else(|e| e.into_inner());
         for (r, tuple) in tuples.iter().enumerate() {
             self.with_prefix_state(cache, &tuple[..col], |state| {
                 out.row_mut(r).copy_from_slice(&state.conditional);
@@ -187,6 +192,7 @@ pub struct NoisyOracle<D: ConditionalDensity> {
 impl<D: ConditionalDensity> NoisyOracle<D> {
     /// Wraps `inner`, mixing each conditional with uniform weight `epsilon`.
     pub fn new(inner: D, epsilon: f64) -> Self {
+        // lint: allow(panic) - documented constructor contract: epsilon outside [0,1] is a caller bug
         assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
         Self { inner, epsilon }
     }
@@ -213,6 +219,7 @@ impl<D: ConditionalDensity> ConditionalDensity for NoisyOracle<D> {
 
     fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
         let mut probs = self.inner.conditionals(tuples, col);
+        // lint: allow(index) - trait contract: col < num_columns == domain_sizes().len()
         let domain = self.domain_sizes()[col] as f32;
         let eps = self.epsilon as f32;
         let uniform = eps / domain;

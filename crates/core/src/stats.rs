@@ -211,6 +211,7 @@ impl NdvSketch {
     }
 
     /// Observes one value (duplicates are free).
+    // lint: allow_fn(index) - register and column indices are bounded by the precision/schema fixed at build time
     pub fn insert(&mut self, value: u64) {
         let hash = Self::mix(value);
         let index = (hash >> (64 - self.precision)) as usize;
@@ -245,6 +246,7 @@ impl NdvSketch {
 
     /// Merges another sketch of the same precision (register-wise max).
     pub fn merge(&mut self, other: &NdvSketch) {
+        // lint: allow(panic) - documented merge contract: mixing precisions silently corrupts NDV estimates
         assert_eq!(self.precision, other.precision, "cannot merge sketches of different precision");
         for (r, &o) in self.registers.iter_mut().zip(&other.registers) {
             *r = (*r).max(o);
@@ -269,6 +271,7 @@ impl TableSample {
     /// Keeps `fraction` of the table's rows, sampled uniformly without
     /// replacement.
     pub fn build(table: &Table, fraction: f64, seed: u64) -> Self {
+        // lint: allow(panic) - documented build contract: a zero or >1 sample fraction is a caller bug
         assert!(fraction > 0.0 && fraction <= 1.0, "sample fraction must be in (0, 1]");
         let k = ((table.num_rows() as f64 * fraction).round() as usize).max(1);
         Self::build_with_rows(table, k, seed)
@@ -417,11 +420,13 @@ impl TableStats {
     }
 
     /// The summary for one column.
+    // lint: allow_fn(index) - register and column indices are bounded by the precision/schema fixed at build time
     pub fn column(&self, index: usize) -> &ColumnSummary {
         &self.columns[index]
     }
 
     /// Classifies one column's constraint against its stored statistics.
+    // lint: allow_fn(index) - register and column indices are bounded by the precision/schema fixed at build time
     fn classify(&self, col: usize, constraint: &ColumnConstraint) -> ColumnAnswer {
         let summary = &self.columns[col];
         // Structurally empty over this domain: no id can match, so the
@@ -486,6 +491,7 @@ impl TableStats {
     /// are stored (answer = that column's matched-row sum; cross-column
     /// correlation cannot leak into a single-column count).
     pub fn exact_cardinality(&self, constraints: &[ColumnConstraint]) -> Option<u64> {
+        // lint: allow(panic) - constraint width is fixed by the schema the sketch was built from
         assert_eq!(constraints.len(), self.columns.len(), "constraint vector width mismatch");
         let mut partial: Option<u64> = None;
         for (col, constraint) in constraints.iter().enumerate() {
@@ -508,7 +514,9 @@ impl TableStats {
 
     /// Tier-1 approximate selectivity: the product of per-column histogram
     /// selectivities under the independence assumption.
+    // lint: allow_fn(index) - register and column indices are bounded by the precision/schema fixed at build time
     pub fn sketch_selectivity(&self, constraints: &[ColumnConstraint]) -> f64 {
+        // lint: allow(panic) - constraint width is fixed by the schema the sketch was built from
         assert_eq!(constraints.len(), self.columns.len(), "constraint vector width mismatch");
         constraints
             .iter()

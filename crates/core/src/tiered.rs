@@ -212,6 +212,7 @@ impl TieredSession {
     /// Estimates a batch, one result per query in order. Fast-path-eligible
     /// queries are answered inline; the residual is forwarded to the model
     /// session's prefix-memoizing batch path in one call.
+    // lint: allow_fn(index) - partition index lists are built from enumerate over the same queries slice
     pub fn estimate_batch(&mut self, queries: &[Query]) -> Vec<Result<Estimate, EstimateError>> {
         let mut results: Vec<Option<Result<Estimate, EstimateError>>> = vec![None; queries.len()];
         let mut residual_indices = Vec::new();
@@ -229,6 +230,7 @@ impl TieredSession {
         for (i, result) in residual_indices.into_iter().zip(self.session.estimate_batch(&residual)) {
             results[i] = Some(result);
         }
+        // lint: allow(panic) - exact/sketch/residual partitions cover every index exactly once
         results.into_iter().map(|r| r.expect("every query is answered")).collect()
     }
 }

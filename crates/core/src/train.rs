@@ -176,9 +176,11 @@ pub fn table_tuples(table: &Table) -> Vec<Vec<u32>> {
 
 /// Trains `model` on `table` for `config.epochs` passes, returning per-epoch
 /// quality statistics. Works for both architectures (A and B).
+// lint: allow_fn(index) - batch ranges are clamped to tuples.len() before slicing
 pub fn train_model<M: TrainableDensity>(model: &mut M, table: &Table, config: &TrainConfig) -> TrainReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let tuples = table_tuples(table);
+    // lint: allow(panic) - documented training contract: an empty table has no distribution to fit
     assert!(!tuples.is_empty(), "cannot train on an empty table");
 
     let data_entropy_bits = if config.compute_data_entropy { Some(table.data_entropy_bits()) } else { None };

@@ -15,6 +15,8 @@
 //! * [`shift`] — partitioned ingest used by the data-shift experiment
 //!   (Table 8).
 
+#![forbid(unsafe_code)]
+
 pub mod column;
 pub mod csv;
 pub mod shift;

@@ -1,0 +1,337 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for the
+//! lint rules, in the same vendored-shim spirit as the rest of the
+//! workspace (no external dependencies).
+//!
+//! The lexer produces a flat token stream plus the line comments (the rules
+//! read `lint:` directives out of those). It understands the lexical
+//! constructs that would otherwise break a naive scanner: nested block
+//! comments, raw/byte strings, char literals vs. lifetimes, and multi-char
+//! operators. It does **not** build an AST — the rules work on token
+//! patterns plus the lightweight structure recovered in [`crate::source`].
+
+/// Token classification. `text` is only meaningful for `Ident`, `Number`
+/// and `Punct`; string/char literals keep their span but drop their content
+/// (no rule reads it, and literals must never trigger findings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String literal (plain, raw, byte, or raw byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// A `//`-style comment (including `///` and `//!` doc comments), with its
+/// full text starting at the slashes.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "::", "->", "=>", "..", "&&", "||", "<<", ">>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=",
+    "|=", "&=",
+];
+
+/// Lexes `src` into tokens and line comments. Malformed input never panics;
+/// the lexer simply resynchronizes (lint runs on work-in-progress trees).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(LineComment { line, text: chars[start..i].iter().collect() });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Raw strings (r"", r#""#), byte strings (b"", br#""#), byte chars (b'').
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut is_raw = c == 'r';
+            if c == 'b' && j < n && chars[j] == 'r' {
+                is_raw = true;
+                j += 1;
+            }
+            if is_raw {
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    let start_line = line;
+                    j += 1;
+                    while j < n {
+                        if chars[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if chars[j] == '"' {
+                            let mut k = j + 1;
+                            let mut h = 0usize;
+                            while k < n && h < hashes && chars[k] == '#' {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                j = k;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Str, text: String::new(), line: start_line });
+                    i = j;
+                    continue;
+                }
+                // `r`/`br` not followed by a raw string: plain identifier.
+            } else if j < n && chars[j] == '"' {
+                let (end, end_line) = scan_string(&chars, j, line);
+                toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                line = end_line;
+                i = end;
+                continue;
+            } else if j < n && chars[j] == '\'' {
+                let (end, end_line) = scan_char(&chars, j, line);
+                toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+                line = end_line;
+                i = end;
+                continue;
+            }
+        }
+        if c == '"' {
+            let (end, end_line) = scan_string(&chars, i, line);
+            toks.push(Tok { kind: TokKind::Str, text: String::new(), line });
+            line = end_line;
+            i = end;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime if followed by an identifier char that is not itself
+            // a closing quote (`'a` vs `'a'`).
+            let is_lifetime = i + 1 < n
+                && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                && !(i + 2 < n && chars[i + 2] == '\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, text: chars[i + 1..j].iter().collect(), line });
+                i = j;
+                continue;
+            }
+            let (end, end_line) = scan_char(&chars, i, line);
+            toks.push(Tok { kind: TokKind::Char, text: String::new(), line });
+            line = end_line;
+            i = end;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: chars[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            // Fractional part, but never consume a `..` range operator.
+            if j < n && chars[j] == '.' && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Number, text: chars[i..j].iter().collect(), line });
+            i = j;
+            continue;
+        }
+        // Punctuation: maximal munch over the multi-char operator table.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let len = op.chars().count();
+            if i + len <= n && chars[i..i + len].iter().collect::<String>() == **op {
+                toks.push(Tok { kind: TokKind::Punct, text: (*op).to_owned(), line });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+            i += 1;
+        }
+    }
+
+    Lexed { toks, comments }
+}
+
+/// Scans a plain string literal starting at the opening quote. Returns the
+/// index past the closing quote and the updated line counter.
+fn scan_string(chars: &[char], start: usize, mut line: u32) -> (usize, u32) {
+    let mut j = start + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return (j + 1, line),
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, line)
+}
+
+/// Scans a char (or byte-char) literal starting at the opening quote.
+fn scan_char(chars: &[char], start: usize, mut line: u32) -> (usize, u32) {
+    let mut j = start + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return (j + 1, line),
+            '\n' => {
+                // Malformed literal; resynchronize at the newline.
+                line += 1;
+                return (j + 1, line);
+            }
+            _ => j += 1,
+        }
+    }
+    (j, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_multichar_puncts() {
+        let toks = kinds("let x: Vec<u8> = a.b_c(1.5, 0..n)?;");
+        assert!(toks.contains(&(TokKind::Ident, "b_c".into())));
+        assert!(toks.contains(&(TokKind::Number, "1.5".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        let toks = kinds("a::b => c -> d += e");
+        let puncts: Vec<String> = toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, t)| t.clone()).collect();
+        assert_eq!(puncts, ["::", "=>", "->", "+="]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lexed = lex("x // trailing note\n/* block\n still block */ y");
+        assert_eq!(lexed.toks.len(), 2);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, "// trailing note");
+        assert_eq!(lexed.toks[1].line, 3);
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes() {
+        let toks = kinds(r##"'a' b'\n' "s\"t" r#"raw "inner""# 'static x"##);
+        let counts = |k: TokKind| toks.iter().filter(|(tk, _)| *tk == k).count();
+        assert_eq!(counts(TokKind::Char), 2);
+        assert_eq!(counts(TokKind::Str), 2);
+        assert_eq!(counts(TokKind::Lifetime), 1);
+        assert_eq!(counts(TokKind::Ident), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let lexed = lex("a\n/* outer /* inner */ still */\nb");
+        assert_eq!(lexed.toks[0].line, 1);
+        assert_eq!(lexed.toks[1].line, 3);
+    }
+
+    #[test]
+    fn unwrap_in_a_string_is_not_a_token() {
+        let lexed = lex("let msg = \"call .unwrap() here\";");
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+}

@@ -1,0 +1,139 @@
+//! naru-lint: the workspace invariant checker.
+//!
+//! Four rule families guard the properties the estimator's serving story
+//! depends on but `rustc`/clippy cannot see:
+//!
+//! * **no_alloc** — fns named `*_into`/`*_inplace` (or marked
+//!   `lint: no_alloc`) may not allocate or grow containers;
+//! * **panic** / **index** — non-test code in `crates/serve` and
+//!   `crates/core` may not `unwrap`/`expect`/`panic!` or index slices
+//!   without `get`;
+//! * **accounting** — matches over `ServeError`/`Provenance` in the
+//!   designated metrics/cache files must name every variant, and the
+//!   lifecycle counters may only be advanced at their allowlisted sites;
+//! * **lock** — the bounded queue may not call foreign code or read the
+//!   wall clock while holding its mutex.
+//!
+//! Escape hatch (all rules): `lint: allow(rule, ...) - <reason>` on (or
+//! directly above) the offending line, or `lint: allow_fn(rule, ...) -
+//! <reason>` to waive a whole function. Reasons are mandatory, at least 8
+//! characters, and surface in the JSON report so waivers stay auditable.
+//! Malformed or unused directives are findings themselves.
+//!
+//! The crate has no dependencies — the lexer is hand-rolled — so the lint
+//! binary builds in the same offline sandbox as the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use report::{Finding, Report, UsedAllow};
+
+use rules::EnumTable;
+use source::FileCtx;
+
+/// Lints in-memory sources: `(workspace-relative path, contents)` pairs.
+/// This is the whole engine; the disk walker just feeds it.
+pub fn run_sources(files: &[(String, String)], cfg: &Config) -> Report {
+    let ctxs: Vec<FileCtx> = files.iter().map(|(path, src)| FileCtx::parse(path, src)).collect();
+
+    // Pre-pass: watched-enum variant tables come from wherever the enum is
+    // actually defined (ServeError in serve, Provenance in query).
+    let mut enums = EnumTable::new();
+    for ctx in &ctxs {
+        for def in &ctx.enums {
+            if cfg.watched_enums.iter().any(|e| e == &def.name) {
+                enums.entry(def.name.clone()).or_insert_with(|| def.variants.clone());
+            }
+        }
+    }
+
+    let mut report = Report { files_scanned: ctxs.len(), ..Report::default() };
+    for ctx in &ctxs {
+        let (findings, allows) = rules::analyze(ctx, cfg, &enums);
+        report.findings.extend(findings);
+        report.allows.extend(allows);
+    }
+    report.findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    report.allows.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report
+}
+
+/// Walks the workspace under `root` and lints every first-party source
+/// file: `src/` at the root (the facade) plus `crates/*/src/`. Vendored
+/// shims, tests/, benches/, and examples/ are out of scope — the rules
+/// encode invariants of the library and serving code.
+pub fn run_root(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut roots: Vec<PathBuf> = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect();
+        entries.sort();
+        for krate in entries {
+            roots.push(krate.join("src"));
+        }
+    }
+    for dir in roots {
+        if dir.is_dir() {
+            collect_rs(&dir, root, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(run_sources(&files, cfg))
+}
+
+/// Recursively collects `.rs` files under `dir`, storing root-relative
+/// paths with `/` separators.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_table_crosses_files() {
+        let cfg = Config {
+            accounting_files: vec!["b.rs".to_owned()],
+            watched_enums: vec!["E".to_owned()],
+            panic_scope: Vec::new(),
+            index_scope: Vec::new(),
+            ..Config::default()
+        };
+        let files = vec![
+            ("a.rs".to_owned(), "pub enum E { X, Y, Z }".to_owned()),
+            ("b.rs".to_owned(), "fn f(e: &E) -> u8 { match e { E::X => 1, E::Y => 2 } }".to_owned()),
+        ];
+        let report = run_sources(&files, &cfg);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].message.contains("missing variant(s): Z"));
+    }
+}

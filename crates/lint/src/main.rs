@@ -1,0 +1,122 @@
+//! CLI for naru-lint.
+//!
+//! ```text
+//! naru-lint [--check] [--root DIR] [--json PATH] [--list-rules]
+//! ```
+//!
+//! `--check` exits non-zero when findings remain (CI gate). `--json PATH`
+//! writes the machine-readable report. Without `--root`, the workspace root
+//! is discovered by walking up from the current directory to the first
+//! `Cargo.toml` with a `[workspace]` table.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use naru_lint::{rules, Config, Report};
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+
+    let mut argv = env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match argv.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match argv.next() {
+                Some(path) => json = Some(PathBuf::from(path)),
+                None => return usage("--json needs a file path"),
+            },
+            "--list-rules" => {
+                for rule in rules::RULE_IDS {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("naru-lint: no workspace root found (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match naru_lint::run_root(&root, &Config::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("naru-lint: failed to read sources under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = json {
+        if let Err(e) = fs::write(&path, report.to_json()) {
+            eprintln!("naru-lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    print_report(&report);
+    if check && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_report(report: &Report) {
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let waived: u32 = report.allows.iter().map(|a| a.suppressed).sum();
+    println!(
+        "naru-lint: {} file(s) scanned, {} finding(s), {} waived by {} allow directive(s)",
+        report.files_scanned,
+        report.findings.len(),
+        waived,
+        report.allows.len()
+    );
+}
+
+/// Walks up from the current directory to the first workspace `Cargo.toml`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("naru-lint: {error}");
+    }
+    eprintln!("usage: naru-lint [--check] [--root DIR] [--json PATH] [--list-rules]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

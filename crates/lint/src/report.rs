@@ -1,0 +1,134 @@
+//! Findings, the run report, and its hand-rolled JSON serialization.
+
+use std::fmt;
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (`no_alloc`, `panic`, `index`, `accounting`, `lock`,
+    /// `bad-allow`, `unused-allow`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// An escape hatch that actually suppressed something, kept for the report
+/// so waivers stay auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsedAllow {
+    pub rule: String,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+    /// How many findings this directive suppressed.
+    pub suppressed: u32,
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub allows: Vec<UsedAllow>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Machine-readable report (stable field order, one finding per entry).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"naru-lint\",\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"suppressed\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.path),
+                a.line,
+                a.suppressed,
+                json_str(&a.reason)
+            ));
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_reports_cleanliness() {
+        let mut report = Report { files_scanned: 2, ..Report::default() };
+        assert!(report.is_clean());
+        assert!(report.to_json().contains("\"clean\": true"));
+        report.findings.push(Finding {
+            rule: "panic".to_owned(),
+            path: "a/b.rs".to_owned(),
+            line: 7,
+            message: "call to `.unwrap()` — \"quoted\"".to_owned(),
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\": 7"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Accounting exhaustiveness: matches over the lifecycle enums must name
+//! every variant (no `_`, no catch-all binding), and the lifecycle counters
+//! may only be advanced at the allowlisted call sites.
+//!
+//! The serving layer's invariant `served + failed + shed + cancelled ==
+//! accepted` only holds while each counter has exactly one owner; this rule
+//! makes both the matches and the increments structurally auditable.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::{push, EnumTable};
+use crate::source::FileCtx;
+
+pub fn check(ctx: &FileCtx, cfg: &Config, enums: &EnumTable, out: &mut Vec<Finding>) {
+    if cfg.is_accounting_file(&ctx.path) {
+        check_matches(ctx, cfg, enums, out);
+    }
+    check_counters(ctx, cfg, out);
+}
+
+/// One arm's pattern token range (indices into `ctx.toks`).
+struct Arm {
+    start: usize,
+    end: usize,
+}
+
+fn check_matches(ctx: &FileCtx, cfg: &Config, enums: &EnumTable, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("match") || ctx.is_test_line(t.line) {
+            continue;
+        }
+        // Scrutinee runs to the arm block's `{` at bracket depth zero.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let Some(&close) = ctx.brace_match.get(&open) else { continue };
+        let arms = collect_arms(ctx, open, close);
+
+        // Which watched enums do the arm patterns name?
+        let mut named: Vec<(String, Vec<String>)> = Vec::new(); // (enum, variants named)
+        let mut has_wildcard = false;
+        let mut has_binding = false;
+        for arm in &arms {
+            let pat = &toks[arm.start..arm.end];
+            // Cut the pattern at a top-level `if` guard.
+            let mut guard_cut = pat.len();
+            let mut d = 0i32;
+            for (k, t) in pat.iter().enumerate() {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        _ => {}
+                    }
+                } else if d == 0 && t.is_ident("if") {
+                    guard_cut = k;
+                    break;
+                }
+            }
+            let pat = &pat[..guard_cut];
+            // `_` lexes as an identifier.
+            if pat.len() == 1 && pat[0].is_ident("_") {
+                has_wildcard = true;
+            }
+            let idents: Vec<&crate::lexer::Tok> = pat.iter().filter(|t| t.kind == TokKind::Ident).collect();
+            if pat.len() == 1 && idents.len() == 1 && idents[0].text.chars().next().is_some_and(char::is_lowercase) {
+                has_binding = true;
+            }
+            if pat.len() == 2 && pat[0].is_ident("mut") && idents.len() == 2 {
+                has_binding = true;
+            }
+            // `Enum::Variant` and `Self::Variant` references.
+            for k in 0..pat.len().saturating_sub(2) {
+                if pat[k].kind == TokKind::Ident && pat[k + 1].is_punct("::") && pat[k + 2].kind == TokKind::Ident {
+                    let head = &pat[k].text;
+                    let resolved = if cfg.watched_enums.iter().any(|e| e == head) {
+                        Some(head.clone())
+                    } else if head == "Self" {
+                        ctx.enclosing_impl(arm.start)
+                            .map(|s| s.type_name.clone())
+                            .filter(|t| cfg.watched_enums.iter().any(|e| e == t))
+                    } else {
+                        None
+                    };
+                    if let Some(enum_name) = resolved {
+                        let variant = pat[k + 2].text.clone();
+                        match named.iter_mut().find(|(e, _)| *e == enum_name) {
+                            Some((_, vs)) => {
+                                if !vs.contains(&variant) {
+                                    vs.push(variant);
+                                }
+                            }
+                            None => named.push((enum_name, vec![variant])),
+                        }
+                    }
+                }
+            }
+        }
+
+        if named.is_empty() {
+            continue; // not a watched match
+        }
+        let line = t.line;
+        if has_wildcard {
+            push(
+                out,
+                "accounting",
+                ctx,
+                line,
+                format!(
+                    "match naming watched enum {} has a `_` arm; name every variant so additions fail the lint",
+                    named.iter().map(|(e, _)| e.as_str()).collect::<Vec<_>>().join(", ")
+                ),
+            );
+        }
+        if has_binding {
+            push(
+                out,
+                "accounting",
+                ctx,
+                line,
+                format!(
+                    "match naming watched enum {} has a catch-all binding arm; name every variant explicitly",
+                    named.iter().map(|(e, _)| e.as_str()).collect::<Vec<_>>().join(", ")
+                ),
+            );
+        }
+        for (enum_name, seen) in &named {
+            let Some(all) = enums.get(enum_name) else { continue };
+            let missing: Vec<&String> = all.iter().filter(|v| !seen.contains(v)).collect();
+            if !missing.is_empty() && !has_wildcard && !has_binding {
+                push(
+                    out,
+                    "accounting",
+                    ctx,
+                    line,
+                    format!(
+                        "match over {enum_name} is missing variant(s): {}",
+                        missing.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(", ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Splits a match body into arm pattern spans (`pattern => body,`).
+fn collect_arms(ctx: &FileCtx, open: usize, close: usize) -> Vec<Arm> {
+    let toks = &ctx.toks;
+    let mut arms = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let start = k;
+        let mut depth = 0i32;
+        // Pattern runs to `=>` at relative depth zero.
+        while k < close {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        if k >= close {
+            break;
+        }
+        arms.push(Arm { start, end: k });
+        // Body: a block (skip via brace table) or an expression to the comma.
+        k += 1;
+        if k < close && toks[k].is_punct("{") {
+            k = ctx.brace_match.get(&k).copied().unwrap_or(close) + 1;
+            if k < close && toks[k].is_punct(",") {
+                k += 1;
+            }
+        } else {
+            let mut d = 0i32;
+            while k < close {
+                let t = &toks[k];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "," if d == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    arms
+}
+
+/// Lifecycle counters may only be advanced in the allowlisted files.
+fn check_counters(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.is_test_line(t.line) {
+            continue;
+        }
+        // `served.fetch_add(` / `served.store(` outside the metrics owner.
+        if cfg.counters.iter().any(|c| c == &t.text)
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("."))
+            && toks.get(i + 2).is_some_and(|m| m.is_ident("fetch_add") || m.is_ident("store"))
+            && !cfg.is_counter_file(&ctx.path)
+        {
+            push(
+                out,
+                "accounting",
+                ctx,
+                t.line,
+                format!("lifecycle counter `{}` may only be advanced in {}", t.text, cfg.counter_files.join(", ")),
+            );
+        }
+        // The queue's `pushed` acceptance counter.
+        if t.is_ident("pushed")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("+=") || p.is_punct("."))
+            && (toks[i + 1].is_punct("+=") || toks.get(i + 2).is_some_and(|m| m.is_ident("fetch_add")))
+            && !cfg.is_accepted_counter_file(&ctx.path)
+        {
+            push(
+                out,
+                "accounting",
+                ctx,
+                t.line,
+                format!(
+                    "acceptance counter `pushed` may only be advanced in {}",
+                    cfg.accepted_counter_files.join(", ")
+                ),
+            );
+        }
+    }
+}

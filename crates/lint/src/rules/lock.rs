@@ -1,0 +1,245 @@
+//! Lock discipline for the bounded queue: while a `MutexGuard` is live, no
+//! wall-clock reads and no calls into code outside the queue module.
+//!
+//! The queue's critical sections must stay O(1): a foreign call (estimator,
+//! cache, logging) or an `Instant::now()` syscall under the lock serializes
+//! every producer and worker behind it.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::push;
+use crate::source::FileCtx;
+
+/// Methods that are part of normal guard/container manipulation and stay
+/// O(1)-ish on the locked state itself.
+const METHOD_OK: &[&str] = &[
+    "lock",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "expect",
+    "into_inner",
+    "map",
+    "map_err",
+    "and_then",
+    "ok",
+    "err",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_timeout_while",
+    "notify_one",
+    "notify_all",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "len",
+    "is_empty",
+    "clear",
+    "drain",
+    "iter",
+    "iter_mut",
+    "sum",
+    "count",
+    "take",
+    "replace",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "clone",
+    "min",
+    "max",
+    "clamp",
+    "saturating_sub",
+    "saturating_add",
+    "checked_sub",
+    "checked_add",
+    "load",
+    "store",
+    "fetch_add",
+    "is_some",
+    "is_none",
+    "is_some_and",
+    "as_ref",
+    "as_mut",
+    "as_deref",
+    "elapsed",
+];
+
+/// Keywords that look like a call prefix (`if (...)`, `while (...)`).
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "break", "continue", "else", "let", "in", "move", "as", "fn",
+    "unsafe", "await",
+];
+
+/// A live guard binding.
+struct Guard {
+    name: Option<String>,
+    depth: i32,
+}
+
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.is_lock_file(&ctx.path) {
+        return;
+    }
+    let local_fns: BTreeSet<&str> = ctx.fn_names.iter().map(String::as_str).collect();
+    let toks = &ctx.toks;
+
+    for f in &ctx.fns {
+        if f.is_test {
+            continue;
+        }
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut dropped: BTreeSet<String> = BTreeSet::new();
+        let mut depth = 0i32;
+        // `let` statement currently being scanned: candidate binding name.
+        let mut pending_let: Option<String> = None;
+        let mut i = f.body_open + 1;
+        while i < f.body_close {
+            let t = &toks[i];
+            if ctx.is_test_line(t.line) {
+                i += 1;
+                continue;
+            }
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        guards.retain(|g| g.depth <= depth);
+                    }
+                    ";" => {
+                        pending_let = None;
+                        // Temporary (unbound) guards die with the statement.
+                        guards.retain(|g| g.name.is_some() || g.depth < depth);
+                    }
+                    "." => {
+                        // `.lock(` starts a guard; other method calls are
+                        // checked while one is live.
+                        if let Some(m) = toks.get(i + 1).filter(|m| m.kind == TokKind::Ident) {
+                            if toks.get(i + 2).is_some_and(|p| p.is_punct("(")) {
+                                if m.is_ident("lock") {
+                                    guards.push(Guard { name: pending_let.clone(), depth });
+                                    if let Some(name) = &pending_let {
+                                        dropped.remove(name);
+                                    }
+                                } else if !guards.is_empty()
+                                    && !METHOD_OK.contains(&m.text.as_str())
+                                    && !local_fns.contains(m.text.as_str())
+                                {
+                                    push(
+                                        out,
+                                        "lock",
+                                        ctx,
+                                        m.line,
+                                        format!(
+                                            "method `.{}()` called while holding the queue lock in `{}`; move it outside the critical section",
+                                            m.text, f.name
+                                        ),
+                                    );
+                                }
+                                i += 2;
+                                continue;
+                            }
+                        }
+                    }
+                    _ => {}
+                },
+                TokKind::Ident => match t.text.as_str() {
+                    "let" => {
+                        // `let [mut] name = ...`
+                        let mut j = i + 1;
+                        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                            j += 1;
+                        }
+                        pending_let = toks.get(j).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+                    }
+                    "drop"
+                        if toks.get(i + 1).is_some_and(|p| p.is_punct("("))
+                            && toks.get(i + 3).is_some_and(|p| p.is_punct(")")) =>
+                    {
+                        if let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) {
+                            if guards.iter().any(|g| g.name.as_deref() == Some(&name.text)) {
+                                guards.retain(|g| g.name.as_deref() != Some(&name.text));
+                                dropped.insert(name.text.clone());
+                            }
+                        }
+                    }
+                    name if dropped.contains(name) && toks.get(i + 1).is_some_and(|p| p.is_punct("=")) => {
+                        // Reassignment revives a previously dropped guard.
+                        guards.push(Guard { name: Some(name.to_owned()), depth });
+                        dropped.remove(name);
+                    }
+                    "Instant"
+                        if !guards.is_empty()
+                            && toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+                            && toks.get(i + 2).is_some_and(|m| m.is_ident("now")) =>
+                    {
+                        push(
+                            out,
+                            "lock",
+                            ctx,
+                            t.line,
+                            format!(
+                                "`Instant::now()` inside the critical section of `{}`; read the clock before taking the lock",
+                                f.name
+                            ),
+                        );
+                        i += 3;
+                        continue;
+                    }
+                    name if !guards.is_empty() => {
+                        // Free or path calls to foreign lowercase fns.
+                        let lowercase = name.chars().next().is_some_and(char::is_lowercase);
+                        let prev_dot = i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::"));
+                        if lowercase && !prev_dot {
+                            let callee = if toks.get(i + 1).is_some_and(|p| p.is_punct("(")) {
+                                Some(name)
+                            } else if toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+                                && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+                                && toks.get(i + 3).is_some_and(|p| p.is_punct("("))
+                            {
+                                Some(toks[i + 2].text.as_str())
+                            } else {
+                                None
+                            };
+                            if let Some(callee) = callee {
+                                let callee_lower = callee.chars().next().is_some_and(char::is_lowercase);
+                                if callee_lower
+                                    && !CALL_KEYWORDS.contains(&name)
+                                    && !CALL_KEYWORDS.contains(&callee)
+                                    && !METHOD_OK.contains(&callee)
+                                    && callee != "drop"
+                                    && !local_fns.contains(callee)
+                                {
+                                    push(
+                                        out,
+                                        "lock",
+                                        ctx,
+                                        t.line,
+                                        format!(
+                                            "call to `{callee}()` while holding the queue lock in `{}`; move it outside the critical section",
+                                            f.name
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}

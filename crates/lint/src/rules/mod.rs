@@ -1,0 +1,173 @@
+//! The rule families and the escape-hatch (suppression) engine.
+//!
+//! Each rule emits raw findings; `analyze` then applies `lint: allow`
+//! directives, turns malformed or unused directives into findings of their
+//! own, and returns the surviving findings plus the audited allow list.
+
+pub mod accounting;
+pub mod lock;
+pub mod no_alloc;
+pub mod panic_free;
+
+use std::collections::HashMap;
+
+use crate::config::Config;
+use crate::report::{Finding, UsedAllow};
+use crate::source::{DirectiveKind, FileCtx};
+
+/// Rule ids an `allow(...)` directive may name.
+pub const RULE_IDS: &[&str] = &["no_alloc", "panic", "index", "accounting", "lock"];
+
+/// Watched-enum variant table, collected across every scanned file.
+pub type EnumTable = HashMap<String, Vec<String>>;
+
+/// How far above a `fn` header an `allow_fn`/`no_alloc` directive may sit
+/// (attributes and doc comments push the header down).
+const FN_DIRECTIVE_REACH: u32 = 30;
+
+/// Runs every rule on one file and applies the escape hatches.
+pub fn analyze(ctx: &FileCtx, cfg: &Config, enums: &EnumTable) -> (Vec<Finding>, Vec<UsedAllow>) {
+    let mut raw = Vec::new();
+    no_alloc::check(ctx, cfg, &mut raw);
+    panic_free::check(ctx, cfg, &mut raw);
+    accounting::check(ctx, cfg, enums, &mut raw);
+    lock::check(ctx, cfg, &mut raw);
+    // Nested hot fns can be scanned through both the inner and outer span;
+    // findings are identical, so dedup keeps diagnostics stable.
+    raw.sort_by(|a, b| (a.line, &a.rule, &a.message).cmp(&(b.line, &b.rule, &b.message)));
+    raw.dedup();
+    apply_allows(ctx, raw)
+}
+
+/// One resolved `allow` directive and what it may suppress.
+struct AllowSite {
+    rules: Vec<String>,
+    reason: String,
+    line: u32,
+    /// For line-scoped allows: the single line the directive covers.
+    target_line: Option<u32>,
+    /// For fn-scoped allows: the covered body line range (inclusive).
+    fn_range: Option<(u32, u32)>,
+    suppressed: u32,
+}
+
+fn apply_allows(ctx: &FileCtx, raw: Vec<Finding>) -> (Vec<Finding>, Vec<UsedAllow>) {
+    let mut findings = Vec::new();
+    let mut sites: Vec<AllowSite> = Vec::new();
+
+    for directive in &ctx.directives {
+        match &directive.kind {
+            DirectiveKind::NoAlloc => {} // consumed by the no_alloc rule
+            DirectiveKind::Malformed { message } => findings.push(Finding {
+                rule: "bad-allow".to_owned(),
+                path: ctx.path.clone(),
+                line: directive.line,
+                message: message.clone(),
+            }),
+            DirectiveKind::Allow { rules, fn_scope, reason } => {
+                if let Some(bad) = rules.iter().find(|r| !RULE_IDS.contains(&r.as_str())) {
+                    findings.push(Finding {
+                        rule: "bad-allow".to_owned(),
+                        path: ctx.path.clone(),
+                        line: directive.line,
+                        message: format!("allow names unknown rule `{bad}` (known: {})", RULE_IDS.join(", ")),
+                    });
+                    continue;
+                }
+                let (target_line, fn_range) = if *fn_scope {
+                    (None, fn_target(ctx, directive.line))
+                } else {
+                    (Some(line_target(ctx, directive.line)), None)
+                };
+                if *fn_scope && fn_range.is_none() {
+                    findings.push(Finding {
+                        rule: "bad-allow".to_owned(),
+                        path: ctx.path.clone(),
+                        line: directive.line,
+                        message: "allow_fn is not attached to any function".to_owned(),
+                    });
+                    continue;
+                }
+                sites.push(AllowSite {
+                    rules: rules.clone(),
+                    reason: reason.clone(),
+                    line: directive.line,
+                    target_line,
+                    fn_range,
+                    suppressed: 0,
+                });
+            }
+        }
+    }
+
+    for finding in raw {
+        let site = sites.iter_mut().find(|s| {
+            s.rules.iter().any(|r| r == &finding.rule)
+                && (s.target_line == Some(finding.line)
+                    || s.fn_range.is_some_and(|(lo, hi)| (lo..=hi).contains(&finding.line)))
+        });
+        match site {
+            Some(site) => site.suppressed += 1,
+            None => findings.push(finding),
+        }
+    }
+
+    let mut allows = Vec::new();
+    for site in sites {
+        if site.suppressed == 0 {
+            findings.push(Finding {
+                rule: "unused-allow".to_owned(),
+                path: ctx.path.clone(),
+                line: site.line,
+                message: format!(
+                    "allow({}) suppresses nothing — remove it or move it next to the finding",
+                    site.rules.join(", ")
+                ),
+            });
+        } else {
+            allows.push(UsedAllow {
+                rule: site.rules.join(", "),
+                path: ctx.path.clone(),
+                line: site.line,
+                reason: site.reason,
+                suppressed: site.suppressed,
+            });
+        }
+    }
+    findings.sort_by_key(|a| (a.line, a.rule.clone()));
+    (findings, allows)
+}
+
+/// The line a line-scoped directive covers: its own line when code shares
+/// it, otherwise the next line that carries a token.
+fn line_target(ctx: &FileCtx, directive_line: u32) -> u32 {
+    if ctx.token_lines.contains(&directive_line) {
+        directive_line
+    } else {
+        ctx.token_lines.range(directive_line + 1..).next().copied().unwrap_or(directive_line)
+    }
+}
+
+/// The body line range of the fn an fn-scoped directive covers: the
+/// enclosing fn when the directive sits inside one, otherwise the next fn
+/// header within reach.
+pub(crate) fn fn_target(ctx: &FileCtx, directive_line: u32) -> Option<(u32, u32)> {
+    if let Some(f) = ctx
+        .fns
+        .iter()
+        .filter(|f| (f.header_line..=f.end_line).contains(&directive_line))
+        .min_by_key(|f| f.end_line - f.header_line)
+    {
+        return Some((f.header_line, f.end_line));
+    }
+    ctx.fns
+        .iter()
+        .filter(|f| f.header_line >= directive_line && f.header_line - directive_line <= FN_DIRECTIVE_REACH)
+        .min_by_key(|f| f.header_line)
+        .map(|f| (f.header_line, f.end_line))
+}
+
+/// Pushes a finding (shared shorthand for the rule modules).
+pub(crate) fn push(out: &mut Vec<Finding>, rule: &str, ctx: &FileCtx, line: u32, message: String) {
+    out.push(Finding { rule: rule.to_owned(), path: ctx.path.clone(), line, message });
+}

@@ -1,0 +1,149 @@
+//! No-alloc hot paths: functions that promise in-place operation
+//! (`*_into`, `*_inplace`, or `// lint: no_alloc`) may not allocate or grow
+//! containers.
+//!
+//! The progressive-sampling inner loop calls these functions per sample per
+//! column; a stray `collect()` there turns a cache-friendly kernel into an
+//! allocator benchmark.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::rules::{fn_target, push};
+use crate::source::{DirectiveKind, FileCtx};
+
+/// Container types whose constructors allocate.
+const ALLOC_TYPES: &[&str] =
+    &["Vec", "String", "Box", "Rc", "Arc", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+/// Associated functions on those types that allocate.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "from_iter", "from_elem"];
+
+/// Method calls that allocate or grow a container.
+const ALLOC_METHODS: &[&str] = &[
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "collect",
+    "push",
+    "push_back",
+    "push_front",
+    "extend",
+    "extend_from_slice",
+    "extend_from_within",
+    "insert",
+    "append",
+    "resize",
+    "resize_with",
+    "reserve",
+    "reserve_exact",
+    "split_off",
+    "repeat",
+    "concat",
+    "join",
+    "into_boxed_slice",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Whether the fn is bound by the no-alloc contract.
+fn is_hot(name: &str) -> bool {
+    name.ends_with("_into") || name.ends_with("_inplace")
+}
+
+pub fn check(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<Finding>) {
+    // `lint: no_alloc` directives opt additional fns in, by header line.
+    let mut marked: BTreeSet<u32> = BTreeSet::new();
+    for d in &ctx.directives {
+        if matches!(d.kind, DirectiveKind::NoAlloc) {
+            if let Some((header, _)) = fn_target(ctx, d.line) {
+                marked.insert(header);
+            }
+        }
+    }
+
+    for f in &ctx.fns {
+        if f.is_test || !(is_hot(&f.name) || marked.contains(&f.header_line)) {
+            continue;
+        }
+        let toks = &ctx.toks;
+        let mut i = f.body_open + 1;
+        while i < f.body_close {
+            let t = &toks[i];
+            if ctx.is_test_line(t.line) {
+                i += 1;
+                continue;
+            }
+            // `.to_vec(` etc.
+            if t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|m| ALLOC_METHODS.iter().any(|a| m.is_ident(a)))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct("("))
+            {
+                let m = &toks[i + 1].text;
+                push(
+                    out,
+                    "no_alloc",
+                    ctx,
+                    toks[i + 1].line,
+                    format!("`.{m}()` allocates or grows a container inside no-alloc fn `{}`", f.name),
+                );
+                i += 3;
+                continue;
+            }
+            // `Vec::new(`, `Vec::<T>::with_capacity(`, `vec!`/`format!`
+            if t.kind == crate::lexer::TokKind::Ident {
+                if ALLOC_MACROS.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|b| b.is_punct("!")) {
+                    push(
+                        out,
+                        "no_alloc",
+                        ctx,
+                        t.line,
+                        format!("`{}!` allocates inside no-alloc fn `{}`", t.text, f.name),
+                    );
+                    i += 2;
+                    continue;
+                }
+                if ALLOC_TYPES.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|p| p.is_punct("::")) {
+                    // Optional turbofish between the type and the ctor.
+                    let mut j = i + 2;
+                    if toks.get(j).is_some_and(|p| p.is_punct("<")) {
+                        let mut angle = 1i32;
+                        j += 1;
+                        while j < f.body_close && angle > 0 {
+                            match toks[j].text.as_str() {
+                                "<" => angle += 1,
+                                "<<" => angle += 2,
+                                ">" => angle -= 1,
+                                ">>" => angle -= 2,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if !toks.get(j).is_some_and(|p| p.is_punct("::")) {
+                            i += 1;
+                            continue;
+                        }
+                        j += 1;
+                    }
+                    if toks.get(j).is_some_and(|m| ALLOC_CTORS.iter().any(|c| m.is_ident(c)))
+                        && toks.get(j + 1).is_some_and(|p| p.is_punct("("))
+                    {
+                        push(
+                            out,
+                            "no_alloc",
+                            ctx,
+                            t.line,
+                            format!("`{}::{}` allocates inside no-alloc fn `{}`", t.text, toks[j].text, f.name),
+                        );
+                        i = j + 2;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Panic-freedom: no `unwrap`/`expect`/panicking macros and no unchecked
+//! slice indexing in the scoped crates' non-test code.
+//!
+//! The serving layer's availability story depends on worker panics being
+//! *injected faults*, not latent bugs: every real panic site must either be
+//! converted to a typed error or carry an auditable waiver.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::push;
+use crate::source::FileCtx;
+
+/// Methods that panic on the error/none path.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that unconditionally (or assertively) panic. `debug_assert*` is
+/// deliberately absent: it vanishes in release builds.
+const PANIC_MACROS: &[&str] = &["panic", "unimplemented", "todo", "unreachable", "assert", "assert_eq", "assert_ne"];
+
+/// Identifiers that may precede `[` without it being an index expression
+/// (slice patterns, array types, `for x in arr [..]` never parses that way,
+/// but keywords keep the check honest).
+const NON_INDEX_PREFIX: &[&str] = &[
+    "in", "as", "mut", "ref", "return", "break", "continue", "else", "match", "if", "while", "loop", "move", "dyn",
+    "where", "for", "let", "use", "pub", "crate", "super", "static", "const", "enum", "struct", "fn", "impl", "trait",
+    "type", "mod", "unsafe", "await", "yield", "box", "do",
+];
+
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    let panic_scope = cfg.in_panic_scope(&ctx.path);
+    let index_scope = cfg.in_index_scope(&ctx.path);
+    if !panic_scope && !index_scope {
+        return;
+    }
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_line(t.line) {
+            continue;
+        }
+        if panic_scope {
+            // `.unwrap(` / `.expect(`
+            if t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|m| PANIC_METHODS.iter().any(|p| m.is_ident(p)))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct("("))
+            {
+                let m = &toks[i + 1].text;
+                push(
+                    out,
+                    "panic",
+                    ctx,
+                    toks[i + 1].line,
+                    format!("`.{m}()` can panic; return a typed error or annotate `lint: allow(panic) - <why it cannot fire>`"),
+                );
+            }
+            // `panic!(` and friends
+            if t.kind == TokKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|b| b.is_punct("!"))
+            {
+                push(
+                    out,
+                    "panic",
+                    ctx,
+                    t.line,
+                    format!("`{}!` panics; non-test serving/core code must not (annotate `lint: allow(panic)` if provably unreachable)", t.text),
+                );
+            }
+        }
+        if index_scope && t.is_punct("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !NON_INDEX_PREFIX.contains(&prev.text.as_str()),
+                TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                _ => false,
+            };
+            if indexes {
+                let scope = ctx.enclosing_fn(i).map(|f| format!(" in `{}`", f.name)).unwrap_or_default();
+                push(
+                    out,
+                    "index",
+                    ctx,
+                    t.line,
+                    format!(
+                        "unchecked slice index{scope} can panic; use `.get(..)` or annotate with an in-bounds argument"
+                    ),
+                );
+            }
+        }
+    }
+}

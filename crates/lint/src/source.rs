@@ -1,0 +1,524 @@
+//! Lightweight structure recovered from the token stream: test regions,
+//! function and impl spans, enum definitions, and `lint:` directives.
+//!
+//! This is deliberately not a parser. The rules only need to know (a) which
+//! lines are test code, (b) which function a token belongs to and what that
+//! function is called, (c) which impl block a `match` lives in (so `Self::`
+//! patterns resolve), (d) the variant lists of watched enums, and (e) where
+//! the escape-hatch directives sit. All of that falls out of one linear
+//! scan plus a precomputed brace-matching table.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::lexer::{lex, LineComment, Tok, TokKind};
+
+/// A function item: its name and the token span of its body (indices of the
+/// opening and closing brace).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub header_line: u32,
+    /// Token index of the body `{`.
+    pub body_open: usize,
+    /// Token index of the body `}`.
+    pub body_close: usize,
+    /// Last line of the body.
+    pub end_line: u32,
+    /// Whether the fn itself carried `#[test]`/`#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+/// An `impl` block: the self type's last path segment and its body span.
+#[derive(Debug, Clone)]
+pub struct ImplSpan {
+    pub type_name: String,
+    pub body_open: usize,
+    pub body_close: usize,
+}
+
+/// An `enum` definition with its variant names, used by the accounting
+/// rule's exhaustiveness check.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    pub name: String,
+    pub variants: Vec<String>,
+}
+
+/// A parsed `lint:` directive (always from a plain `//` comment — doc
+/// comments are inert so rule documentation can quote the syntax).
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub line: u32,
+    pub kind: DirectiveKind,
+}
+
+#[derive(Debug, Clone)]
+pub enum DirectiveKind {
+    /// `lint: no_alloc` — opt the enclosing (or next) fn into the
+    /// no-alloc-hot-path rule.
+    NoAlloc,
+    /// `lint: allow(rule, ...) - reason` or `lint: allow_fn(rule, ...) - reason`.
+    Allow { rules: Vec<String>, fn_scope: bool, reason: String },
+    /// A directive that failed to parse; the message says why. Always a
+    /// finding — the escape hatch must stay auditable.
+    Malformed { message: String },
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+    /// For each `{` token index, the index of its matching `}`.
+    pub brace_match: HashMap<usize, usize>,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    pub fns: Vec<FnSpan>,
+    /// Every `fn` name declared in the file, including bodiless trait
+    /// methods (which have no span).
+    pub fn_names: BTreeSet<String>,
+    pub impls: Vec<ImplSpan>,
+    pub enums: Vec<EnumDef>,
+    pub directives: Vec<Directive>,
+    /// Every line that carries at least one token (used to decide whether a
+    /// directive comment stands alone on its line).
+    pub token_lines: BTreeSet<u32>,
+}
+
+/// Identifiers that may legally precede an item keyword like `fn`/`impl`.
+fn item_prefix(tok: Option<&Tok>) -> bool {
+    match tok {
+        None => true,
+        Some(t) => match t.kind {
+            TokKind::Punct => matches!(t.text.as_str(), "{" | "}" | ";" | "]" | ")"),
+            TokKind::Ident => {
+                matches!(t.text.as_str(), "pub" | "const" | "async" | "unsafe" | "extern" | "default" | "crate")
+            }
+            _ => false,
+        },
+    }
+}
+
+impl FileCtx {
+    /// Lexes and scans `src`. `path` should be workspace-relative.
+    pub fn parse(path: &str, src: &str) -> FileCtx {
+        let lexed = lex(src);
+        let toks = lexed.toks;
+        let brace_match = match_braces(&toks);
+        let token_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+        let mut ctx = FileCtx {
+            path: path.replace('\\', "/"),
+            toks,
+            comments: lexed.comments,
+            brace_match,
+            test_ranges: Vec::new(),
+            fns: Vec::new(),
+            fn_names: BTreeSet::new(),
+            impls: Vec::new(),
+            enums: Vec::new(),
+            directives: Vec::new(),
+            token_lines,
+        };
+        ctx.scan_items();
+        ctx.parse_directives();
+        ctx
+    }
+
+    /// Whether `line` belongs to `#[cfg(test)]`/`#[test]` code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The innermost fn whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns.iter().filter(|f| f.body_open <= i && i <= f.body_close).min_by_key(|f| f.body_close - f.body_open)
+    }
+
+    /// The innermost impl whose body contains token index `i`.
+    pub fn enclosing_impl(&self, i: usize) -> Option<&ImplSpan> {
+        self.impls.iter().filter(|s| s.body_open <= i && i <= s.body_close).min_by_key(|s| s.body_close - s.body_open)
+    }
+
+    /// One linear scan recovering fns, impls, enums, and test regions.
+    fn scan_items(&mut self) {
+        let toks = &self.toks;
+        let n = toks.len();
+        let mut i = 0;
+        let mut pending_test = false;
+        let mut prev_code: Option<usize> = None;
+        while i < n {
+            let t = &toks[i];
+            // Attributes: scan to the matching `]`, remember `test` markers.
+            if t.is_punct("#") && i + 1 < n && toks[i + 1].is_punct("[") {
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                let mut saw_test = false;
+                while j < n {
+                    if toks[j].is_punct("[") {
+                        depth += 1;
+                    } else if toks[j].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if toks[j].is_ident("test") {
+                        saw_test = true;
+                    }
+                    j += 1;
+                }
+                pending_test |= saw_test;
+                i = j + 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "fn" if item_prefix(prev_code.map(|p| &toks[p])) => {
+                        if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                            self.fn_names.insert(name.text.clone());
+                        }
+                        if let Some(span) = self.scan_fn(i, pending_test) {
+                            if pending_test {
+                                self.test_ranges.push((span.header_line, span.end_line));
+                            }
+                            self.fns.push(span);
+                        }
+                        pending_test = false;
+                    }
+                    "impl" if item_prefix(prev_code.map(|p| &toks[p])) => {
+                        if let Some((span, end_line)) = self.scan_impl(i) {
+                            if pending_test {
+                                self.test_ranges.push((t.line, end_line));
+                            }
+                            self.impls.push(span);
+                        }
+                        pending_test = false;
+                    }
+                    "enum" if item_prefix(prev_code.map(|p| &toks[p])) => {
+                        if let Some((def, close)) = self.scan_enum(i) {
+                            if pending_test {
+                                self.test_ranges.push((t.line, toks[close].line));
+                            }
+                            self.enums.push(def);
+                        }
+                        pending_test = false;
+                    }
+                    "mod" | "struct" | "trait" | "union"
+                        if pending_test && item_prefix(prev_code.map(|p| &toks[p])) =>
+                    {
+                        if let Some((_, close)) = self.item_body(i) {
+                            // The whole test item is one range; nothing
+                            // inside needs separate spans.
+                            self.test_ranges.push((t.line, toks[close].line));
+                        }
+                        pending_test = false;
+                    }
+                    _ => {}
+                }
+            } else if t.is_punct(";") {
+                // `#[cfg(test)] use ...;` and friends: the attr spends
+                // itself on the statement.
+                pending_test = false;
+            }
+            prev_code = Some(i);
+            i += 1;
+        }
+    }
+
+    /// From a `fn` keyword, recovers the name and body span (if any).
+    fn scan_fn(&self, fn_idx: usize, is_test: bool) -> Option<FnSpan> {
+        let toks = &self.toks;
+        let name_tok = toks.get(fn_idx + 1)?;
+        if name_tok.kind != TokKind::Ident {
+            return None; // `fn(usize) -> bool` type position
+        }
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut j = fn_idx + 2;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" if paren == 0 && bracket == 0 => {
+                        let close = *self.brace_match.get(&j)?;
+                        return Some(FnSpan {
+                            name: name_tok.text.clone(),
+                            header_line: toks[fn_idx].line,
+                            body_open: j,
+                            body_close: close,
+                            end_line: toks[close].line,
+                            is_test,
+                        });
+                    }
+                    ";" if paren == 0 && bracket == 0 => return None, // bodiless trait method
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// From an `impl` keyword, recovers the self type name and body span.
+    fn scan_impl(&self, impl_idx: usize) -> Option<(ImplSpan, u32)> {
+        let toks = &self.toks;
+        let mut angle = 0i32;
+        let mut segments: Vec<String> = Vec::new();
+        let mut after_for: Option<usize> = None;
+        let mut j = impl_idx + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            match t.kind {
+                TokKind::Punct => match t.text.as_str() {
+                    "<" | "<=" => angle += 1,
+                    "<<" => angle += 2,
+                    ">" | ">=" => angle -= 1,
+                    ">>" => angle -= 2,
+                    "{" if angle <= 0 => {
+                        let close = *self.brace_match.get(&j)?;
+                        let chosen = match after_for {
+                            Some(k) => segments.get(k..).unwrap_or(&[]),
+                            None => &segments[..],
+                        };
+                        let type_name = chosen.last().cloned()?;
+                        return Some((ImplSpan { type_name, body_open: j, body_close: close }, toks[close].line));
+                    }
+                    _ => {}
+                },
+                TokKind::Ident if angle == 0 => {
+                    if t.text == "for" {
+                        after_for = Some(segments.len());
+                    } else if t.text != "where" && t.text != "dyn" && t.text != "mut" {
+                        segments.push(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// From an `enum` keyword, recovers the name and variant list.
+    fn scan_enum(&self, enum_idx: usize) -> Option<(EnumDef, usize)> {
+        let toks = &self.toks;
+        let name = toks.get(enum_idx + 1).filter(|t| t.kind == TokKind::Ident)?.text.clone();
+        let (open, close) = self.item_body(enum_idx)?;
+        let mut variants = Vec::new();
+        let mut depth = 0i32;
+        let mut expecting = true;
+        let mut j = open + 1;
+        while j < close {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => depth -= 1,
+                    "," if depth == 0 => expecting = true,
+                    "#" if depth == 0 && toks.get(j + 1).is_some_and(|t| t.is_punct("[")) => {
+                        // Skip variant attributes such as `#[default]`.
+                        let mut b = 0i32;
+                        j += 1;
+                        while j < close {
+                            if toks[j].is_punct("[") {
+                                b += 1;
+                            } else if toks[j].is_punct("]") {
+                                b -= 1;
+                                if b == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident && depth == 0 && expecting {
+                variants.push(t.text.clone());
+                expecting = false;
+            }
+            j += 1;
+        }
+        Some((EnumDef { name, variants }, close))
+    }
+
+    /// Finds the `{ ... }` body of the item starting at token `i`, skipping
+    /// anything before the first top-level `{`.
+    fn item_body(&self, i: usize) -> Option<(usize, usize)> {
+        let toks = &self.toks;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" if paren == 0 && bracket == 0 => {
+                        let close = *self.brace_match.get(&j)?;
+                        return Some((j, close));
+                    }
+                    ";" if paren == 0 && bracket == 0 => return None,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Parses `lint:` directives out of plain `//` comments. Doc comments
+    /// (`///`, `//!`) are skipped so documentation can quote the syntax.
+    fn parse_directives(&mut self) {
+        for comment in &self.comments {
+            let text = &comment.text;
+            if text.starts_with("///") || text.starts_with("//!") {
+                continue;
+            }
+            let body = text.trim_start_matches('/').trim_start();
+            let Some(rest) = body.strip_prefix("lint:") else { continue };
+            let rest = rest.trim();
+            let kind = parse_directive_body(rest);
+            self.directives.push(Directive { line: comment.line, kind });
+        }
+    }
+}
+
+/// Parses the text after `lint:` in a directive comment.
+fn parse_directive_body(rest: &str) -> DirectiveKind {
+    if rest == "no_alloc" {
+        return DirectiveKind::NoAlloc;
+    }
+    let (fn_scope, after) = if let Some(a) = rest.strip_prefix("allow_fn") {
+        (true, a)
+    } else if let Some(a) = rest.strip_prefix("allow") {
+        (false, a)
+    } else {
+        return DirectiveKind::Malformed {
+            message: format!("unknown lint directive `{rest}` (expected `no_alloc`, `allow(...)`, or `allow_fn(...)`)"),
+        };
+    };
+    let after = after.trim_start();
+    let Some(after) = after.strip_prefix('(') else {
+        return DirectiveKind::Malformed { message: "allow directive is missing its `(rule, ...)` list".to_owned() };
+    };
+    let Some(close) = after.find(')') else {
+        return DirectiveKind::Malformed { message: "allow directive is missing the closing `)`".to_owned() };
+    };
+    let rules: Vec<String> = after[..close].split(',').map(|r| r.trim().to_owned()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return DirectiveKind::Malformed { message: "allow directive names no rules".to_owned() };
+    }
+    let tail = after[close + 1..].trim_start();
+    let reason = tail
+        .strip_prefix('\u{2014}') // em dash
+        .or_else(|| tail.strip_prefix('\u{2013}')) // en dash
+        .or_else(|| tail.strip_prefix('-'))
+        .or_else(|| tail.strip_prefix(':'))
+        .map(str::trim);
+    match reason {
+        Some(r) if r.chars().count() >= 8 => DirectiveKind::Allow { rules, fn_scope, reason: r.to_owned() },
+        Some(_) => DirectiveKind::Malformed {
+            message: "allow directive needs a real reason (at least 8 characters) after the dash".to_owned(),
+        },
+        None => {
+            DirectiveKind::Malformed { message: "allow directive needs `- <reason>` after the rule list".to_owned() }
+        }
+    }
+}
+
+/// Builds the `{` → `}` matching table.
+fn match_braces(toks: &[Tok]) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            stack.push(i);
+        } else if t.is_punct("}") {
+            if let Some(open) = stack.pop() {
+                map.insert(open, i);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+pub enum Color { Red, Green { v: u8 }, Blue(u8) }
+
+impl std::fmt::Display for Color {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "color")
+    }
+}
+
+pub fn encode_into(out: &mut [u8]) {
+    out[0] = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() { let _ = "x".to_owned(); }
+}
+"#;
+
+    #[test]
+    fn recovers_enums_impls_fns_and_test_regions() {
+        let ctx = FileCtx::parse("demo.rs", SRC);
+        assert_eq!(ctx.enums.len(), 1);
+        assert_eq!(ctx.enums[0].name, "Color");
+        assert_eq!(ctx.enums[0].variants, ["Red", "Green", "Blue"]);
+        assert_eq!(ctx.impls.len(), 1);
+        assert_eq!(ctx.impls[0].type_name, "Color");
+        let names: Vec<&str> = ctx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"fmt"));
+        assert!(names.contains(&"encode_into"));
+        // `helper` sits inside #[cfg(test)] mod tests: its lines are test lines.
+        let helper_line = SRC.lines().position(|l| l.contains("fn helper")).unwrap() as u32 + 1;
+        assert!(ctx.is_test_line(helper_line));
+        let encode_line = SRC.lines().position(|l| l.contains("fn encode_into")).unwrap() as u32 + 1;
+        assert!(!ctx.is_test_line(encode_line));
+    }
+
+    #[test]
+    fn directives_parse_and_doc_comments_are_inert() {
+        let src = "\
+// lint: no_alloc\n\
+// lint: allow(panic) - the mutex can only be poisoned by a prior panic\n\
+// lint: allow(panic)\n\
+/// lint: allow(panic) - quoted in documentation, must not parse\n\
+fn f() {}\n";
+        let ctx = FileCtx::parse("demo.rs", src);
+        assert_eq!(ctx.directives.len(), 3);
+        assert!(matches!(ctx.directives[0].kind, DirectiveKind::NoAlloc));
+        match &ctx.directives[1].kind {
+            DirectiveKind::Allow { rules, fn_scope, reason } => {
+                assert_eq!(rules, &["panic"]);
+                assert!(!fn_scope);
+                assert!(reason.contains("poisoned"));
+            }
+            other => panic!("expected allow, got {other:?}"),
+        }
+        assert!(matches!(ctx.directives[2].kind, DirectiveKind::Malformed { .. }));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let ctx = FileCtx::parse("demo.rs", "type F = fn(usize) -> bool; fn real() {}");
+        assert_eq!(ctx.fns.len(), 1);
+        assert_eq!(ctx.fns[0].name, "real");
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixture-based rule tests: every rule family must catch its seeded
+//! violation AND stay silent on the matching near-miss.
+
+use naru_lint::{run_sources, Config, Report};
+
+fn scoped_config() -> Config {
+    Config {
+        panic_scope: vec!["fixtures/".to_owned()],
+        index_scope: vec!["fixtures/".to_owned()],
+        accounting_files: vec!["accounting_violation.rs".to_owned(), "accounting_clean.rs".to_owned()],
+        watched_enums: vec!["MiniServeError".to_owned()],
+        lock_files: vec!["lock_violation.rs".to_owned(), "lock_clean.rs".to_owned()],
+        ..Config::default()
+    }
+}
+
+fn run_one(path: &str, src: &str, cfg: &Config) -> Report {
+    run_sources(&[(path.to_owned(), src.to_owned())], cfg)
+}
+
+fn rules_of(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn no_alloc_catches_seeded_violations() {
+    let report =
+        run_one("fixtures/no_alloc_violation.rs", include_str!("fixtures/no_alloc_violation.rs"), &scoped_config());
+    let no_alloc: Vec<_> = report.findings.iter().filter(|f| f.rule == "no_alloc").collect();
+    // `to_vec` + `push` in scale_into; `format!` + `Vec::with_capacity` in
+    // the directive-marked fn.
+    assert_eq!(no_alloc.len(), 4, "findings: {:?}", report.findings);
+    assert!(no_alloc.iter().any(|f| f.message.contains("to_vec") && f.message.contains("scale_into")));
+    assert!(no_alloc.iter().any(|f| f.message.contains("format") && f.message.contains("marked_hot")));
+    assert!(no_alloc.iter().any(|f| f.message.contains("Vec::with_capacity")));
+}
+
+#[test]
+fn no_alloc_passes_the_near_miss() {
+    let report = run_one("fixtures/no_alloc_clean.rs", include_str!("fixtures/no_alloc_clean.rs"), &scoped_config());
+    assert!(report.is_clean(), "unexpected findings: {:?}", report.findings);
+}
+
+#[test]
+fn panic_and_index_catch_seeded_violations() {
+    let report = run_one("fixtures/panic_violation.rs", include_str!("fixtures/panic_violation.rs"), &scoped_config());
+    let rules = rules_of(&report);
+    // unwrap, assert!, unreachable! → panic; `values[0]` → index.
+    assert_eq!(rules.iter().filter(|r| **r == "panic").count(), 3, "findings: {:?}", report.findings);
+    assert_eq!(rules.iter().filter(|r| **r == "index").count(), 1, "findings: {:?}", report.findings);
+}
+
+#[test]
+fn panic_passes_the_near_miss_and_audits_the_waiver() {
+    let report = run_one("fixtures/panic_clean.rs", include_str!("fixtures/panic_clean.rs"), &scoped_config());
+    assert!(report.is_clean(), "unexpected findings: {:?}", report.findings);
+    // The contract assert's waiver is used exactly once and keeps its reason.
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].suppressed, 1);
+    assert!(report.allows[0].reason.contains("caller bug"));
+}
+
+#[test]
+fn malformed_and_unused_allows_are_findings() {
+    let report = run_one("misc/allow_bad.rs", include_str!("fixtures/allow_bad.rs"), &scoped_config());
+    let rules = rules_of(&report);
+    assert_eq!(rules.iter().filter(|r| **r == "bad-allow").count(), 3, "findings: {:?}", report.findings);
+    assert_eq!(rules.iter().filter(|r| **r == "unused-allow").count(), 1, "findings: {:?}", report.findings);
+    assert!(report.allows.is_empty(), "no waiver should count as used");
+}
+
+#[test]
+fn accounting_catches_seeded_violations() {
+    let report =
+        run_one("fixtures/accounting_violation.rs", include_str!("fixtures/accounting_violation.rs"), &scoped_config());
+    let accounting: Vec<_> = report.findings.iter().filter(|f| f.rule == "accounting").collect();
+    assert_eq!(accounting.len(), 3, "findings: {:?}", report.findings);
+    assert!(accounting.iter().any(|f| f.message.contains("`_` arm")));
+    assert!(accounting.iter().any(|f| f.message.contains("missing variant(s): DeadlineExceeded")));
+    assert!(accounting.iter().any(|f| f.message.contains("lifecycle counter `served`")));
+}
+
+#[test]
+fn accounting_passes_the_near_miss() {
+    // Both fixtures run together so the clean file's matches resolve
+    // against the enum definition in the violation file.
+    let cfg = scoped_config();
+    let files = vec![
+        ("fixtures/accounting_violation.rs".to_owned(), include_str!("fixtures/accounting_violation.rs").to_owned()),
+        ("fixtures/accounting_clean.rs".to_owned(), include_str!("fixtures/accounting_clean.rs").to_owned()),
+    ];
+    let report = run_sources(&files, &cfg);
+    assert!(
+        report.findings.iter().all(|f| f.path.ends_with("accounting_violation.rs")),
+        "clean fixture produced findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn lock_catches_seeded_violations() {
+    let report = run_one("fixtures/lock_violation.rs", include_str!("fixtures/lock_violation.rs"), &scoped_config());
+    let lock: Vec<_> = report.findings.iter().filter(|f| f.rule == "lock").collect();
+    assert_eq!(lock.len(), 2, "findings: {:?}", report.findings);
+    assert!(lock.iter().any(|f| f.message.contains("Instant::now")));
+    assert!(lock.iter().any(|f| f.message.contains(".estimate()")));
+}
+
+#[test]
+fn lock_passes_the_near_miss() {
+    let report = run_one("fixtures/lock_clean.rs", include_str!("fixtures/lock_clean.rs"), &scoped_config());
+    assert!(report.is_clean(), "unexpected findings: {:?}", report.findings);
+}
+
+#[test]
+fn json_report_round_trips_findings() {
+    let report = run_one("fixtures/panic_violation.rs", include_str!("fixtures/panic_violation.rs"), &scoped_config());
+    let json = report.to_json();
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"rule\": \"panic\""));
+    assert!(json.contains("\"rule\": \"index\""));
+    assert!(json.contains("fixtures/panic_violation.rs"));
+}

@@ -1,0 +1,25 @@
+// Near-misses for the accounting rule: an exhaustive wildcard-free match
+// over the watched enum, a guarded arm, and a wildcard match over an enum
+// nobody watches.
+
+pub fn describe(err: &crate::MiniServeError) -> &'static str {
+    match err {
+        crate::MiniServeError::Overloaded => "overloaded",
+        crate::MiniServeError::ShuttingDown => "shutting down",
+        crate::MiniServeError::WorkerLost => "worker lost",
+        crate::MiniServeError::DeadlineExceeded => "deadline exceeded",
+    }
+}
+
+pub enum UnwatchedState {
+    Hot,
+    Cold,
+    Unknown,
+}
+
+pub fn temperature(state: &UnwatchedState) -> u8 {
+    match state {
+        UnwatchedState::Hot => 2,
+        _ => 0,
+    }
+}

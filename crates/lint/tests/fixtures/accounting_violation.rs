@@ -1,0 +1,34 @@
+// Seeded violations for the accounting rule: a wildcard arm over a watched
+// enum, a match missing a variant, and a lifecycle counter advanced outside
+// its allowlisted file.
+
+pub enum MiniServeError {
+    Overloaded,
+    ShuttingDown,
+    WorkerLost,
+    DeadlineExceeded,
+}
+
+pub fn describe(err: &MiniServeError) -> &'static str {
+    match err {
+        MiniServeError::Overloaded => "overloaded",
+        MiniServeError::ShuttingDown => "shutting down",
+        _ => "other",
+    }
+}
+
+pub fn retryable(err: &MiniServeError) -> bool {
+    match err {
+        MiniServeError::Overloaded => true,
+        MiniServeError::ShuttingDown => false,
+        MiniServeError::WorkerLost => true,
+    }
+}
+
+pub struct Counters {
+    pub served: std::sync::atomic::AtomicU64,
+}
+
+pub fn sneak_increment(counters: &Counters) {
+    counters.served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

@@ -1,0 +1,22 @@
+// Malformed and unused escape hatches: each directive here is itself a
+// finding (`bad-allow` / `unused-allow`).
+
+// lint: allow(panic)
+pub fn missing_reason(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}
+
+// lint: allow(panic) - ok
+pub fn reason_too_short(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}
+
+// lint: allow(made_up_rule) - this rule id does not exist anywhere
+pub fn unknown_rule() -> u32 {
+    7
+}
+
+// lint: allow(panic) - nothing on the next line can panic, so this is dead weight
+pub fn unused_waiver(values: &[u32]) -> u32 {
+    values.first().copied().unwrap_or(0)
+}

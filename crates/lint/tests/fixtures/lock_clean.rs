@@ -1,0 +1,35 @@
+// Near-miss for the lock rule: the clock is read before the lock, the
+// guard is dropped before the foreign call, and only O(1) container and
+// local-helper work happens inside the critical section.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub struct Estimator;
+
+impl Estimator {
+    pub fn estimate(&self, _at: Instant) -> f64 {
+        0.5
+    }
+}
+
+pub struct Queue {
+    state: Mutex<Vec<u64>>,
+    estimator: Estimator,
+}
+
+impl Queue {
+    fn lane_for(&self, item: u64) -> u64 {
+        item % 3
+    }
+
+    pub fn drain_properly(&self) -> f64 {
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let lane = self.lane_for(7);
+        state.push(lane);
+        let _depth = state.len();
+        drop(state);
+        self.estimator.estimate(started)
+    }
+}

@@ -1,0 +1,22 @@
+// Seeded violations for the lock rule: a wall-clock read and a foreign call
+// inside the queue's critical section.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::estimator::Estimator;
+
+pub struct Queue {
+    state: Mutex<Vec<u64>>,
+    estimator: Estimator,
+}
+
+impl Queue {
+    pub fn drain_badly(&self) -> f64 {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let started = Instant::now();
+        let answer = self.estimator.estimate(started);
+        state.push(1);
+        answer
+    }
+}

@@ -1,0 +1,23 @@
+// Near-misses for the no_alloc rule: allocation in a fn that never made the
+// no-alloc promise, a genuinely in-place hot fn, and allocation confined to
+// test code inside a hot fn's file.
+
+/// Mentions `.to_vec()` and `Vec::new()` in documentation only.
+pub fn scale(src: &[f32]) -> Vec<f32> {
+    src.to_vec()
+}
+
+pub fn write_into(src: &[f32], out: &mut [f32]) {
+    for (o, s) in out.iter_mut().zip(src) {
+        *o = *s * 2.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hot_paths_can_allocate_in_tests() {
+        let grown: Vec<f32> = vec![1.0, 2.0].iter().map(|v| v * 2.0).collect();
+        assert_eq!(grown.len(), 2);
+    }
+}

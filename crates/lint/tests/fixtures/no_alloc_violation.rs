@@ -1,0 +1,17 @@
+// Seeded violations for the no_alloc rule: a `*_into` fn and a
+// directive-marked fn that both allocate.
+
+pub fn scale_into(src: &[f32], out: &mut Vec<f32>) {
+    let tmp: Vec<f32> = src.to_vec();
+    out.clear();
+    for v in tmp {
+        out.push(v * 2.0);
+    }
+}
+
+// lint: no_alloc
+pub fn marked_hot(values: &[u64]) -> usize {
+    let rendered = format!("{}", values.len());
+    let buffer = Vec::with_capacity(rendered.len());
+    buffer.len()
+}

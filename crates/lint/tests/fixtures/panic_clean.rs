@@ -1,0 +1,28 @@
+// Near-misses for the panic and index rules: fallible access via `?` and
+// `get`, a waived contract assert, panicking macros confined to tests, and
+// `unwrap` quoted in a string literal.
+
+pub fn first_doubled(values: &[u32]) -> Option<u32> {
+    let first = values.first()?;
+    values.get(0).map(|v| v + first)
+}
+
+pub fn checked(capacity: usize) -> usize {
+    // lint: allow(panic) - documented constructor contract: zero capacity is a caller bug
+    assert!(capacity > 0, "capacity must be positive");
+    capacity
+}
+
+pub fn describes_unwrap() -> &'static str {
+    "calling .unwrap() here would be a bug"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        assert_eq!(super::first_doubled(&[1, 2]).unwrap(), 2);
+        let data = [1u32, 2];
+        assert_eq!(data[0], 1);
+    }
+}

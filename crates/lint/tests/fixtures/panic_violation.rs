@@ -1,0 +1,11 @@
+// Seeded violations for the panic and index rules in a scoped path.
+
+pub fn first_doubled(values: &[u32]) -> u32 {
+    let first = values.first().unwrap();
+    assert!(*first > 0, "positive input only");
+    values[0] * 2
+}
+
+pub fn must_not_reach() -> u32 {
+    unreachable!("seeded violation")
+}

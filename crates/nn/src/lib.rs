@@ -21,6 +21,8 @@
 //! No external ML framework is used; gradients are derived by hand and
 //! validated against finite differences in the test suite.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod embedding;
 pub mod init;

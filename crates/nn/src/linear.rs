@@ -134,6 +134,7 @@ impl Linear {
         assert_eq!(x.cols(), self.in_dim(), "input width {} != layer in_dim {}", x.cols(), self.in_dim());
         assert!(rows.end <= self.out_dim(), "output block {rows:?} exceeds out_dim {}", self.out_dim());
         let width = rows.len();
+        // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
         y.resize(x.rows(), width);
         let bias = &self.b[rows.start..rows.end];
         for r in 0..x.rows() {

@@ -56,6 +56,7 @@ pub fn cross_entropy_grad_into(logits: &Matrix, targets: &[usize], grad: &mut Ma
     assert_eq!(logits.rows(), targets.len(), "batch size mismatch in cross_entropy");
     let batch = logits.rows().max(1);
     let classes = logits.cols();
+    // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
     grad.resize(logits.rows(), classes);
     let mut total = 0.0f64;
     let scale = 1.0 / batch as f32;

@@ -17,6 +17,8 @@
 //! * [`metrics`] — the multiplicative error (q-error) and the
 //!   median/95th/99th/max reporting used by the paper's tables.
 
+#![forbid(unsafe_code)]
+
 pub mod estimate;
 pub mod executor;
 pub mod key;

@@ -87,6 +87,7 @@ impl Query {
             return Err(EstimateError::ColumnOutOfRange { column: p.column, num_columns });
         }
         out.clear();
+        // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
         out.resize(num_columns, ColumnConstraint::Any);
         for p in &self.predicates {
             out[p.column] = out[p.column].intersect(&p.constraint);

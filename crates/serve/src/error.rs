@@ -141,7 +141,12 @@ impl std::error::Error for ServeError {
         match self {
             Self::Estimate(err) => Some(err),
             Self::Config(err) => Some(err),
-            _ => None,
+            Self::Overloaded { .. }
+            | Self::ShuttingDown
+            | Self::WorkerLost
+            | Self::Panicked
+            | Self::DeadlineExceeded
+            | Self::InvalidEstimate => None,
         }
     }
 }

@@ -100,6 +100,8 @@
 //! assert_eq!(metrics.accounted(), metrics.accepted);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod error;
 pub mod fault;

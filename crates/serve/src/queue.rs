@@ -83,6 +83,7 @@ struct QueueState<T> {
 }
 
 impl<T> QueueState<T> {
+    // lint: allow_fn(index) - lane index comes from Priority as usize, always < NUM_PRIORITIES (the lanes array length)
     fn has_space(&self, class: usize, total_capacity: usize, class_caps: &[usize; NUM_PRIORITIES]) -> bool {
         self.len < total_capacity && self.lanes[class].len() < class_caps[class]
     }
@@ -115,6 +116,7 @@ impl<T: Scheduled> BoundedQueue<T> {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn with_class_caps(capacity: usize, class_caps: [usize; NUM_PRIORITIES]) -> Self {
+        // lint: allow(panic) - documented constructor contract ("# Panics"): a zero capacity is a caller bug
         assert!(capacity > 0, "queue capacity must be at least 1");
         let class_caps = class_caps.map(|cap| cap.clamp(1, capacity));
         Self {
@@ -134,7 +136,7 @@ impl<T: Scheduled> BoundedQueue<T> {
     /// Total items ever accepted (successfully pushed), updated atomically
     /// with the enqueue itself.
     pub fn total_pushed(&self) -> u64 {
-        self.state.lock().expect("queue lock poisoned").pushed
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).pushed
     }
 
     /// The maximum number of queued items across all classes.
@@ -149,7 +151,7 @@ impl<T: Scheduled> BoundedQueue<T> {
 
     /// Current queue depth across all classes.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").len
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).len
     }
 
     /// Whether the queue is currently empty.
@@ -159,16 +161,17 @@ impl<T: Scheduled> BoundedQueue<T> {
 
     /// Whether [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock poisoned").closed
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed
     }
 
     /// Admission-controlled push: never blocks, refusing with
     /// [`TryPushError::Full`] when either the queue or the item's priority
     /// class is at capacity, or [`TryPushError::Closed`] after shutdown
     /// began.
+    // lint: allow_fn(index) - lane index comes from Priority as usize, always < NUM_PRIORITIES (the lanes array length)
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
         let class = item.priority() as usize;
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
             return Err(TryPushError::Closed(item));
         }
@@ -186,9 +189,10 @@ impl<T: Scheduled> BoundedQueue<T> {
     /// Blocking push: waits until both the queue and the item's class have
     /// space. Returns the item back as `Err` if the queue closed before
     /// space opened up.
+    // lint: allow_fn(index) - lane index comes from Priority as usize, always < NUM_PRIORITIES (the lanes array length)
     pub fn push(&self, item: T) -> Result<(), T> {
         let class = item.priority() as usize;
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if state.closed {
                 return Err(item);
@@ -201,7 +205,7 @@ impl<T: Scheduled> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.not_full.wait(state).expect("queue lock poisoned");
+            state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -216,16 +220,17 @@ impl<T: Scheduled> BoundedQueue<T> {
     /// exactly one consumer (as work or as shed) before workers stop. A
     /// `true` return can carry an empty `out` when the drain encountered
     /// only dead items; callers should account `dropped` and loop.
+    // lint: allow_fn(index) - lane index comes from Priority as usize, always < NUM_PRIORITIES (the lanes array length)
     pub fn pop_batch(&self, max: usize, out: &mut Vec<T>, dropped: &mut Vec<(T, Disposition)>) -> bool {
         out.clear();
         dropped.clear();
         let max = max.max(1);
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while state.len == 0 {
             if state.closed {
                 return false;
             }
-            state = self.not_empty.wait(state).expect("queue lock poisoned");
+            state = self.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
         }
         for lane in 0..NUM_PRIORITIES {
             while out.len() < max {
@@ -252,7 +257,7 @@ impl<T: Scheduled> BoundedQueue<T> {
     /// their item handed back, and consumers drain the backlog before
     /// observing closure.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -337,6 +342,7 @@ mod tests {
         let consumer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
+                #[allow(clippy::disallowed_methods)] // test-only beat to let the other thread block
                 std::thread::sleep(std::time::Duration::from_millis(20));
                 let mut out = Vec::new();
                 let mut dropped = Vec::new();
@@ -353,6 +359,7 @@ mod tests {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.push(2i32))
         };
+        #[allow(clippy::disallowed_methods)] // test-only beat to let the other thread block
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(blocked.join().unwrap(), Err(2));

@@ -303,6 +303,7 @@ impl Ticket {
     /// Blocks until the request completes. A request whose worker dies
     /// without responding resolves to [`ServeError::WorkerLost`].
     pub fn wait(mut self) -> Response {
+        // lint: allow(panic) - inner is Some from construction to the single consuming take(); wait(self) moves the ticket
         match self.inner.take().expect("ticket already consumed") {
             TicketInner::Ready(response) => *response,
             TicketInner::Pending(rx) => rx.recv().unwrap_or(Err(ServeError::WorkerLost)),
@@ -315,6 +316,7 @@ impl Ticket {
     ///
     /// [`cancel`]: Ticket::cancel
     pub fn wait_timeout(mut self, timeout: Duration) -> Result<Response, Ticket> {
+        // lint: allow(panic) - inner is Some from construction to consumption; timeout hands the ticket back with inner restored
         match self.inner.take().expect("ticket already consumed") {
             TicketInner::Ready(response) => Ok(*response),
             TicketInner::Pending(rx) => match rx.recv_timeout(timeout) {
@@ -388,6 +390,7 @@ impl Server {
     /// sidecar, if any) and parks on the queue until work or shutdown
     /// arrives. Returns [`ServeError::Config`] — spawning nothing — if any
     /// knob is invalid.
+    // lint: allow_fn(index) - batch slot indices come from enumerate over the same dequeued batch
     pub fn start(engine: Engine, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let num_workers = config.num_workers;
@@ -433,6 +436,7 @@ impl Server {
                     }
                     drain_orphans(&shared);
                 })
+                // lint: allow(panic) - spawn fails only on OS thread exhaustion during construction; the server cannot run without its watchdog
                 .expect("failed to spawn serve watchdog")
         };
 
@@ -615,6 +619,7 @@ fn spawn_worker(
             let panicked = catch_unwind(AssertUnwindSafe(|| worker_loop(id, generation, session, &shared))).is_err();
             let _ = exit_tx.send(WorkerExit { id, panicked });
         })
+        // lint: allow(panic) - spawn fails only on OS thread exhaustion; respawn without a worker would silently shrink the pool
         .expect("failed to spawn serve worker")
 }
 
@@ -672,6 +677,7 @@ struct BatchGuard<'a> {
 }
 
 impl BatchGuard<'_> {
+    // lint: allow_fn(index) - batch slot indices come from enumerate over the same dequeued batch
     fn take(&mut self, index: usize) -> Option<Pending> {
         self.slots[index].take()
     }
@@ -754,6 +760,7 @@ fn deliver(
 /// individually with a disposition re-check right before the walk — until
 /// the queue closes and empties. Successful full-quality answers whose
 /// request carries a cache key are stored for future submitters.
+// lint: allow_fn(index) - batch slot indices come from enumerate over the same dequeued batch
 fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, shared: &WorkerShared) {
     let metrics = &shared.metrics;
     // Fault RNG: deterministic per worker *incarnation*, absent (zero
@@ -775,6 +782,7 @@ fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, share
         // deadlines run down and the queue back up.
         if let Some(rng) = rng.as_mut() {
             if shared.faults.stall_probability > 0.0 && rng.gen_bool(shared.faults.stall_probability) {
+                #[allow(clippy::disallowed_methods)] // deliberate fault-injection stall
                 std::thread::sleep(shared.faults.stall);
             }
         }
@@ -807,6 +815,7 @@ fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, share
         let mut guard = BatchGuard { slots, metrics };
         if let Some(rng) = rng.as_mut() {
             if shared.faults.death_probability > 0.0 && rng.gen_bool(shared.faults.death_probability) {
+                // lint: allow(panic) - deliberate fault injection driving the watchdog/respawn chaos tests
                 panic!("injected worker death");
             }
         }
@@ -867,6 +876,7 @@ fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, share
                 continue;
             }
             if pending.deadline.is_some_and(|deadline| deadline.is_expired()) {
+                // lint: allow(panic) - slot occupancy was checked by the enclosing loop; take() on a live slot cannot fail
                 let pending = guard.take(i).expect("slot checked above");
                 metrics.shed.fetch_add(1, Ordering::Relaxed);
                 let _ = pending.reply.send(Err(ServeError::DeadlineExceeded));
@@ -879,6 +889,7 @@ fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, share
             let query = &queries[i];
             let result = catch_unwind(AssertUnwindSafe(|| {
                 if inject_panic {
+                    // lint: allow(panic) - deliberate fault injection; caught by the catch_unwind directly above
                     panic!("injected estimator panic");
                 }
                 match (route, &shared.degrade) {
@@ -897,6 +908,7 @@ fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, share
                 Ok(Err(err)) => Err(ServeError::Estimate(err)),
                 Err(_) => Err(ServeError::Panicked),
             };
+            // lint: allow(panic) - the cancelled/expired branches above take the slot and `continue`; reaching here means it is still live
             let pending = guard.take(i).expect("slot checked above");
             deliver(pending, result, &mut rng, shared, worker, batch_size, dequeued_at);
         }

@@ -16,6 +16,8 @@
 //! The `_into` variants write into caller-provided buffers so inference
 //! hot paths run allocation-free at steady state; see `ops` for details.
 
+#![forbid(unsafe_code)]
+
 pub mod matrix;
 pub mod ops;
 pub mod rng;

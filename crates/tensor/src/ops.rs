@@ -335,6 +335,7 @@ fn par_row_partition(c: &mut Matrix, kernel: impl Fn(&mut [f32], usize, usize) +
 /// `c`'s capacity suffices). Dispatches per the global [`KernelPolicy`].
 pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, n, k) = check_matmul(a, b);
+    // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
     c.resize(m, n);
     match effective_policy(m, n, k) {
         Impl::Naive => *c = naive::matmul(a, b),
@@ -346,6 +347,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 /// `C = A * B^T` written into `c`. Dispatches per the global [`KernelPolicy`].
 pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, n, k) = check_a_bt(a, b);
+    // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
     c.resize(m, n);
     match effective_policy(m, n, k) {
         Impl::Naive => *c = naive::matmul_a_bt(a, b),
@@ -357,6 +359,7 @@ pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 /// `C = A^T * B` written into `c`. Dispatches per the global [`KernelPolicy`].
 pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, n, k) = check_at_b(a, b);
+    // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
     c.resize(m, n);
     match effective_policy(m, n, k) {
         Impl::Naive => *c = naive::matmul_at_b(a, b),

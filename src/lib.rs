@@ -132,6 +132,8 @@
 //! | `NaruEstimator::from_model(model, s)` | `NaruEstimator::from_model(model, s, num_rows)` |
 //! | share `&NaruEstimator` across threads (lock-serialized) | `est.into_engine()`, one `engine.session()` per thread, or a [`serve::Server`] |
 
+#![forbid(unsafe_code)]
+
 pub use naru_baselines as baselines;
 pub use naru_core as core;
 pub use naru_data as data;
