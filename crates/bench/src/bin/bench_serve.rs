@@ -31,7 +31,15 @@
 //!   requests must shed and a handful of cancelled tickets must be
 //!   skipped. The run asserts the interactive p95 under priority
 //!   scheduling beats the FIFO baseline, and that
-//!   `served + failed + shed + cancelled == accepted` holds exactly.
+//!   `served + failed + shed + cancelled == accepted` holds exactly;
+//! * **network** — the same stream once more, but through the `naru-net`
+//!   HTTP front end over loopback TCP: a client fleet (one keep-alive
+//!   connection each) wire-encodes every query, POSTs it to `/estimate`,
+//!   and decodes the response. Every networked answer is asserted
+//!   bit-identical to the single-session reference (the wire format's
+//!   float round-trip is lossless), giving loopback throughput and
+//!   end-to-end latency quantiles directly comparable to the in-process
+//!   closed-loop numbers — the delta is protocol + loopback cost.
 //!
 //! The uniform phases serve through a stats-less engine so every served
 //! selectivity is asserted bit-identical to the single-session model
@@ -49,9 +57,11 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
+use naru_bench::client::NetClient;
 use naru_bench::latency::latency_quantiles_json;
 use naru_core::{NaruConfig, NaruEstimator};
 use naru_data::synthetic::dmv_like;
+use naru_net::{NetConfig, NetServer};
 use naru_query::{generate_workload, Predicate, Provenance, Query, WorkloadConfig};
 use naru_serve::{DegradePolicy, ServeConfig, ServeError, Server, SubmitOptions, Ticket};
 use naru_tensor::stats::percentile;
@@ -467,6 +477,63 @@ fn main() {
         "interactive p95 under priority scheduling ({interactive_p95:.2}ms) must beat the FIFO baseline ({baseline_p95:.2}ms)"
     );
 
+    // ---- Network phase: loopback HTTP through the naru-net front end ----
+    //
+    // Same engine, same request stream, but every query now crosses a real
+    // TCP connection: wire-encode, HTTP POST, parse, queue, respond. Each
+    // client keeps one request in flight on its own keep-alive connection,
+    // so the numbers line up with the in-process closed-loop phase and the
+    // delta is pure protocol + loopback cost.
+    let net_workers = 2;
+    let net_clients = 4;
+    let net_serve = Server::start(
+        engine.clone(),
+        ServeConfig::default().with_workers(net_workers).with_queue_capacity(scale.requests.max(64)).with_max_batch(8),
+    )
+    .expect("valid serve config");
+    let net_server =
+        NetServer::start(net_serve, NetConfig::default().with_handler_threads(net_clients)).expect("loopback bind");
+    let net_addr = net_server.local_addr();
+    let mut net_e2e = vec![0.0f64; scale.requests];
+    let net_start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..net_clients)
+            .map(|c| {
+                let requests = &requests;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(net_addr, Duration::from_secs(10)).expect("loopback connect");
+                    let mut measured = Vec::new();
+                    let mut i = c;
+                    while i < requests.len() {
+                        let submitted = Instant::now();
+                        let served = client.estimate(&requests[i]).expect("loopback request served");
+                        assert_eq!(
+                            served.estimate.selectivity, reference[i],
+                            "networked estimates must match the single-session reference bit-for-bit"
+                        );
+                        measured.push((i, submitted.elapsed().as_secs_f64() * 1000.0));
+                        i += net_clients;
+                    }
+                    measured
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, ms) in handle.join().expect("network client panicked") {
+                net_e2e[i] = ms;
+            }
+        }
+    });
+    let net_secs = net_start.elapsed().as_secs_f64();
+    let net_metrics = net_server.shutdown();
+    assert_eq!(net_metrics.served, scale.requests as u64, "every loopback request must be served");
+    assert_eq!(net_metrics.accounted(), net_metrics.accepted, "network phase must preserve the accounting identity");
+    let net_qps = scale.requests as f64 / net_secs;
+    println!(
+        "network loopback ({net_workers} workers, {net_clients} HTTP clients): {net_qps:.1} queries/sec end to end"
+    );
+
     // Per-tier counts and end-to-end latency quantiles, keyed by each
     // response's provenance as the client saw it.
     let tier_json = |provenance: Provenance| -> String {
@@ -555,6 +622,15 @@ fn main() {
     out.push_str(&format!("    \"interactive_p95_ms\": {interactive_p95:.3},\n"));
     out.push_str(&format!("    \"baseline_interactive_p95_ms\": {baseline_p95:.3},\n"));
     out.push_str(&format!("    \"interactive_p95_speedup\": {:.3}\n", baseline_p95 / interactive_p95));
+    out.push_str("  },\n");
+    out.push_str("  \"network\": {\n");
+    out.push_str(&format!("    \"requests\": {},\n", scale.requests));
+    out.push_str(&format!("    \"clients\": {net_clients},\n"));
+    out.push_str(&format!("    \"handler_threads\": {net_clients},\n"));
+    out.push_str(&format!("    \"workers\": {net_workers},\n"));
+    out.push_str(&format!("    \"loopback_queries_per_sec\": {net_qps:.2},\n"));
+    out.push_str(&format!("    \"e2e\": {},\n", latency_quantiles_json(&net_e2e)));
+    out.push_str(&format!("    \"serve_metrics\": {}\n", net_metrics.to_json_indented(2)));
     out.push_str("  },\n");
     out.push_str(&format!("  \"best_queries_per_sec\": {best:.2},\n"));
     out.push_str(&format!(

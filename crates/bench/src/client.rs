@@ -1,0 +1,119 @@
+//! A minimal blocking HTTP client for the `naru-net` front end, used by
+//! the `bench_serve` network phase (and handy for ad-hoc load drivers).
+//!
+//! One [`NetClient`] owns one keep-alive TCP connection: `estimate` POSTs
+//! a wire-encoded query to `/estimate` and decodes the response body back
+//! into a [`WireEstimate`]; `get` fetches `/healthz`, `/metrics`, or any
+//! other path raw. Deliberately synchronous and single-connection — the
+//! benchmark measures the server, so the client stays as simple as the
+//! protocol allows.
+
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use naru_net::{decode_served, read_response, HttpLimits, Response, WireEstimate};
+use naru_query::encode_query;
+use naru_query::Query;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket itself failed (connect, write, or read).
+    Io(io::Error),
+    /// The server's bytes did not parse as an HTTP response.
+    Protocol(naru_net::ProtocolError),
+    /// The server answered with a non-200 status; the body carries the
+    /// human-readable reason.
+    Http {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body (the server's error message).
+        body: String,
+    },
+    /// A 200 response body that did not decode as a served estimate.
+    Decode(naru_net::ResponseParseError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Protocol(e) => write!(f, "malformed response: {e}"),
+            Self::Http { status, body } => write!(f, "HTTP {status}: {}", body.trim_end()),
+            Self::Decode(e) => write!(f, "undecodable estimate body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Per-request knobs, mirrored onto the `X-Naru-*` headers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOptions {
+    /// `X-Naru-Priority` value (`interactive`, `batch`, `best_effort`).
+    pub priority: Option<&'static str>,
+    /// `X-Naru-Timeout-Ms` value (a per-request deadline).
+    pub timeout_ms: Option<u64>,
+}
+
+/// A blocking client over one keep-alive connection.
+pub struct NetClient {
+    stream: TcpStream,
+    limits: HttpLimits,
+}
+
+impl NetClient {
+    /// Connects to a `naru-net` server, with a read timeout so a wedged
+    /// benchmark run fails loudly instead of hanging.
+    pub fn connect(addr: SocketAddr, read_timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        // The read loop treats each timeout as one stall; size the stall
+        // budget so the effective patience is ~100x the socket timeout.
+        Ok(Self { stream, limits: HttpLimits { max_stall_reads: 100, ..HttpLimits::default() } })
+    }
+
+    /// Sends one request and reads one response.
+    fn round_trip(&mut self, request: &str) -> Result<Response, ClientError> {
+        self.stream.write_all(request.as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.stream, &self.limits).map_err(ClientError::Protocol)
+    }
+
+    /// `GET` any path, returning the raw response.
+    pub fn get(&mut self, path: &str) -> Result<Response, ClientError> {
+        self.round_trip(&format!("GET {path} HTTP/1.1\r\nHost: naru\r\n\r\n"))
+    }
+
+    /// Estimates one query with default lifecycle options.
+    pub fn estimate(&mut self, query: &Query) -> Result<WireEstimate, ClientError> {
+        self.estimate_with(query, RequestOptions::default())
+    }
+
+    /// Estimates one query, forwarding priority/deadline headers.
+    pub fn estimate_with(&mut self, query: &Query, options: RequestOptions) -> Result<WireEstimate, ClientError> {
+        let body = encode_query(query);
+        let mut request = String::with_capacity(body.len() + 128);
+        request.push_str("POST /estimate HTTP/1.1\r\nHost: naru\r\n");
+        if let Some(priority) = options.priority {
+            request.push_str(&format!("X-Naru-Priority: {priority}\r\n"));
+        }
+        if let Some(ms) = options.timeout_ms {
+            request.push_str(&format!("X-Naru-Timeout-Ms: {ms}\r\n"));
+        }
+        request.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+        let response = self.round_trip(&request)?;
+        if response.status != 200 {
+            return Err(ClientError::Http { status: response.status, body: response.text() });
+        }
+        decode_served(&response.text()).map_err(ClientError::Decode)
+    }
+}

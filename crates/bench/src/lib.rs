@@ -7,6 +7,8 @@
 //! * [`accuracy`] — the shared accuracy/latency measurement loop,
 //! * [`latency`] — the end-to-end estimator-latency harness behind the
 //!   `bench_infer` binary and its `BENCH_infer.json` artifact,
+//! * [`client`] — a minimal blocking HTTP client for the `naru-net`
+//!   front end, behind the `bench_serve` network phase,
 //! * [`experiments`] — one function per table/figure (see DESIGN.md §5 for
 //!   the index),
 //! * [`report`] — plain-text table rendering matching the paper's layout.
@@ -20,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod accuracy;
+pub mod client;
 pub mod config;
 pub mod experiments;
 pub mod latency;
 pub mod report;
 
 pub use accuracy::{evaluate_all, evaluate_estimator, EstimatorResult};
+pub use client::{ClientError, NetClient, RequestOptions};
 pub use config::{ExperimentConfig, Scale};
 pub use latency::LatencyStats;

@@ -34,16 +34,18 @@ pub struct Config {
 impl Default for Config {
     /// The repo's real invariants, matching the workspace layout.
     fn default() -> Self {
-        let serve_core = vec!["crates/serve/src/".to_owned(), "crates/core/src/".to_owned()];
+        let panic_free =
+            vec!["crates/serve/src/".to_owned(), "crates/core/src/".to_owned(), "crates/net/src/".to_owned()];
         Config {
-            panic_scope: serve_core.clone(),
-            index_scope: serve_core,
+            panic_scope: panic_free.clone(),
+            index_scope: panic_free,
             accounting_files: vec![
                 "crates/serve/src/server.rs".to_owned(),
                 "crates/serve/src/stats.rs".to_owned(),
                 "crates/serve/src/cache.rs".to_owned(),
                 "crates/serve/src/error.rs".to_owned(),
                 "crates/query/src/estimate.rs".to_owned(),
+                "crates/net/src/error.rs".to_owned(),
             ],
             watched_enums: vec!["ServeError".to_owned(), "Provenance".to_owned()],
             counters: vec![

@@ -1,0 +1,175 @@
+//! Typed protocol failures and the `ServeError` → HTTP status mapping.
+
+use std::fmt;
+
+use naru_serve::ServeError;
+
+/// Why a connection's bytes could not be parsed into an HTTP request.
+///
+/// Every variant is a *peer* defect (malformed or oversized input) or a
+/// transport failure; none of them is a server bug, and none of them
+/// panics. The paired [`ProtocolError::status`] gives the HTTP response
+/// the connection handler writes before closing (or `None` when the
+/// transport is already unusable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The request line is not `METHOD SP TARGET SP VERSION`.
+    MalformedRequestLine,
+    /// The request line names an HTTP version other than 1.0/1.1.
+    UnsupportedVersion {
+        /// The version token as received (truncated to 16 chars).
+        version: String,
+    },
+    /// A header line has no `:` separator or an empty name.
+    MalformedHeader {
+        /// 1-based position of the header line within the request.
+        position: usize,
+    },
+    /// A single line (request line or header) exceeded the line cap.
+    LineTooLong {
+        /// The configured cap in bytes ([`HttpLimits::max_line_bytes`]).
+        ///
+        /// [`HttpLimits::max_line_bytes`]: crate::http::HttpLimits::max_line_bytes
+        max: usize,
+    },
+    /// The request carried more header lines than the cap.
+    TooManyHeaders {
+        /// The configured cap ([`HttpLimits::max_headers`]).
+        ///
+        /// [`HttpLimits::max_headers`]: crate::http::HttpLimits::max_headers
+        max: usize,
+    },
+    /// The `Content-Length` value is not a non-negative integer.
+    InvalidContentLength,
+    /// A body-bearing method arrived without a `Content-Length` header
+    /// (chunked transfer encoding is not supported).
+    MissingContentLength,
+    /// The declared body length exceeds the body cap.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap ([`HttpLimits::max_body_bytes`]).
+        ///
+        /// [`HttpLimits::max_body_bytes`]: crate::http::HttpLimits::max_body_bytes
+        max: usize,
+    },
+    /// The peer closed (or the read stalled past the grace period) in the
+    /// middle of a request.
+    UnexpectedEof,
+    /// A transport read/write failed outright.
+    Io {
+        /// The [`std::io::ErrorKind`] of the failure, stringified for `Eq`.
+        kind: String,
+    },
+}
+
+impl ProtocolError {
+    /// Shorthand for [`ProtocolError::Io`] from an I/O error.
+    pub fn io(err: &std::io::Error) -> Self {
+        Self::Io { kind: format!("{:?}", err.kind()) }
+    }
+
+    /// The HTTP status code + reason to answer with, or `None` when the
+    /// connection is past answering (EOF / transport failure).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            Self::MalformedRequestLine | Self::MalformedHeader { .. } | Self::InvalidContentLength => {
+                Some((400, "Bad Request"))
+            }
+            Self::MissingContentLength => Some((411, "Length Required")),
+            Self::BodyTooLarge { .. } => Some((413, "Content Too Large")),
+            Self::LineTooLong { .. } | Self::TooManyHeaders { .. } => Some((431, "Request Header Fields Too Large")),
+            Self::UnsupportedVersion { .. } => Some((505, "HTTP Version Not Supported")),
+            Self::UnexpectedEof | Self::Io { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MalformedRequestLine => write!(f, "malformed request line"),
+            Self::UnsupportedVersion { version } => write!(f, "unsupported HTTP version `{version}`"),
+            Self::MalformedHeader { position } => write!(f, "malformed header at position {position}"),
+            Self::LineTooLong { max } => write!(f, "line exceeds the {max}-byte limit"),
+            Self::TooManyHeaders { max } => write!(f, "more than {max} header lines"),
+            Self::InvalidContentLength => write!(f, "Content-Length is not a non-negative integer"),
+            Self::MissingContentLength => write!(f, "body-bearing request without Content-Length"),
+            Self::BodyTooLarge { declared, max } => {
+                write!(f, "declared body of {declared} bytes exceeds the {max}-byte limit")
+            }
+            Self::UnexpectedEof => write!(f, "connection closed mid-request"),
+            Self::Io { kind } => write!(f, "transport error ({kind})"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Maps a [`ServeError`] onto the HTTP status code + reason phrase the
+/// front end answers with. The match is exhaustive and wildcard-free (and
+/// lint-audited as such): adding a `ServeError` variant forces a decision
+/// here.
+///
+/// | variant | status |
+/// |---|---|
+/// | `Overloaded` | 429 Too Many Requests |
+/// | `ShuttingDown` | 503 Service Unavailable |
+/// | `WorkerLost` | 502 Bad Gateway |
+/// | `Panicked` | 500 Internal Server Error |
+/// | `DeadlineExceeded` | 504 Gateway Timeout |
+/// | `InvalidEstimate` | 500 Internal Server Error |
+/// | `Config` | 500 Internal Server Error |
+/// | `Estimate` | 422 Unprocessable Content |
+pub fn status_for(err: &ServeError) -> (u16, &'static str) {
+    match err {
+        ServeError::Overloaded { capacity: _ } => (429, "Too Many Requests"),
+        ServeError::ShuttingDown => (503, "Service Unavailable"),
+        ServeError::WorkerLost => (502, "Bad Gateway"),
+        ServeError::Panicked => (500, "Internal Server Error"),
+        ServeError::DeadlineExceeded => (504, "Gateway Timeout"),
+        ServeError::InvalidEstimate => (500, "Internal Server Error"),
+        ServeError::Config(_) => (500, "Internal Server Error"),
+        ServeError::Estimate(_) => (422, "Unprocessable Content"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_query::EstimateError;
+    use naru_serve::ConfigError;
+
+    #[test]
+    fn serve_errors_map_to_distinct_lifecycle_statuses() {
+        assert_eq!(status_for(&ServeError::Overloaded { capacity: 8 }).0, 429);
+        assert_eq!(status_for(&ServeError::DeadlineExceeded).0, 504);
+        assert_eq!(status_for(&ServeError::ShuttingDown).0, 503);
+        assert_eq!(status_for(&ServeError::WorkerLost).0, 502);
+        assert_eq!(status_for(&ServeError::Panicked).0, 500);
+        assert_eq!(status_for(&ServeError::InvalidEstimate).0, 500);
+        assert_eq!(status_for(&ServeError::Config(ConfigError::ZeroWorkers)).0, 500);
+        let est = ServeError::Estimate(EstimateError::ColumnOutOfRange { column: 9, num_columns: 2 });
+        assert_eq!(status_for(&est).0, 422);
+    }
+
+    #[test]
+    fn protocol_errors_answerable_before_close_carry_a_status() {
+        assert_eq!(ProtocolError::MalformedRequestLine.status(), Some((400, "Bad Request")));
+        assert_eq!(ProtocolError::MissingContentLength.status().map(|s| s.0), Some(411));
+        assert_eq!(ProtocolError::BodyTooLarge { declared: 9, max: 4 }.status().map(|s| s.0), Some(413));
+        assert_eq!(ProtocolError::LineTooLong { max: 64 }.status().map(|s| s.0), Some(431));
+        assert_eq!(ProtocolError::TooManyHeaders { max: 4 }.status().map(|s| s.0), Some(431));
+        assert_eq!(ProtocolError::UnsupportedVersion { version: "HTTP/2".into() }.status().map(|s| s.0), Some(505));
+        assert_eq!(ProtocolError::UnexpectedEof.status(), None);
+        assert_eq!(ProtocolError::io(&std::io::Error::from(std::io::ErrorKind::BrokenPipe)).status(), None);
+    }
+
+    #[test]
+    fn displays_carry_limits_and_context() {
+        assert!(ProtocolError::LineTooLong { max: 8192 }.to_string().contains("8192"));
+        assert!(ProtocolError::BodyTooLarge { declared: 100, max: 64 }.to_string().contains("100"));
+        assert!(ProtocolError::MalformedHeader { position: 3 }.to_string().contains("3"));
+        assert!(ProtocolError::UnsupportedVersion { version: "SPDY".into() }.to_string().contains("SPDY"));
+    }
+}

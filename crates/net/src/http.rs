@@ -1,0 +1,461 @@
+//! A hand-rolled, bounded HTTP/1.1 parser and response writer.
+//!
+//! Covers exactly what the front end needs: the request line, headers,
+//! keep-alive semantics, and `Content-Length` bodies — no chunked transfer
+//! encoding, no trailers, no upgrades. Every size is capped by
+//! [`HttpLimits`] and every malformed input becomes a typed
+//! [`ProtocolError`]; the parser never panics and never allocates
+//! proportionally to anything the peer did not declare within the caps.
+//!
+//! The reader is written against `std::io::Read` byte streams (callers
+//! wrap sockets in `BufReader`), and cooperates with socket read timeouts:
+//! a timeout *between* requests surfaces as [`ReadOutcome::Idle`] so the
+//! connection loop can poll its shutdown flag, while a timeout *inside* a
+//! request only fails after a bounded number of consecutive stalled reads.
+
+use std::io::{self, Read, Write};
+
+use crate::error::ProtocolError;
+
+/// Hard caps on what one request may ask the parser to buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Longest accepted request/header/status line, in bytes.
+    pub max_line_bytes: usize,
+    /// Most header lines per request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length`, in bytes.
+    pub max_body_bytes: usize,
+    /// Consecutive timed-out reads tolerated *mid-request* before the
+    /// connection is declared dead. With the socket's read timeout as the
+    /// tick length, `timeout x max_stall_reads` is the slow-client grace
+    /// period.
+    pub max_stall_reads: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self { max_line_bytes: 8 * 1024, max_headers: 64, max_body_bytes: 64 * 1024, max_stall_reads: 100 }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path + optional query), as received.
+    pub target: String,
+    /// Header `(name, value)` pairs; names are lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 defaults to yes, HTTP/1.0 to no, `Connection` overrides).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// What one attempt to read a request produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out with no request bytes pending; the connection is
+    /// still healthy. Lets the connection loop poll its shutdown flag.
+    Idle,
+}
+
+/// Reads one request from the stream, enforcing `limits`.
+pub fn read_request<R: Read>(reader: &mut R, limits: &HttpLimits) -> Result<ReadOutcome, ProtocolError> {
+    let mut bytes = ByteSource { reader, limits, in_request: false, stalls: 0 };
+
+    let request_line = match bytes.read_line()? {
+        LineOutcome::Line(line) => line,
+        LineOutcome::Eof => return Ok(ReadOutcome::Closed),
+        LineOutcome::Idle => return Ok(ReadOutcome::Idle),
+    };
+    let (method, target, version) = parse_request_line(&request_line)?;
+    let http11 = match version.as_str() {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(ProtocolError::UnsupportedVersion { version: version.chars().take(16).collect() }),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match bytes.read_line()? {
+            LineOutcome::Line(line) => line,
+            LineOutcome::Eof | LineOutcome::Idle => return Err(ProtocolError::UnexpectedEof),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ProtocolError::TooManyHeaders { max: limits.max_headers });
+        }
+        let text = String::from_utf8_lossy(&line);
+        let (name, value) =
+            text.split_once(':').ok_or(ProtocolError::MalformedHeader { position: headers.len() + 1 })?;
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(ProtocolError::MalformedHeader { position: headers.len() + 1 });
+        }
+        headers.push((name, value.trim().to_owned()));
+    }
+
+    let connection = headers.iter().find(|(n, _)| n == "connection").map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => http11,
+    };
+
+    let content_length = headers.iter().find(|(n, _)| n == "content-length").map(|(_, v)| v.as_str());
+    let body = match content_length {
+        Some(value) => {
+            let declared: usize = value.trim().parse().map_err(|_| ProtocolError::InvalidContentLength)?;
+            if declared > limits.max_body_bytes {
+                return Err(ProtocolError::BodyTooLarge { declared, max: limits.max_body_bytes });
+            }
+            bytes.read_exact_bytes(declared)?
+        }
+        None if matches!(method.as_str(), "POST" | "PUT" | "PATCH") => {
+            return Err(ProtocolError::MissingContentLength);
+        }
+        None => Vec::new(),
+    };
+
+    Ok(ReadOutcome::Request(Request { method, target, headers, body, keep_alive }))
+}
+
+fn parse_request_line(line: &[u8]) -> Result<(String, String, String), ProtocolError> {
+    let text = String::from_utf8_lossy(line);
+    let mut parts = text.split_whitespace();
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(target), Some(version), None) => {
+            Ok((method.to_ascii_uppercase(), target.to_owned(), version.to_owned()))
+        }
+        _ => Err(ProtocolError::MalformedRequestLine),
+    }
+}
+
+/// A parsed HTTP response, as seen by the client side (used by the
+/// blocking bench client and the loopback tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The numeric status code.
+    pub status: u16,
+    /// The reason phrase (may be empty).
+    pub reason: String,
+    /// Header `(name, value)` pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response from the stream (client side), enforcing `limits`.
+pub fn read_response<R: Read>(reader: &mut R, limits: &HttpLimits) -> Result<Response, ProtocolError> {
+    let mut bytes = ByteSource { reader, limits, in_request: true, stalls: 0 };
+    let status_line = match bytes.read_line()? {
+        LineOutcome::Line(line) => line,
+        LineOutcome::Eof | LineOutcome::Idle => return Err(ProtocolError::UnexpectedEof),
+    };
+    let text = String::from_utf8_lossy(&status_line);
+    let mut parts = text.splitn(3, ' ');
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(ProtocolError::UnsupportedVersion { version: version.chars().take(16).collect() });
+    }
+    let status: u16 = parts.next().unwrap_or_default().parse().map_err(|_| ProtocolError::MalformedRequestLine)?;
+    let reason = parts.next().unwrap_or_default().to_owned();
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match bytes.read_line()? {
+            LineOutcome::Line(line) => line,
+            LineOutcome::Eof | LineOutcome::Idle => return Err(ProtocolError::UnexpectedEof),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ProtocolError::TooManyHeaders { max: limits.max_headers });
+        }
+        let text = String::from_utf8_lossy(&line);
+        let (name, value) =
+            text.split_once(':').ok_or(ProtocolError::MalformedHeader { position: headers.len() + 1 })?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let declared: usize = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v.trim().parse().map_err(|_| ProtocolError::InvalidContentLength)?,
+        None => 0,
+    };
+    if declared > limits.max_body_bytes {
+        return Err(ProtocolError::BodyTooLarge { declared, max: limits.max_body_bytes });
+    }
+    let body = bytes.read_exact_bytes(declared)?;
+    Ok(Response { status, reason, headers, body })
+}
+
+/// Writes one response. `keep_alive: false` adds `Connection: close`.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "" } else { "Connection: close\r\n" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{connection}\r\n",
+        body.len(),
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// What one line-read attempt produced.
+enum LineOutcome {
+    /// A complete line, terminator stripped (`\r\n` or bare `\n`).
+    Line(Vec<u8>),
+    /// Clean EOF before the first byte of the line.
+    Eof,
+    /// Read timeout before the first byte of the *request* (only possible
+    /// while `in_request` is false).
+    Idle,
+}
+
+/// Byte-at-a-time reader with stall accounting. Byte-level granularity is
+/// fine because callers hand in `BufReader`-wrapped streams.
+struct ByteSource<'a, R: Read> {
+    reader: &'a mut R,
+    limits: &'a HttpLimits,
+    /// Whether any byte of the current request has been consumed; gates
+    /// the Idle-vs-stall interpretation of a timeout.
+    in_request: bool,
+    /// Consecutive timed-out reads since the last successful byte.
+    stalls: usize,
+}
+
+/// One byte, or one of the boundary conditions.
+enum ByteOutcome {
+    Byte(u8),
+    Eof,
+    Idle,
+}
+
+impl<R: Read> ByteSource<'_, R> {
+    fn read_byte(&mut self) -> Result<ByteOutcome, ProtocolError> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.reader.read(&mut byte) {
+                Ok(0) => return Ok(ByteOutcome::Eof),
+                Ok(_) => {
+                    self.in_request = true;
+                    self.stalls = 0;
+                    let [b] = byte;
+                    return Ok(ByteOutcome::Byte(b));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                    if !self.in_request {
+                        return Ok(ByteOutcome::Idle);
+                    }
+                    self.stalls += 1;
+                    if self.stalls > self.limits.max_stall_reads {
+                        return Err(ProtocolError::UnexpectedEof);
+                    }
+                }
+                Err(e) => return Err(ProtocolError::io(&e)),
+            }
+        }
+    }
+
+    fn read_line(&mut self) -> Result<LineOutcome, ProtocolError> {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            match self.read_byte()? {
+                ByteOutcome::Byte(b'\n') => {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(LineOutcome::Line(line));
+                }
+                ByteOutcome::Byte(b) => {
+                    if line.len() >= self.limits.max_line_bytes {
+                        return Err(ProtocolError::LineTooLong { max: self.limits.max_line_bytes });
+                    }
+                    line.push(b);
+                }
+                ByteOutcome::Eof if line.is_empty() => return Ok(LineOutcome::Eof),
+                ByteOutcome::Eof => return Err(ProtocolError::UnexpectedEof),
+                ByteOutcome::Idle => return Ok(LineOutcome::Idle),
+            }
+        }
+    }
+
+    fn read_exact_bytes(&mut self, len: usize) -> Result<Vec<u8>, ProtocolError> {
+        let mut body = Vec::with_capacity(len);
+        while body.len() < len {
+            match self.read_byte()? {
+                ByteOutcome::Byte(b) => body.push(b),
+                ByteOutcome::Eof | ByteOutcome::Idle => return Err(ProtocolError::UnexpectedEof),
+            }
+        }
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<ReadOutcome, ProtocolError> {
+        read_request(&mut &bytes[..], &HttpLimits::default())
+    }
+
+    fn must_request(bytes: &[u8]) -> Request {
+        match parse(bytes).unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_get_with_headers() {
+        let r = must_request(b"GET /metrics HTTP/1.1\r\nHost: x\r\nX-Naru-Priority: batch\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.target, "/metrics");
+        assert_eq!(r.header("x-naru-priority"), Some("batch"));
+        assert_eq!(r.header("X-NARU-PRIORITY"), Some("batch"), "lookup is case-insensitive");
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = must_request(b"POST /estimate HTTP/1.1\r\nContent-Length: 6\r\n\r\n0 = 1\n");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"0 = 1\n");
+    }
+
+    #[test]
+    fn connection_header_overrides_keep_alive_defaults() {
+        assert!(!must_request(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(!must_request(b"GET / HTTP/1.0\r\n\r\n").keep_alive, "HTTP/1.0 defaults to close");
+        assert!(must_request(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn bare_newlines_are_tolerated() {
+        let r = must_request(b"GET /healthz HTTP/1.1\nHost: x\n\n");
+        assert_eq!(r.target, "/healthz");
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_midline_eof_is_an_error() {
+        assert_eq!(parse(b"").unwrap(), ReadOutcome::Closed);
+        assert_eq!(parse(b"GET / HT").unwrap_err(), ProtocolError::UnexpectedEof);
+        assert_eq!(parse(b"GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err(), ProtocolError::UnexpectedEof);
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err(),
+            ProtocolError::UnexpectedEof,
+            "truncated body"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_surface_typed_errors() {
+        assert_eq!(parse(b"GARBAGE\r\n\r\n").unwrap_err(), ProtocolError::MalformedRequestLine);
+        assert_eq!(parse(b"GET / too many words here\r\n\r\n").unwrap_err(), ProtocolError::MalformedRequestLine);
+        assert_eq!(
+            parse(b"GET / HTTP/2\r\n\r\n").unwrap_err(),
+            ProtocolError::UnsupportedVersion { version: "HTTP/2".into() }
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err(),
+            ProtocolError::MalformedHeader { position: 1 }
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err(),
+            ProtocolError::InvalidContentLength
+        );
+        assert_eq!(parse(b"POST / HTTP/1.1\r\n\r\n").unwrap_err(), ProtocolError::MissingContentLength);
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = HttpLimits { max_line_bytes: 32, max_headers: 2, max_body_bytes: 8, max_stall_reads: 4 };
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64));
+        assert_eq!(
+            read_request(&mut long_line.as_bytes(), &limits).unwrap_err(),
+            ProtocolError::LineTooLong { max: 32 }
+        );
+        let many = b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert_eq!(read_request(&mut &many[..], &limits).unwrap_err(), ProtocolError::TooManyHeaders { max: 2 });
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert_eq!(
+            read_request(&mut &big[..], &limits).unwrap_err(),
+            ProtocolError::BodyTooLarge { declared: 9, max: 8 }
+        );
+    }
+
+    #[test]
+    fn response_writer_and_reader_round_trip() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "application/json", b"{\"ok\":true}", true).unwrap();
+        let parsed = read_response(&mut &out[..], &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.reason, "OK");
+        assert_eq!(parsed.header("content-type"), Some("application/json"));
+        assert_eq!(parsed.text(), "{\"ok\":true}");
+        assert!(parsed.header("connection").is_none());
+
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "Too Many Requests", "text/plain", b"overloaded", false).unwrap();
+        let parsed = read_response(&mut &out[..], &HttpLimits::default()).unwrap();
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.header("connection"), Some("close"));
+        assert_eq!(parsed.text(), "overloaded");
+    }
+
+    #[test]
+    fn response_reader_rejects_garbage() {
+        let limits = HttpLimits::default();
+        assert_eq!(
+            read_response(&mut &b"SPDY/3 200 OK\r\n\r\n"[..], &limits).unwrap_err(),
+            ProtocolError::UnsupportedVersion { version: "SPDY/3".into() }
+        );
+        assert_eq!(
+            read_response(&mut &b"HTTP/1.1 abc OK\r\n\r\n"[..], &limits).unwrap_err(),
+            ProtocolError::MalformedRequestLine
+        );
+        assert_eq!(read_response(&mut &b""[..], &limits).unwrap_err(), ProtocolError::UnexpectedEof);
+    }
+}

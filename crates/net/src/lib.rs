@@ -1,0 +1,45 @@
+//! # naru-net
+//!
+//! The network front end: turns the [`naru-serve`](naru_serve) worker
+//! pool into an actual TCP service, using nothing beyond `std::net`.
+//!
+//! * [`http`] — a hand-rolled, bounded HTTP/1.1 parser (request line,
+//!   headers, keep-alive, `Content-Length` bodies) and response writer;
+//!   every malformed or oversized input is a typed
+//!   [`ProtocolError`](error::ProtocolError), never a panic,
+//! * [`wire`] — the line-oriented response format for served estimates
+//!   (the query side lives in [`naru_query::wire`], shared across
+//!   transports),
+//! * [`error`] — protocol errors and the exhaustive
+//!   [`ServeError`](naru_serve::ServeError) → HTTP status mapping
+//!   ([`status_for`](error::status_for)),
+//! * [`server`] — the [`NetServer`]: accept loop, handler pool, routing
+//!   (`POST /estimate`, `GET /metrics`, `GET /healthz`), the
+//!   `X-Naru-Priority` / `X-Naru-Timeout-Ms` header → lifecycle mapping,
+//!   disconnect-cancels-work polling, and graceful drain-then-shutdown.
+//!
+//! ```no_run
+//! use naru_core::{Engine, IndependentDensity};
+//! use naru_net::{NetConfig, NetServer};
+//! use naru_serve::{ServeConfig, Server};
+//!
+//! let engine = Engine::new(IndependentDensity::uniform(&[8, 8]), 10_000).with_samples(64);
+//! let serve = Server::start(engine, ServeConfig::default().with_workers(2)).unwrap();
+//! let net = NetServer::start(serve, NetConfig::default()).unwrap();
+//! println!("listening on http://{}", net.local_addr());
+//! // ... curl -d '0 <= 3' http://ADDR/estimate ...
+//! let metrics = net.shutdown();
+//! assert_eq!(metrics.accounted(), metrics.accepted);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use error::{status_for, ProtocolError};
+pub use http::{read_request, read_response, write_response, HttpLimits, ReadOutcome, Request, Response};
+pub use server::{NetConfig, NetServer};
+pub use wire::{decode_served, encode_served, ResponseParseError, WireEstimate};

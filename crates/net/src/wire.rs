@@ -1,0 +1,247 @@
+//! The line-oriented response wire format.
+//!
+//! The query side of the protocol lives in [`naru_query::wire`] (shared
+//! with any other transport); this module renders the *response* — a
+//! served [`Estimate`](naru_query::Estimate) plus its
+//! [`ServeStats`](naru_serve::ServeStats) — as `key value` lines, and
+//! parses it back on the client side:
+//!
+//! ```text
+//! selectivity 0.03125
+//! rows 312.5
+//! cardinality 313
+//! live_paths 64          ; omitted for closed-form answers
+//! provenance tier2_model
+//! wall_time_us 412
+//! queue_wait_us 38
+//! worker 1
+//! batch_size 2
+//! ```
+//!
+//! Like the query decoder, parsing is total: garbage becomes a typed
+//! [`ResponseParseError`], never a panic, and unknown keys are *ignored*
+//! so the format can grow fields without breaking old clients.
+
+use std::fmt;
+
+use naru_query::{Estimate, Provenance};
+use naru_serve::{ServeStats, ServedEstimate};
+use std::time::Duration;
+
+/// Renders a served estimate as the response body.
+pub fn encode_served(served: &ServedEstimate) -> String {
+    let e = &served.estimate;
+    let s = &served.stats;
+    let mut out = String::new();
+    out.push_str(&format!("selectivity {}\n", e.selectivity));
+    out.push_str(&format!("rows {}\n", e.estimated_rows));
+    out.push_str(&format!("cardinality {}\n", e.cardinality()));
+    if let Some(paths) = e.live_paths {
+        out.push_str(&format!("live_paths {paths}\n"));
+    }
+    out.push_str(&format!("provenance {}\n", e.provenance.label()));
+    out.push_str(&format!("wall_time_us {}\n", e.wall_time.as_micros()));
+    out.push_str(&format!("queue_wait_us {}\n", s.queue_wait.as_micros()));
+    out.push_str(&format!("worker {}\n", s.worker));
+    out.push_str(&format!("batch_size {}\n", s.batch_size));
+    out
+}
+
+/// A response body decoded back into its estimate + stats, client side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEstimate {
+    /// The estimate as reconstructed from the wire fields.
+    pub estimate: Estimate,
+    /// The scheduling stats as reconstructed from the wire fields.
+    pub stats: ServeStats,
+}
+
+/// Why a response body could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseParseError {
+    /// A line is not `key value`.
+    MalformedLine {
+        /// 1-based line number within the body.
+        line: usize,
+    },
+    /// A known key carries an unparseable value.
+    BadValue {
+        /// The key whose value failed to parse.
+        key: &'static str,
+        /// 1-based line number within the body.
+        line: usize,
+    },
+    /// A required key never appeared.
+    MissingKey {
+        /// The absent key.
+        key: &'static str,
+    },
+}
+
+impl fmt::Display for ResponseParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MalformedLine { line } => write!(f, "line {line}: expected `key value`"),
+            Self::BadValue { key, line } => write!(f, "line {line}: bad value for `{key}`"),
+            Self::MissingKey { key } => write!(f, "missing required key `{key}`"),
+        }
+    }
+}
+
+impl std::error::Error for ResponseParseError {}
+
+/// Decodes a response body. Unknown keys are skipped; blank lines and
+/// `#` comments are ignored.
+pub fn decode_served(body: &str) -> Result<WireEstimate, ResponseParseError> {
+    let mut selectivity: Option<f64> = None;
+    let mut rows: Option<f64> = None;
+    let mut live_paths: Option<usize> = None;
+    let mut provenance: Option<Provenance> = None;
+    let mut wall_time_us: Option<u64> = None;
+    let mut queue_wait_us: Option<u64> = None;
+    let mut worker: Option<usize> = None;
+    let mut batch_size: Option<usize> = None;
+
+    for (i, raw) in body.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) =
+            line.split_once(char::is_whitespace).ok_or(ResponseParseError::MalformedLine { line: line_no })?;
+        let value = value.trim();
+        match key {
+            "selectivity" => {
+                selectivity = Some(
+                    value.parse().map_err(|_| ResponseParseError::BadValue { key: "selectivity", line: line_no })?,
+                )
+            }
+            "rows" => {
+                rows = Some(value.parse().map_err(|_| ResponseParseError::BadValue { key: "rows", line: line_no })?)
+            }
+            "live_paths" => {
+                live_paths =
+                    Some(value.parse().map_err(|_| ResponseParseError::BadValue { key: "live_paths", line: line_no })?)
+            }
+            "provenance" => {
+                provenance = Some(
+                    Provenance::from_label(value)
+                        .ok_or(ResponseParseError::BadValue { key: "provenance", line: line_no })?,
+                )
+            }
+            "wall_time_us" => {
+                wall_time_us = Some(
+                    value.parse().map_err(|_| ResponseParseError::BadValue { key: "wall_time_us", line: line_no })?,
+                )
+            }
+            "queue_wait_us" => {
+                queue_wait_us = Some(
+                    value.parse().map_err(|_| ResponseParseError::BadValue { key: "queue_wait_us", line: line_no })?,
+                )
+            }
+            "worker" => {
+                worker = Some(value.parse().map_err(|_| ResponseParseError::BadValue { key: "worker", line: line_no })?)
+            }
+            "batch_size" => {
+                batch_size =
+                    Some(value.parse().map_err(|_| ResponseParseError::BadValue { key: "batch_size", line: line_no })?)
+            }
+            // `cardinality` is derived server-side; re-derived below.
+            _ => {}
+        }
+    }
+
+    let selectivity = selectivity.ok_or(ResponseParseError::MissingKey { key: "selectivity" })?;
+    let rows = rows.ok_or(ResponseParseError::MissingKey { key: "rows" })?;
+    let provenance = provenance.ok_or(ResponseParseError::MissingKey { key: "provenance" })?;
+    let wall_time_us = wall_time_us.ok_or(ResponseParseError::MissingKey { key: "wall_time_us" })?;
+    let queue_wait_us = queue_wait_us.ok_or(ResponseParseError::MissingKey { key: "queue_wait_us" })?;
+    let worker = worker.ok_or(ResponseParseError::MissingKey { key: "worker" })?;
+    let batch_size = batch_size.ok_or(ResponseParseError::MissingKey { key: "batch_size" })?;
+
+    Ok(WireEstimate {
+        estimate: Estimate {
+            selectivity,
+            estimated_rows: rows,
+            live_paths,
+            wall_time: Duration::from_micros(wall_time_us),
+            provenance,
+        },
+        stats: ServeStats {
+            queue_wait: Duration::from_micros(queue_wait_us),
+            execution: Duration::from_micros(wall_time_us),
+            worker,
+            batch_size,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(live_paths: Option<usize>) -> ServedEstimate {
+        let estimate = match live_paths {
+            Some(paths) => Estimate::sampled(0.25, 1000, paths, Duration::from_micros(412)),
+            None => Estimate::closed_form(0.25, 1000, Duration::from_micros(412)),
+        };
+        ServedEstimate {
+            estimate: estimate.with_provenance(Provenance::Tier2Model),
+            stats: ServeStats {
+                queue_wait: Duration::from_micros(38),
+                execution: Duration::from_micros(412),
+                worker: 1,
+                batch_size: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_then_decode_round_trips() {
+        for live in [Some(64), None] {
+            let served = sample(live);
+            let body = encode_served(&served);
+            let decoded = decode_served(&body).unwrap();
+            assert_eq!(decoded.estimate, served.estimate, "body:\n{body}");
+            assert_eq!(decoded.stats, served.stats);
+        }
+    }
+
+    #[test]
+    fn encoded_body_is_line_oriented_and_self_describing() {
+        let body = encode_served(&sample(Some(64)));
+        assert!(body.contains("selectivity 0.25\n"));
+        assert!(body.contains("cardinality 250\n"));
+        assert!(body.contains("live_paths 64\n"));
+        assert!(body.contains("provenance tier2_model\n"));
+        assert!(body.contains("worker 1\n"));
+        let no_paths = encode_served(&sample(None));
+        assert!(!no_paths.contains("live_paths"), "closed-form answers omit live_paths");
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored_for_forward_compatibility() {
+        let mut body = encode_served(&sample(None));
+        body.push_str("some_future_field 12\n# a comment\n\n");
+        assert!(decode_served(&body).is_ok());
+    }
+
+    #[test]
+    fn garbage_bodies_surface_typed_errors() {
+        assert_eq!(decode_served("justoneword"), Err(ResponseParseError::MalformedLine { line: 1 }));
+        assert_eq!(
+            decode_served("selectivity notafloat"),
+            Err(ResponseParseError::BadValue { key: "selectivity", line: 1 })
+        );
+        assert_eq!(
+            decode_served("provenance tier9_quantum"),
+            Err(ResponseParseError::BadValue { key: "provenance", line: 1 })
+        );
+        assert_eq!(decode_served(""), Err(ResponseParseError::MissingKey { key: "selectivity" }));
+        let body = encode_served(&sample(None));
+        let without_worker: String =
+            body.lines().filter(|l| !l.starts_with("worker")).map(|l| format!("{l}\n")).collect();
+        assert_eq!(decode_served(&without_worker), Err(ResponseParseError::MissingKey { key: "worker" }));
+    }
+}

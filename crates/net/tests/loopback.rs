@@ -1,0 +1,354 @@
+//! Loopback integration tests: a real [`NetServer`] on 127.0.0.1, driven
+//! by raw `TcpStream` clients, proving the request → lifecycle mapping
+//! end to end:
+//!
+//! * `X-Naru-Timeout-Ms` becomes a [`Deadline`](naru_serve::Deadline) and
+//!   an expired request answers **504** with `shed` incremented;
+//! * a client that disconnects mid-request has its ticket cancelled —
+//!   `cancelled` is incremented and the request is **never** served;
+//! * after a mixed workload (success, failure, shed, cancel, rejected
+//!   garbage) the accounting identity
+//!   `served + failed + shed + cancelled == accepted` holds exactly.
+//!
+//! Worker progress is gated by a blocking density (the same trick the
+//! serve-layer suite uses), so none of these tests race wall-clock timing
+//! for correctness.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use naru_core::{ConditionalDensity, Engine, IndependentDensity};
+use naru_net::{read_response, HttpLimits, NetConfig, NetServer, Response};
+use naru_serve::{ServeConfig, Server};
+use naru_tensor::Matrix;
+
+// --- gated density: holds the worker mid-estimate until told to go ------
+
+#[derive(Default)]
+struct GateState {
+    open: bool,
+    entered: usize,
+}
+
+#[derive(Default)]
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn enter(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.entered += 1;
+        self.cv.notify_all();
+        while !state.open {
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        self.state.lock().unwrap().open = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_entered(&self, n: usize) {
+        let mut state = self.state.lock().unwrap();
+        while state.entered < n {
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+}
+
+struct GatedDensity {
+    inner: IndependentDensity,
+    gate: Arc<Gate>,
+}
+
+impl GatedDensity {
+    fn engine(gate: Arc<Gate>) -> Engine {
+        let inner = IndependentDensity::uniform(&[6, 4]);
+        Engine::new(Self { inner, gate }, 1_000).with_samples(16)
+    }
+}
+
+impl ConditionalDensity for GatedDensity {
+    fn num_columns(&self) -> usize {
+        self.inner.num_columns()
+    }
+
+    fn domain_sizes(&self) -> &[usize] {
+        self.inner.domain_sizes()
+    }
+
+    fn conditionals(&self, tuples: &[Vec<u32>], col: usize) -> Matrix {
+        if col == 0 {
+            self.gate.enter();
+        }
+        self.inner.conditionals(tuples, col)
+    }
+}
+
+// --- a tiny blocking HTTP client over one keep-alive connection ----------
+
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &NetServer) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect to loopback server");
+        stream.set_read_timeout(Some(Duration::from_millis(250))).unwrap();
+        Client { stream }
+    }
+
+    fn send(&mut self, request: &str) {
+        self.stream.write_all(request.as_bytes()).expect("write request");
+    }
+
+    /// Reads one response; panics (failing the test) on transport errors.
+    fn read(&mut self) -> Response {
+        // Generous stall budget: 250ms timeout x 240 = 60s upper bound
+        // before a hung test fails instead of wedging the suite.
+        let limits = HttpLimits { max_stall_reads: 240, ..HttpLimits::default() };
+        read_response(&mut self.stream, &limits).expect("read response")
+    }
+
+    fn request(&mut self, request: &str) -> Response {
+        self.send(request);
+        self.read()
+    }
+}
+
+fn get(path: &str) -> String {
+    format!("GET {path} HTTP/1.1\r\n\r\n")
+}
+
+fn post_estimate(body: &str, headers: &[(&str, &str)]) -> String {
+    let mut req = format!("POST /estimate HTTP/1.1\r\nContent-Length: {}\r\n", body.len());
+    for (name, value) in headers {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    req
+}
+
+/// Pulls an integer counter out of the `/metrics` JSON body.
+fn json_field(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\": ");
+    let start = body.find(&needle).unwrap_or_else(|| panic!("field {field} missing in {body}")) + needle.len();
+    body[start..].chars().take_while(|c| c.is_ascii_digit()).collect::<String>().parse().unwrap()
+}
+
+/// Polls `/metrics` until `pred` holds (or 10s pass).
+fn wait_for_metrics(client: &mut Client, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let response = client.request(&get("/metrics"));
+        assert_eq!(response.status, 200);
+        let body = response.text();
+        if pred(&body) {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}; last metrics:\n{body}");
+        #[allow(clippy::disallowed_methods)] // test-only poll beat between metrics reads
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn fast_server(workers: usize) -> NetServer {
+    let engine = Engine::new(IndependentDensity::uniform(&[8, 4]), 1_000).with_samples(64);
+    let serve = Server::start(engine, ServeConfig::default().with_workers(workers).with_max_batch(2)).unwrap();
+    NetServer::start(serve, NetConfig::default().with_handler_threads(4)).unwrap()
+}
+
+fn gated_server(gate: Arc<Gate>) -> NetServer {
+    let serve =
+        Server::start(GatedDensity::engine(gate), ServeConfig::default().with_workers(1).with_max_batch(1)).unwrap();
+    NetServer::start(serve, NetConfig::default().with_handler_threads(6)).unwrap()
+}
+
+// --- tests ---------------------------------------------------------------
+
+#[test]
+fn routes_estimate_and_error_mapping_over_one_keepalive_connection() {
+    let server = fast_server(2);
+    let mut client = Client::connect(&server);
+
+    // Liveness.
+    let health = client.request(&get("/healthz"));
+    assert_eq!((health.status, health.text().as_str()), (200, "ok\n"));
+
+    // A served estimate, decoded from the response wire format.
+    let ok = client.request(&post_estimate("0 <= 3\n", &[]));
+    assert_eq!(ok.status, 200, "body: {}", ok.text());
+    let decoded = naru_net::decode_served(&ok.text()).expect("decodable response body");
+    assert!(decoded.estimate.selectivity > 0.0 && decoded.estimate.selectivity <= 1.0);
+    assert_eq!(decoded.stats.batch_size, 1);
+
+    // Priority lane header is accepted.
+    let batch = client.request(&post_estimate("1 = 2\n", &[("X-Naru-Priority", "batch")]));
+    assert_eq!(batch.status, 200, "body: {}", batch.text());
+
+    // Metrics render the shared JSON and count both served requests.
+    let metrics = client.request(&get("/metrics"));
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.header("content-type"), Some("application/json"));
+    let body = metrics.text();
+    assert_eq!(json_field(&body, "served"), 2);
+    assert_eq!(json_field(&body, "accepted"), 2);
+
+    // Error mapping, all over the same keep-alive connection:
+    // unknown path, wrong method, malformed body, bad header, and a
+    // query the estimator rejects.
+    assert_eq!(client.request(&get("/nope")).status, 404);
+    assert_eq!(client.request("DELETE /estimate HTTP/1.1\r\n\r\n").status, 405);
+    let bad_wire = client.request(&post_estimate("0 ~~ 1\n", &[]));
+    assert_eq!(bad_wire.status, 400);
+    assert!(bad_wire.text().contains("line 1"), "decode errors carry line numbers: {}", bad_wire.text());
+    assert_eq!(client.request(&post_estimate("0 = 1\n", &[("X-Naru-Priority", "urgent")])).status, 400);
+    assert_eq!(client.request(&post_estimate("0 = 1\n", &[("X-Naru-Timeout-Ms", "soon")])).status, 400);
+    let out_of_range = client.request(&post_estimate("9 = 1\n", &[]));
+    assert_eq!(out_of_range.status, 422, "estimator rejections map to 422: {}", out_of_range.text());
+
+    let final_metrics = server.shutdown();
+    assert_eq!(final_metrics.served, 2);
+    assert_eq!(final_metrics.failed, 1);
+    assert_eq!(final_metrics.accounted(), final_metrics.accepted);
+}
+
+#[test]
+fn timeout_header_maps_to_504_and_sheds() {
+    let gate = Arc::new(Gate::default());
+    let server = gated_server(Arc::clone(&gate));
+
+    // Occupy the single worker; the gate confirms it is mid-estimate.
+    let mut blocker = Client::connect(&server);
+    blocker.send(&post_estimate("0 = 1\n", &[]));
+    gate.wait_entered(1);
+
+    // A deadline request queues behind it and expires while queued.
+    let mut hurried = Client::connect(&server);
+    hurried.send(&post_estimate("0 = 2\n", &[("X-Naru-Timeout-Ms", "1")]));
+    let mut observer = Client::connect(&server);
+    wait_for_metrics(&mut observer, "deadline request accepted", |m| json_field(m, "accepted") == 2);
+    #[allow(clippy::disallowed_methods)] // test-only beat: let the 1ms deadline lapse
+    std::thread::sleep(Duration::from_millis(10));
+
+    gate.open();
+
+    let blocked = blocker.read();
+    assert_eq!(blocked.status, 200, "body: {}", blocked.text());
+    let shed = hurried.read();
+    assert_eq!(shed.status, 504, "expired deadline answers 504: {}", shed.text());
+    assert!(shed.text().contains("deadline"), "body names the cause: {}", shed.text());
+
+    let metrics = wait_for_metrics(&mut observer, "shed counted", |m| json_field(m, "shed") == 1);
+    assert_eq!(json_field(&metrics, "served"), 1);
+
+    let final_metrics = server.shutdown();
+    assert_eq!((final_metrics.served, final_metrics.shed), (1, 1));
+    assert_eq!(final_metrics.accounted(), final_metrics.accepted);
+}
+
+#[test]
+fn client_disconnect_cancels_queued_work() {
+    let gate = Arc::new(Gate::default());
+    let server = gated_server(Arc::clone(&gate));
+
+    let mut blocker = Client::connect(&server);
+    blocker.send(&post_estimate("0 = 1\n", &[]));
+    gate.wait_entered(1);
+
+    // A second request queues, then its client vanishes.
+    let mut doomed = Client::connect(&server);
+    doomed.send(&post_estimate("0 = 2\n", &[]));
+    let mut observer = Client::connect(&server);
+    wait_for_metrics(&mut observer, "doomed request accepted", |m| json_field(m, "accepted") == 2);
+    drop(doomed);
+
+    // Give the handler a few poll ticks to notice the hangup and cancel
+    // the ticket (poll interval is 25ms; this is not load-bearing for
+    // correctness, only for making the cancel happen *before* dequeue so
+    // the worker provably skips the work).
+    #[allow(clippy::disallowed_methods)] // test-only: 6x the 25ms disconnect-poll interval, so the cancel lands first
+    std::thread::sleep(Duration::from_millis(150));
+    gate.open();
+
+    assert_eq!(blocker.read().status, 200);
+    let metrics = wait_for_metrics(&mut observer, "cancel counted", |m| json_field(m, "cancelled") == 1);
+    assert_eq!(json_field(&metrics, "served"), 1, "the abandoned request is never served");
+
+    let final_metrics = server.shutdown();
+    assert_eq!((final_metrics.served, final_metrics.cancelled), (1, 1));
+    assert_eq!(final_metrics.accounted(), final_metrics.accepted);
+}
+
+#[test]
+fn mixed_workload_preserves_the_accounting_identity() {
+    let gate = Arc::new(Gate::default());
+    let server = gated_server(Arc::clone(&gate));
+
+    // 1: success — occupies the worker.
+    let mut winner = Client::connect(&server);
+    winner.send(&post_estimate("0 = 1\n", &[]));
+    gate.wait_entered(1);
+
+    // 2: shed — queues with an already-hopeless deadline.
+    let mut hurried = Client::connect(&server);
+    hurried.send(&post_estimate("0 = 2\n", &[("X-Naru-Timeout-Ms", "1")]));
+
+    // 3: cancelled — queues, then hangs up.
+    let mut doomed = Client::connect(&server);
+    doomed.send(&post_estimate("0 = 3\n", &[]));
+
+    // 4: failed — accepted, but the estimator rejects the query.
+    let mut rejected = Client::connect(&server);
+    rejected.send(&post_estimate("9 = 1\n", &[]));
+
+    // Rejected-at-the-edge traffic that must NOT count as accepted.
+    let mut noise = Client::connect(&server);
+    assert_eq!(noise.request(&post_estimate("garbage ~ here\n", &[])).status, 400);
+    assert_eq!(noise.request(&get("/definitely/not/a/route")).status, 404);
+
+    let mut observer = Client::connect(&server);
+    wait_for_metrics(&mut observer, "four requests accepted", |m| json_field(m, "accepted") == 4);
+    drop(doomed);
+    #[allow(clippy::disallowed_methods)] // test-only: 6x the 25ms disconnect-poll interval, so the cancel lands first
+    std::thread::sleep(Duration::from_millis(150));
+    gate.open();
+
+    assert_eq!(winner.read().status, 200);
+    assert_eq!(hurried.read().status, 504);
+    assert_eq!(rejected.read().status, 422);
+
+    wait_for_metrics(&mut observer, "all four accounted", |m| json_field(m, "accounted") == json_field(m, "accepted"));
+
+    let m = server.shutdown();
+    assert_eq!(
+        (m.served, m.failed, m.shed, m.cancelled),
+        (1, 1, 1, 1),
+        "each lifecycle exit taken exactly once: {m:?}"
+    );
+    assert_eq!(m.accepted, 4);
+    assert_eq!(m.accounted(), m.accepted, "served + failed + shed + cancelled == accepted");
+}
+
+#[test]
+fn graceful_shutdown_drains_and_drop_is_equivalent() {
+    let server = fast_server(1);
+    let mut client = Client::connect(&server);
+    assert_eq!(client.request(&post_estimate("0 <= 3\n", &[])).status, 200);
+    let metrics = server.shutdown();
+    assert_eq!(metrics.served, 1);
+    assert_eq!(metrics.accounted(), metrics.accepted);
+
+    // Dropping without an explicit shutdown takes the same drain path
+    // (threads joined, serve queue drained) without hanging.
+    let server = fast_server(1);
+    let mut client = Client::connect(&server);
+    assert_eq!(client.request(&post_estimate("1 = 1\n", &[])).status, 200);
+    drop(server);
+}

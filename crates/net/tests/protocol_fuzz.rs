@@ -1,0 +1,148 @@
+//! Fuzz-style robustness tests: truncated, oversized, and garbage bytes
+//! fed to the HTTP parser and both wire-format decoders must produce
+//! typed errors (or valid parses), never panics. The parser code itself
+//! also runs under naru-lint's panic/index rule, so this suite is the
+//! dynamic half of the no-panics story.
+
+use naru_net::{read_request, read_response, HttpLimits, ProtocolError, ReadOutcome};
+use naru_query::wire::{decode_query, decode_query_with, encode_query, WireLimits};
+use naru_query::{ColumnConstraint, Predicate, Query};
+use proptest::prelude::*;
+
+fn lenient_limits() -> HttpLimits {
+    HttpLimits::default()
+}
+
+fn byte_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255u8, 0..512)
+}
+
+/// Printable-ish text with protocol punctuation over-represented, so the
+/// generator actually exercises parser branches instead of bailing on the
+/// first byte.
+fn texty_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(b' '),
+            Just(b'\r'),
+            Just(b'\n'),
+            Just(b':'),
+            Just(b','),
+            Just(b'='),
+            Just(b'<'),
+            Just(b'>'),
+            Just(b'/'),
+            0u8..=255u8,
+            b'0'..=b'9',
+            b'a'..=b'z',
+        ],
+        0..512,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The HTTP request parser is total over arbitrary bytes.
+    #[test]
+    fn http_parser_never_panics_on_garbage(bytes in byte_strategy()) {
+        let _ = read_request(&mut bytes.as_slice(), &lenient_limits());
+    }
+
+    /// ... and over protocol-shaped garbage in particular.
+    #[test]
+    fn http_parser_never_panics_on_texty_garbage(bytes in texty_strategy()) {
+        let _ = read_request(&mut bytes.as_slice(), &lenient_limits());
+    }
+
+    /// The client-side response parser is equally total.
+    #[test]
+    fn http_response_parser_never_panics(bytes in texty_strategy()) {
+        let _ = read_response(&mut bytes.as_slice(), &lenient_limits());
+    }
+
+    /// Truncating a valid request at any byte yields `Closed` (empty),
+    /// the full parse (complete), or a typed error — never a panic, and
+    /// never a bogus `Request`.
+    #[test]
+    fn truncated_requests_yield_typed_errors(cut in 0usize..=200) {
+        let full: &[u8] = b"POST /estimate HTTP/1.1\r\nHost: x\r\nX-Naru-Priority: batch\r\nContent-Length: 6\r\n\r\n0 <= 3";
+        let cut = cut.min(full.len());
+        let truncated = &full[..cut];
+        match read_request(&mut &truncated[..], &lenient_limits()) {
+            Ok(ReadOutcome::Closed) => prop_assert_eq!(cut, 0),
+            Ok(ReadOutcome::Request(_)) => prop_assert_eq!(cut, full.len()),
+            Ok(ReadOutcome::Idle) => prop_assert!(false, "byte slices cannot time out"),
+            Err(e) => prop_assert_eq!(e, ProtocolError::UnexpectedEof),
+        }
+    }
+
+    /// Oversized inputs hit the caps with the right typed error.
+    #[test]
+    fn oversized_lines_and_bodies_are_rejected(extra in 1usize..200) {
+        let limits = HttpLimits { max_line_bytes: 64, max_headers: 4, max_body_bytes: 32, max_stall_reads: 4 };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64 + extra));
+        prop_assert_eq!(
+            read_request(&mut long.as_bytes(), &limits).unwrap_err(),
+            ProtocolError::LineTooLong { max: 64 }
+        );
+        let big = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 32 + extra);
+        prop_assert_eq!(
+            read_request(&mut big.as_bytes(), &limits).unwrap_err(),
+            ProtocolError::BodyTooLarge { declared: 32 + extra, max: 32 }
+        );
+        let headers: String = (0..=4).map(|i| format!("h{i}: v\r\n")).collect();
+        let many = format!("GET / HTTP/1.1\r\n{headers}\r\n");
+        prop_assert_eq!(
+            read_request(&mut many.as_bytes(), &limits).unwrap_err(),
+            ProtocolError::TooManyHeaders { max: 4 }
+        );
+    }
+
+    /// The query decoder is total over garbage text.
+    #[test]
+    fn query_decoder_never_panics(bytes in texty_strategy()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = decode_query(&text);
+        let _ = decode_query_with(&text, WireLimits { max_predicates: 4, max_set_ids: 4 });
+    }
+
+    /// The response-body decoder is total over garbage text.
+    #[test]
+    fn response_decoder_never_panics(bytes in texty_strategy()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = naru_net::decode_served(&text);
+    }
+
+    /// Any normalized query round-trips losslessly through the wire text.
+    #[test]
+    fn queries_roundtrip_through_the_wire(predicates in proptest::collection::vec(predicate_strategy(), 0..8)) {
+        let query = Query::new(predicates);
+        let encoded = encode_query(&query);
+        let decoded = decode_query(&encoded).unwrap();
+        prop_assert!(decoded.predicates() == query.predicates(), "wire text:\n{}", encoded);
+    }
+}
+
+/// Predicates in the normalized form the encoder emits (sets sorted and
+/// deduped), covering every `ColumnConstraint` shape.
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    let constraint = prop_oneof![
+        Just(ColumnConstraint::Any),
+        Just(ColumnConstraint::Empty),
+        (0u32..40, 0u32..40).prop_map(|(a, b)| ColumnConstraint::Range { lo: a.min(b), hi: a.max(b) }),
+        (0u32..40).prop_map(|lo| ColumnConstraint::Range { lo, hi: u32::MAX }),
+        proptest::collection::vec(0u32..40, 1..6).prop_map(|mut ids| {
+            ids.sort_unstable();
+            ids.dedup();
+            ColumnConstraint::Set(ids)
+        }),
+        (0u32..40).prop_map(ColumnConstraint::Exclude),
+        proptest::collection::vec(0u32..40, 1..6).prop_map(|mut ids| {
+            ids.sort_unstable();
+            ids.dedup();
+            ColumnConstraint::ExcludeSet(ids)
+        }),
+    ];
+    (0usize..12, constraint).prop_map(|(column, constraint)| Predicate { column, constraint })
+}

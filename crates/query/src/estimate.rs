@@ -47,6 +47,19 @@ impl Provenance {
             Provenance::Degraded => "degraded",
         }
     }
+
+    /// Parses the label written by [`Provenance::label`] (the form clients
+    /// receive on the wire).
+    pub fn from_label(label: &str) -> Option<Provenance> {
+        match label {
+            "tier0_exact" => Some(Provenance::Tier0Exact),
+            "tier1_sketch" => Some(Provenance::Tier1Sketch),
+            "tier2_model" => Some(Provenance::Tier2Model),
+            "cache_hit" => Some(Provenance::CacheHit),
+            "degraded" => Some(Provenance::Degraded),
+            _ => None,
+        }
+    }
 }
 
 /// The outcome of one successful selectivity estimation.

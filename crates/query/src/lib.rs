@@ -15,7 +15,9 @@
 //! * [`executor`] — exact selectivity by scanning (ground truth),
 //! * [`workload`] — the §6.1.3 query generator (in-distribution and OOD),
 //! * [`metrics`] — the multiplicative error (q-error) and the
-//!   median/95th/99th/max reporting used by the paper's tables.
+//!   median/95th/99th/max reporting used by the paper's tables,
+//! * [`wire`] — the line-oriented text encoding of queries spoken by the
+//!   network front end (`naru-net`), with typed decode errors.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +27,7 @@ pub mod key;
 pub mod metrics;
 pub mod predicate;
 pub mod query;
+pub mod wire;
 pub mod workload;
 
 pub use estimate::{Estimate, EstimateError, Provenance};
@@ -33,4 +36,5 @@ pub use key::QueryKey;
 pub use metrics::{q_error, q_error_from_estimate, q_error_from_selectivity, ErrorQuantiles, SelectivityBucket};
 pub use predicate::{ColumnConstraint, Op, Predicate};
 pub use query::{Query, SelectivityEstimator};
+pub use wire::{decode_query, decode_query_with, encode_predicate, encode_query, WireError, WireLimits};
 pub use workload::{generate_query, generate_workload, split_by_bucket, LabeledQuery, LiteralSource, WorkloadConfig};

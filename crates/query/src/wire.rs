@@ -1,0 +1,366 @@
+//! The line-oriented wire format for queries.
+//!
+//! The network front end (`naru-net`) speaks a compact, human-typeable
+//! text format: one predicate per line, `<column> <op> <literal>` with
+//! whitespace-separated tokens over dictionary ids. An empty body is the
+//! match-everything query. The grammar covers every [`ColumnConstraint`]
+//! shape, so any compiled query round-trips losslessly:
+//!
+//! ```text
+//! line      := column SP op
+//! op        := "=" id | "<>" id | "!=" id        ; equality / exclusion
+//!            | "<" id | "<=" id | ">" id | ">=" id
+//!            | "between" id id                    ; inclusive range
+//!            | "in" id ("," id)*                  ; explicit set
+//!            | "notin" id ("," id)*               ; everything except a set
+//!            | "any"                              ; explicit wildcard
+//!            | "empty"                            ; unsatisfiable predicate
+//! column    := usize                              ; 0-based column index
+//! id        := u32                                ; dictionary id
+//! ```
+//!
+//! Decoding is **bounded and total**: malformed lines surface as typed
+//! [`WireError`]s carrying the 1-based line number, never as panics, and
+//! [`WireLimits`] caps the predicate count and `in`/`notin` set sizes so a
+//! hostile peer cannot make the decoder allocate unboundedly.
+
+use std::fmt;
+
+use crate::predicate::{ColumnConstraint, Op, Predicate};
+use crate::query::Query;
+
+/// Decoder caps; both default to generous production values.
+#[derive(Debug, Clone, Copy)]
+pub struct WireLimits {
+    /// Most predicate lines one query may carry.
+    pub max_predicates: usize,
+    /// Most ids one `in`/`notin` set may enumerate.
+    pub max_set_ids: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        Self { max_predicates: 256, max_set_ids: 4096 }
+    }
+}
+
+/// Why a wire-format query failed to decode. Every variant carries the
+/// 1-based line number of the offending predicate line (except the
+/// whole-query size cap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The line does not have the `<column> <op> [args]` shape.
+    MissingField {
+        /// 1-based line number within the query body.
+        line: usize,
+    },
+    /// The column token is not a non-negative integer.
+    BadColumn {
+        /// 1-based line number within the query body.
+        line: usize,
+    },
+    /// The operator token is not part of the grammar.
+    UnknownOp {
+        /// 1-based line number within the query body.
+        line: usize,
+        /// The unrecognized operator token (truncated to 32 chars).
+        op: String,
+    },
+    /// A literal token is not a `u32` dictionary id.
+    BadLiteral {
+        /// 1-based line number within the query body.
+        line: usize,
+    },
+    /// The line carries more tokens than its operator consumes.
+    TrailingTokens {
+        /// 1-based line number within the query body.
+        line: usize,
+    },
+    /// An `in`/`notin` set enumerates more ids than the decoder allows.
+    SetTooLarge {
+        /// 1-based line number within the query body.
+        line: usize,
+        /// Number of ids the line tried to enumerate.
+        len: usize,
+        /// The configured cap ([`WireLimits::max_set_ids`]).
+        max: usize,
+    },
+    /// The body carries more predicate lines than the decoder allows.
+    TooManyPredicates {
+        /// Number of predicate lines in the body.
+        count: usize,
+        /// The configured cap ([`WireLimits::max_predicates`]).
+        max: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingField { line } => {
+                write!(f, "line {line}: expected `<column> <op> [literal]`")
+            }
+            Self::BadColumn { line } => {
+                write!(f, "line {line}: column must be a non-negative integer")
+            }
+            Self::UnknownOp { line, op } => write!(
+                f,
+                "line {line}: unknown operator `{op}` (expected =, <>, !=, <, <=, >, >=, between, in, notin, any, empty)"
+            ),
+            Self::BadLiteral { line } => {
+                write!(f, "line {line}: literal must be a u32 dictionary id")
+            }
+            Self::TrailingTokens { line } => {
+                write!(f, "line {line}: unexpected tokens after the literal")
+            }
+            Self::SetTooLarge { line, len, max } => {
+                write!(f, "line {line}: set of {len} ids exceeds the {max}-id limit")
+            }
+            Self::TooManyPredicates { count, max } => {
+                write!(f, "{count} predicate lines exceed the {max}-predicate limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Op {
+    /// Parses an operator symbol as written on the wire (the inverse of
+    /// [`Op::symbol`], plus the common `!=` alias for `<>`).
+    pub fn from_symbol(symbol: &str) -> Option<Op> {
+        match symbol {
+            "=" => Some(Op::Eq),
+            "<>" | "!=" => Some(Op::Neq),
+            "<" => Some(Op::Lt),
+            "<=" => Some(Op::Le),
+            ">" => Some(Op::Gt),
+            ">=" => Some(Op::Ge),
+            _ => None,
+        }
+    }
+}
+
+/// Renders one predicate as its wire line (no trailing newline).
+///
+/// Every [`ColumnConstraint`] shape has a line form, so encoding is total;
+/// [`decode_query`] maps each line back to a predicate with exactly the
+/// same constraint (see the round-trip tests).
+pub fn encode_predicate(predicate: &Predicate) -> String {
+    let col = predicate.column;
+    match &predicate.constraint {
+        ColumnConstraint::Any => format!("{col} any"),
+        ColumnConstraint::Empty => format!("{col} empty"),
+        ColumnConstraint::Range { lo, hi } if lo == hi => format!("{col} = {lo}"),
+        ColumnConstraint::Range { lo, hi } if *hi == u32::MAX => format!("{col} >= {lo}"),
+        ColumnConstraint::Range { lo: 0, hi } => format!("{col} <= {hi}"),
+        ColumnConstraint::Range { lo, hi } => format!("{col} between {lo} {hi}"),
+        ColumnConstraint::Set(ids) => format!("{col} in {}", join_ids(ids)),
+        ColumnConstraint::Exclude(id) => format!("{col} <> {id}"),
+        ColumnConstraint::ExcludeSet(ids) => format!("{col} notin {}", join_ids(ids)),
+    }
+}
+
+/// Renders a whole query, one predicate line per predicate, each terminated
+/// by `\n`. The match-everything query encodes as the empty string.
+pub fn encode_query(query: &Query) -> String {
+    let mut out = String::new();
+    for predicate in query.predicates() {
+        out.push_str(&encode_predicate(predicate));
+        out.push('\n');
+    }
+    out
+}
+
+fn join_ids(ids: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out
+}
+
+/// Decodes a wire body into a [`Query`] under the default [`WireLimits`].
+pub fn decode_query(body: &str) -> Result<Query, WireError> {
+    decode_query_with(body, WireLimits::default())
+}
+
+/// Decodes a wire body into a [`Query`], enforcing explicit limits. Blank
+/// lines and `#`-prefixed comment lines are skipped; everything else must
+/// be a predicate line of the grammar.
+pub fn decode_query_with(body: &str, limits: WireLimits) -> Result<Query, WireError> {
+    let mut predicates = Vec::new();
+    let mut line_no = 0usize;
+    for raw in body.lines() {
+        line_no += 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if predicates.len() >= limits.max_predicates {
+            return Err(WireError::TooManyPredicates { count: predicates.len() + 1, max: limits.max_predicates });
+        }
+        predicates.push(decode_line(line, line_no, limits)?);
+    }
+    Ok(Query::new(predicates))
+}
+
+fn decode_line(line: &str, line_no: usize, limits: WireLimits) -> Result<Predicate, WireError> {
+    let mut tokens = line.split_whitespace();
+    let column: usize = tokens
+        .next()
+        .ok_or(WireError::MissingField { line: line_no })?
+        .parse()
+        .map_err(|_| WireError::BadColumn { line: line_no })?;
+    let op = tokens.next().ok_or(WireError::MissingField { line: line_no })?;
+
+    let parse_id = |tokens: &mut std::str::SplitWhitespace<'_>| -> Result<u32, WireError> {
+        tokens
+            .next()
+            .ok_or(WireError::MissingField { line: line_no })?
+            .parse::<u32>()
+            .map_err(|_| WireError::BadLiteral { line: line_no })
+    };
+
+    let predicate = match op {
+        "any" => Predicate { column, constraint: ColumnConstraint::Any },
+        "empty" => Predicate { column, constraint: ColumnConstraint::Empty },
+        "between" => {
+            let lo = parse_id(&mut tokens)?;
+            let hi = parse_id(&mut tokens)?;
+            Predicate::between(column, lo, hi)
+        }
+        "in" | "notin" => {
+            let ids = parse_id_set(tokens.next().ok_or(WireError::MissingField { line: line_no })?, line_no, limits)?;
+            if op == "in" {
+                Predicate::in_set(column, ids)
+            } else {
+                let mut ids = ids;
+                ids.sort_unstable();
+                ids.dedup();
+                Predicate { column, constraint: ColumnConstraint::ExcludeSet(ids) }
+            }
+        }
+        other => match Op::from_symbol(other) {
+            Some(op) => {
+                let id = parse_id(&mut tokens)?;
+                Predicate::from_op(column, op, id)
+            }
+            None => {
+                return Err(WireError::UnknownOp { line: line_no, op: other.chars().take(32).collect() });
+            }
+        },
+    };
+    if tokens.next().is_some() {
+        return Err(WireError::TrailingTokens { line: line_no });
+    }
+    Ok(predicate)
+}
+
+fn parse_id_set(csv: &str, line_no: usize, limits: WireLimits) -> Result<Vec<u32>, WireError> {
+    let len = csv.split(',').count();
+    if len > limits.max_set_ids {
+        return Err(WireError::SetTooLarge { line: line_no, len, max: limits.max_set_ids });
+    }
+    csv.split(',')
+        .map(|token| token.trim().parse::<u32>().map_err(|_| WireError::BadLiteral { line: line_no }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_lines_decode_to_the_expected_predicates() {
+        let q = decode_query("0 = 5\n1 <= 9\n2 >= 3\n3 <> 7\n").unwrap();
+        assert_eq!(
+            q.predicates(),
+            &[Predicate::eq(0, 5), Predicate::le(1, 9), Predicate::ge(2, 3), Predicate::neq(3, 7)]
+        );
+        // != is accepted as an alias for <>.
+        assert_eq!(decode_query("3 != 7").unwrap().predicates(), &[Predicate::neq(3, 7)]);
+        // Strict comparisons go through the same constructors as the API.
+        assert_eq!(decode_query("0 < 4").unwrap().predicates(), &[Predicate::lt(0, 4)]);
+        assert_eq!(decode_query("0 > 4").unwrap().predicates(), &[Predicate::gt(0, 4)]);
+    }
+
+    #[test]
+    fn sets_ranges_and_wildcards_decode() {
+        let q = decode_query("0 in 5,1,5,3\n1 between 2 9\n2 any\n3 empty\n4 notin 8,2\n").unwrap();
+        assert_eq!(q.predicates()[0].constraint, ColumnConstraint::Set(vec![1, 3, 5]));
+        assert_eq!(q.predicates()[1].constraint, ColumnConstraint::Range { lo: 2, hi: 9 });
+        assert_eq!(q.predicates()[2].constraint, ColumnConstraint::Any);
+        assert_eq!(q.predicates()[3].constraint, ColumnConstraint::Empty);
+        assert_eq!(q.predicates()[4].constraint, ColumnConstraint::ExcludeSet(vec![2, 8]));
+    }
+
+    #[test]
+    fn blank_lines_and_comments_are_skipped() {
+        let q = decode_query("\n# a comment\n  0 = 1  \n\n").unwrap();
+        assert_eq!(q.num_predicates(), 1);
+        assert_eq!(decode_query("").unwrap(), Query::all());
+        assert_eq!(decode_query("   \n# only a comment\n").unwrap(), Query::all());
+    }
+
+    #[test]
+    fn every_constraint_shape_round_trips() {
+        let predicates = vec![
+            Predicate::eq(0, 5),
+            Predicate::le(1, 9),
+            Predicate::ge(2, 3),
+            Predicate::lt(3, 0), // Empty
+            Predicate::between(4, 2, 9),
+            Predicate::in_set(5, vec![9, 1, 4]),
+            Predicate::neq(6, 7),
+            Predicate { column: 7, constraint: ColumnConstraint::ExcludeSet(vec![1, 2, 9]) },
+            Predicate { column: 8, constraint: ColumnConstraint::Any },
+            Predicate::ge(9, 0), // full range, encodes as `>= 0`
+        ];
+        let query = Query::new(predicates.clone());
+        let encoded = encode_query(&query);
+        let decoded = decode_query(&encoded).unwrap();
+        assert_eq!(decoded.predicates(), predicates.as_slice(), "wire round-trip must be lossless:\n{encoded}");
+    }
+
+    #[test]
+    fn malformed_lines_surface_typed_errors_with_line_numbers() {
+        assert_eq!(decode_query("0 = 1\nnonsense"), Err(WireError::BadColumn { line: 2 }));
+        assert_eq!(decode_query("0 = 1\n7"), Err(WireError::MissingField { line: 2 }), "column with no op");
+        assert_eq!(decode_query("x = 1"), Err(WireError::BadColumn { line: 1 }));
+        assert_eq!(decode_query("0 ~ 1"), Err(WireError::UnknownOp { line: 1, op: "~".into() }));
+        assert_eq!(decode_query("0 = hat"), Err(WireError::BadLiteral { line: 1 }));
+        assert_eq!(decode_query("0 = 4294967296"), Err(WireError::BadLiteral { line: 1 }), "u32 overflow");
+        assert_eq!(decode_query("0 in 1,,3"), Err(WireError::BadLiteral { line: 1 }));
+        assert_eq!(decode_query("0 between 1"), Err(WireError::MissingField { line: 1 }));
+        assert_eq!(decode_query("0 = 1 2"), Err(WireError::TrailingTokens { line: 1 }));
+        assert_eq!(decode_query("0 any 1"), Err(WireError::TrailingTokens { line: 1 }));
+        assert_eq!(decode_query("0 ="), Err(WireError::MissingField { line: 1 }));
+        // Errors render their line number for the 400 response body.
+        let err = decode_query("0 ~ 1").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn limits_bound_predicates_and_set_sizes() {
+        let limits = WireLimits { max_predicates: 2, max_set_ids: 3 };
+        let body = "0 = 1\n1 = 2\n2 = 3\n";
+        assert_eq!(decode_query_with(body, limits), Err(WireError::TooManyPredicates { count: 3, max: 2 }));
+        assert_eq!(decode_query_with("0 in 1,2,3,4", limits), Err(WireError::SetTooLarge { line: 1, len: 4, max: 3 }));
+        // At the cap is fine.
+        assert!(decode_query_with("0 = 1\n1 = 2\n", limits).is_ok());
+        assert!(decode_query_with("0 in 1,2,3", limits).is_ok());
+    }
+
+    #[test]
+    fn op_symbols_round_trip() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_symbol(op.symbol()), Some(op), "symbol {}", op.symbol());
+        }
+        assert_eq!(Op::from_symbol("!="), Some(Op::Neq));
+        assert_eq!(Op::from_symbol("=="), None);
+    }
+}

@@ -49,6 +49,18 @@ impl Priority {
             Priority::BestEffort => "best_effort",
         }
     }
+
+    /// Parses the label written by [`Priority::label`] — the form the
+    /// network front end accepts in its `X-Naru-Priority` header (the
+    /// hyphenated spelling `best-effort` is accepted as an alias).
+    pub fn from_label(label: &str) -> Option<Priority> {
+        match label {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            "best_effort" | "best-effort" => Some(Priority::BestEffort),
+            _ => None,
+        }
+    }
 }
 
 /// A wall-clock point after which a request's answer is worthless.

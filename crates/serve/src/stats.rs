@@ -153,6 +153,52 @@ impl MetricsSnapshot {
         let lookups = self.cache_hits + self.cache_misses;
         (lookups > 0).then(|| self.cache_hits as f64 / lookups as f64)
     }
+
+    /// Renders the snapshot as a pretty-printed JSON object. The one
+    /// canonical rendering, shared by the network front end's `/metrics`
+    /// endpoint and `bench_serve`'s report, so the two never drift: every
+    /// counter field plus the derived `accounted` and `cache_hit_rate`
+    /// (`null` before any cache lookup).
+    pub fn to_json(&self) -> String {
+        self.to_json_indented(0)
+    }
+
+    /// [`MetricsSnapshot::to_json`] with every line indented by `level`
+    /// two-space steps, so callers can embed the object inside a larger
+    /// JSON document at the right depth. The first line (`{`) is *not*
+    /// indented — it lands wherever the caller writes it.
+    pub fn to_json_indented(&self, level: usize) -> String {
+        let pad = "  ".repeat(level + 1);
+        let mut out = String::from("{\n");
+        let fields: [(&str, u64); 15] = [
+            ("accepted", self.accepted),
+            ("rejected", self.rejected),
+            ("served", self.served),
+            ("failed", self.failed),
+            ("shed", self.shed),
+            ("cancelled", self.cancelled),
+            ("accounted", self.accounted()),
+            ("batches", self.batches),
+            ("tier0_served", self.tier0_served),
+            ("tier1_served", self.tier1_served),
+            ("tier2_served", self.tier2_served),
+            ("degraded_served", self.degraded_served),
+            ("worker_respawns", self.worker_respawns),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+        ];
+        for (key, value) in fields {
+            out.push_str(&format!("{pad}\"{key}\": {value},\n"));
+        }
+        out.push_str(&format!("{pad}\"cache_evictions\": {},\n", self.cache_evictions));
+        match self.cache_hit_rate() {
+            Some(rate) => out.push_str(&format!("{pad}\"cache_hit_rate\": {rate:.4}\n")),
+            None => out.push_str(&format!("{pad}\"cache_hit_rate\": null\n")),
+        }
+        out.push_str(&"  ".repeat(level));
+        out.push('}');
+        out
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +229,42 @@ mod tests {
         snap.cache_hits = 3;
         snap.cache_misses = 1;
         assert_eq!(snap.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn to_json_renders_every_counter_and_derived_fields() {
+        let m = Metrics::default();
+        m.served.store(4, Ordering::Relaxed);
+        m.shed.store(1, Ordering::Relaxed);
+        let mut snap = m.snapshot();
+        snap.accepted = 5;
+        snap.cache_hits = 1;
+        snap.cache_misses = 3;
+        let json = snap.to_json();
+        for field in [
+            "\"accepted\": 5",
+            "\"served\": 4",
+            "\"shed\": 1",
+            "\"accounted\": 5",
+            "\"cancelled\": 0",
+            "\"tier2_served\": 0",
+            "\"worker_respawns\": 0",
+            "\"cache_evictions\": 0",
+            "\"cache_hit_rate\": 0.2500",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        assert!(json.starts_with("{\n") && json.ends_with('}'));
+        // No trailing comma before the closing brace.
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn to_json_indented_nests_cleanly() {
+        let snap = Metrics::default().snapshot();
+        let json = snap.to_json_indented(2);
+        assert!(json.contains("\n      \"accepted\": 0"), "fields sit at level+1:\n{json}");
+        assert!(json.ends_with("\n    }"), "closing brace sits at level:\n{json}");
+        assert!(json.contains("\"cache_hit_rate\": null"));
     }
 }

@@ -1,0 +1,100 @@
+//! Networking: expose the worker pool over HTTP with `naru-net`.
+//!
+//! Trains a small model, starts a [`NetServer`] on a loopback port, then
+//! drives it the way any external client would — raw TCP, hand-written
+//! HTTP/1.1 requests, the line-oriented query wire format — and prints
+//! the decoded estimates plus the server's final counters. While it runs
+//! you can also poke the same server from a shell:
+//!
+//! ```text
+//! curl -s --data-binary '0 <= 3' http://127.0.0.1:PORT/estimate
+//! curl -s http://127.0.0.1:PORT/metrics
+//! ```
+//!
+//! ```text
+//! cargo run --release --example serve_http
+//! ```
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use naru::core::{NaruConfig, NaruEstimator};
+use naru::data::synthetic::dmv_like;
+use naru::net::{decode_served, read_response, HttpLimits, NetConfig, NetServer};
+use naru::query::{encode_query, generate_workload, WorkloadConfig};
+use naru::serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Train and freeze a small model, then put the pool on the wire.
+    let table = dmv_like(2_000, 42);
+    println!("training on `{}` ({} rows x {} cols)...", table.name(), table.num_rows(), table.num_columns());
+    let (estimator, _) = NaruEstimator::train(&table, &NaruConfig::small().with_samples(200));
+    let serve = Server::start(
+        estimator.into_engine(),
+        ServeConfig::default().with_workers(2).with_queue_capacity(64).with_max_batch(4),
+    )
+    .expect("valid serve config");
+    let net = NetServer::start(serve, NetConfig::default().with_handler_threads(4)).expect("loopback bind");
+    println!("listening on http://{}\n", net.local_addr());
+
+    // 2. A workload to push through the front end.
+    let mut rng = StdRng::seed_from_u64(7);
+    let workload = generate_workload(&table, &WorkloadConfig::default(), 12, &mut rng);
+    let limits = HttpLimits::default();
+
+    // 3. Three clients, one keep-alive connection each. Every request is
+    //    plain text over TCP: POST the wire-encoded query, read back
+    //    `key value` lines. The second client tags its traffic as batch
+    //    priority with a generous deadline via the X-Naru-* headers.
+    std::thread::scope(|scope| {
+        for client in 0..3 {
+            let addr = net.local_addr();
+            let workload = &workload;
+            let limits = &limits;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
+                stream.set_read_timeout(Some(Duration::from_secs(10))).expect("set read timeout");
+                let headers = if client == 1 { "X-Naru-Priority: batch\r\nX-Naru-Timeout-Ms: 5000\r\n" } else { "" };
+                let mut i = client;
+                while i < workload.len() {
+                    let body = encode_query(&workload[i].query);
+                    let request = format!(
+                        "POST /estimate HTTP/1.1\r\nHost: naru\r\n{headers}Content-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    stream.write_all(request.as_bytes()).expect("write request");
+                    let response = read_response(&mut stream, limits).expect("well-formed response");
+                    assert_eq!(response.status, 200, "{}", response.text());
+                    let served = decode_served(&response.text()).expect("decodable estimate");
+                    println!(
+                        "  client {client}: {:.5} selectivity (~{} rows) via {}, worker {}, waited {:.2?}",
+                        served.estimate.selectivity,
+                        served.estimate.cardinality(),
+                        served.estimate.provenance.label(),
+                        served.stats.worker,
+                        served.stats.queue_wait,
+                    );
+                    i += 3;
+                }
+            });
+        }
+    });
+
+    // 4. The observability endpoints speak the same protocol.
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect to loopback server");
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: naru\r\n\r\n").expect("write request");
+    let metrics_response = read_response(&mut stream, &limits).expect("well-formed response");
+    println!("\nGET /metrics ->\n{}", metrics_response.text());
+
+    // 5. Graceful shutdown: listener closes, connections and queue drain,
+    //    and the accounting identity holds across the network boundary.
+    let metrics = net.shutdown();
+    println!(
+        "shutdown: {} accepted = {} served + {} failed + {} shed + {} cancelled",
+        metrics.accepted, metrics.served, metrics.failed, metrics.shed, metrics.cancelled
+    );
+    assert_eq!(metrics.accounted(), metrics.accepted);
+}

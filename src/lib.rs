@@ -29,7 +29,14 @@
 //!   [`serve::Ticket`]), deadline-pressure degradation
 //!   ([`serve::DegradePolicy`]), a supervising watchdog with fault
 //!   injection ([`serve::FaultInjection`]), and graceful
-//!   drain-on-shutdown.
+//!   drain-on-shutdown,
+//! * [`net`] — the network front end over `std::net`: a bounded
+//!   HTTP/1.1 parser with typed [`net::ProtocolError`]s, the
+//!   line-oriented query/estimate wire format (query side in
+//!   [`query::wire`]), a [`net::NetServer`] accept loop + handler pool
+//!   mapping `X-Naru-Priority` / `X-Naru-Timeout-Ms` headers onto the
+//!   request lifecycle and [`serve::ServeError`]s onto distinct HTTP
+//!   statuses, client-disconnect cancellation, and graceful drain.
 //!
 //! ## The Engine/Session estimation API
 //!
@@ -137,6 +144,7 @@
 pub use naru_baselines as baselines;
 pub use naru_core as core;
 pub use naru_data as data;
+pub use naru_net as net;
 pub use naru_nn as nn;
 pub use naru_query as query;
 pub use naru_serve as serve;
@@ -146,6 +154,7 @@ pub use naru_tensor as tensor;
 pub mod prelude {
     pub use naru_core::{Engine, NaruConfig, NaruEstimator, Session, TableStats, TierConfig, TieredSession};
     pub use naru_data::{Column, Table, Value};
+    pub use naru_net::{NetConfig, NetServer};
     pub use naru_query::{Estimate, EstimateError, Predicate, Provenance, Query, QueryKey, SelectivityEstimator};
     pub use naru_serve::{
         ConfigError, Deadline, DegradePolicy, EstimateCache, FaultInjection, MetricsSnapshot, Priority, ServeConfig,

@@ -295,6 +295,51 @@ fn queue_saturation_rejects_with_overloaded_and_recovers() {
     assert_eq!(metrics.served, 4);
 }
 
+#[test]
+fn cancelled_tickets_release_their_queue_slot_at_the_dequeue_boundary() {
+    let gate = Arc::new(Gate::default());
+    let engine = GatedDensity::engine(Arc::clone(&gate));
+    let server = Server::start(
+        engine,
+        ServeConfig { num_workers: 1, queue_capacity: 1, max_batch: 1, ..ServeConfig::default() },
+    )
+    .unwrap();
+    let q = Query::new(vec![Predicate::le(0, 2)]);
+
+    // Head request occupies the single worker; the next fills the queue.
+    let head = server.try_submit(q.clone()).unwrap();
+    gate.wait_entered(1);
+    let doomed = server.try_submit(q.clone()).unwrap();
+    assert_eq!(server.try_submit(q.clone()).unwrap_err(), ServeError::Overloaded { capacity: 1 });
+
+    // Cancellation only raises the request's flag — the slot itself is
+    // reclaimed when the worker reaches the request and skips it, so an
+    // immediate try_submit still sees a full queue.
+    doomed.cancel();
+    assert_eq!(server.try_submit(q.clone()).unwrap_err(), ServeError::Overloaded { capacity: 1 });
+
+    // A blocking submit parks on admission; once the gate opens, the worker
+    // finishes the head request, skips the cancelled one, and the freed
+    // slot admits the waiter without any further nudging.
+    let unblocked = {
+        let server = &server;
+        let q = q.clone();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || server.submit(q).map(|t| t.wait()));
+            gate.open();
+            handle.join().unwrap()
+        })
+    };
+    assert!(unblocked.unwrap().is_ok(), "cancelled slot must be reusable once the worker skips it");
+    assert!(head.wait().is_ok());
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.accepted, 3);
+    assert_eq!(metrics.served, 2);
+    assert_eq!(metrics.cancelled, 1);
+    assert_eq!(metrics.accounted(), metrics.accepted);
+}
+
 // --- graceful shutdown ----------------------------------------------------
 
 #[test]
