@@ -23,11 +23,11 @@
 
 use std::cell::Cell;
 
-use naru_bench::latency::{render_report, time_workload, LatencyStats};
-use naru_core::{NaruConfig, NaruEstimator, ProgressiveSampler, SamplerConfig};
+use naru_bench::latency::{render_report, time_workload, LatencyStats, RelaxedStats};
+use naru_core::{NaruConfig, NaruEstimator, Precision, ProgressiveSampler, SamplerConfig};
 use naru_data::synthetic::dmv_like;
-use naru_query::Query;
 use naru_query::{generate_workload, WorkloadConfig};
+use naru_query::{Provenance, Query};
 use naru_tensor::{set_kernel_policy, KernelPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,6 +131,41 @@ fn main() {
     }
     let batched = LatencyStats::from_latencies(&batch_lat, opt_paths.get());
     assert_eq!(batch_acc, opt_acc, "batched session must match the optimized path bit-for-bit");
+    let exact_sels: Vec<f64> =
+        batch_results.iter().map(|r| r.as_ref().expect("generated workload queries are valid").selectivity).collect();
+
+    // Relaxed tier: the same Session API under `Precision::Relaxed` routes
+    // the hidden stack and output heads through the per-row i8 quantized
+    // mirrors built at Engine construction (f32 accumulation, fused
+    // bias+ReLU). Answers are tagged `Provenance::Relaxed`; accuracy is
+    // bounded by the per-conditional quantization error, not bit-exact.
+    let mut relaxed_session = engine.session().with_precision(Precision::Relaxed);
+    let probe = relaxed_session.estimate(&queries[0]).expect("generated workload queries are valid");
+    assert_eq!(probe.provenance, Provenance::Relaxed, "relaxed session must tag its answers");
+    let mut relaxed_sels: Vec<f64> = Vec::with_capacity(workload.len());
+    let (rel_lat, _) = time_workload(&workload, |lq| {
+        let est = relaxed_session.estimate(&lq.query).expect("generated workload queries are valid");
+        relaxed_sels.push(est.selectivity);
+        est.selectivity
+    });
+    // Same constraints, same nominal path budget per column: the exact
+    // path's work-unit count normalizes the relaxed throughput too.
+    let relaxed_stats = LatencyStats::from_latencies(&rel_lat, opt_paths.get());
+
+    // Worst per-query q-error factor between the relaxed and exact answers.
+    // Selectivities are floored: a quantization-shifted sample path can turn
+    // an all-paths-dead zero into a tiny positive mass (or vice versa), and
+    // the ratio of two near-zeros says nothing about estimate quality.
+    const SELECTIVITY_FLOOR: f64 = 1e-6;
+    let q_error_delta_max = relaxed_sels
+        .iter()
+        .zip(exact_sels.iter())
+        .map(|(&r, &e)| {
+            let (r, e) = (r.max(SELECTIVITY_FLOOR), e.max(SELECTIVITY_FLOOR));
+            r.max(e) / r.min(e)
+        })
+        .fold(1.0f64, f64::max);
+    let relaxed = RelaxedStats { stats: relaxed_stats, q_error_delta_max };
 
     // Both paths estimate the same workload with the same seeds, but with
     // different kernel tiers: a conditional probability landing within
@@ -157,11 +192,23 @@ fn main() {
             "\"pre-refactor: naive kernels + allocating conditionals + uncompacted sampler\"".to_string(),
         ),
     ];
-    let report = render_report(&baseline, &optimized, Some(&batched), &meta);
+    // The relaxed tier only earns its place if it is both fast and close:
+    // in-run, the quantized walk must beat the exact one and stay within
+    // the documented q-error envelope (the relaxed-parity test tier asserts
+    // the same bound on a seeded table).
+    const RELAXED_Q_ERROR_TOLERANCE: f64 = 2.0;
+    assert!(
+        q_error_delta_max < RELAXED_Q_ERROR_TOLERANCE,
+        "relaxed walk drifted beyond the q-error tolerance: {q_error_delta_max:.4} >= {RELAXED_Q_ERROR_TOLERANCE}"
+    );
+
+    let report = render_report(&baseline, &optimized, Some(&batched), Some(&relaxed), &meta);
     std::fs::write(&out_path, &report).expect("write BENCH_infer.json");
 
     println!("\n{:>12} {:>10} {:>10} {:>12} {:>14}", "path", "p50 ms", "p95 ms", "queries/s", "samples/s");
-    for (name, stats) in [("baseline", &baseline), ("optimized", &optimized), ("batched", &batched)] {
+    for (name, stats) in
+        [("baseline", &baseline), ("optimized", &optimized), ("batched", &batched), ("relaxed", &relaxed.stats)]
+    {
         println!(
             "{:>12} {:>10.2} {:>10.2} {:>12.1} {:>14.0}",
             name, stats.p50_ms, stats.p95_ms, stats.queries_per_sec, stats.samples_per_sec
@@ -169,5 +216,10 @@ fn main() {
     }
     println!("\nspeedup (queries/sec): {:.2}x", baseline.mean_ms / optimized.mean_ms);
     println!("batched vs optimized (queries/sec): {:.3}x", batched.queries_per_sec / optimized.queries_per_sec);
+    println!(
+        "relaxed vs optimized (queries/sec): {:.3}x, max q-error delta {:.4}",
+        relaxed.stats.queries_per_sec / optimized.queries_per_sec,
+        q_error_delta_max
+    );
     println!("wrote {out_path}");
 }

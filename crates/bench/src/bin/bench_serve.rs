@@ -14,6 +14,18 @@
 //!     flight each, yielding the p50/p95 *queue-wait* (submission → worker
 //!     dequeue, from [`ServeStats`]) and p50/p95 *end-to-end* latency
 //!     (submission → response at the client) of an interactive workload;
+//!
+//!   each entry also records its *scaling_efficiency* — burst throughput
+//!   relative to a perfectly linear scale-up of the 1-worker pool — and
+//!   the run prints a degradation warning when added workers stop paying
+//!   for themselves (expected wherever workers outnumber cores);
+//! * **fused_batch** — the same burst stream through two 1-worker pools
+//!   that differ only in [`ServeConfig::fused_batching`]: fused pools
+//!   answer each drained micro-batch through one cross-request
+//!   `estimate_batch` call (constraints sorted batch-wide so shared
+//!   column-prefix forward passes run once), unfused pools walk each
+//!   request alone. Answers are asserted bit-identical either way and the
+//!   fused pool must not lose on throughput;
 //! * **skewed** — a Zipf-skewed, repetitive request stream served twice in
 //!   the same run: once by the full tiered pipeline (exact-stats tier 0,
 //!   sketch tier 1, model tier 2, predicate-keyed estimate cache) and once
@@ -96,6 +108,8 @@ struct ServeRun {
     e2e_ms: Vec<f64>,
     /// Micro-batches executed across both phases.
     batches: u64,
+    /// Micro-batches answered through the fused cross-request walk.
+    fused_batches: u64,
 }
 
 /// Requests each overload-storm class keeps in flight at once.
@@ -207,6 +221,21 @@ fn main() {
     let single_session_qps = scale.requests as f64 / batch_secs;
     println!("single-session batched reference: {single_session_qps:.1} queries/sec");
 
+    // Open-loop burst: queue the whole stream up front so workers drain
+    // full micro-batches back to back, then collect every response. This is
+    // the pool's sustained rate, with no client round-trip idle on the
+    // critical path. Shared by the worker sweep and the fused-batch phase.
+    let run_burst = |server: &Server| -> f64 {
+        let burst_start = Instant::now();
+        let tickets: Vec<_> =
+            requests.iter().map(|q| server.submit(q.clone()).expect("queue sized for burst")).collect();
+        let selectivities: Vec<f64> =
+            tickets.into_iter().map(|t| t.wait().expect("valid request").estimate.selectivity).collect();
+        let burst_secs = burst_start.elapsed().as_secs_f64();
+        assert_eq!(selectivities, reference, "served estimates must match the single-session reference bit-for-bit");
+        scale.requests as f64 / burst_secs
+    };
+
     let mut runs: Vec<ServeRun> = Vec::new();
     for &workers in WORKER_COUNTS {
         let clients = (workers * 2).min(8);
@@ -216,17 +245,8 @@ fn main() {
         )
         .expect("valid serve config");
 
-        // Phase 1 — throughput, open-loop burst: queue the whole stream up
-        // front so workers drain full micro-batches back to back, then
-        // collect every response. This is the pool's sustained rate, with
-        // no client round-trip idle on the critical path.
-        let burst_start = Instant::now();
-        let tickets: Vec<_> =
-            requests.iter().map(|q| server.submit(q.clone()).expect("queue sized for burst")).collect();
-        let selectivities: Vec<f64> =
-            tickets.into_iter().map(|t| t.wait().expect("valid request").estimate.selectivity).collect();
-        let burst_secs = burst_start.elapsed().as_secs_f64();
-        assert_eq!(selectivities, reference, "served estimates must match the single-session reference bit-for-bit");
+        // Phase 1 — throughput.
+        let burst_qps = run_burst(&server);
 
         // Phase 2 — latency, closed-loop: each client keeps one request in
         // flight (submit, wait, repeat), measuring what an interactive
@@ -268,11 +288,12 @@ fn main() {
         let run = ServeRun {
             workers,
             clients,
-            queries_per_sec: scale.requests as f64 / burst_secs,
+            queries_per_sec: burst_qps,
             closed_loop_queries_per_sec: scale.requests as f64 / closed_secs,
             queue_wait_ms,
             e2e_ms,
             batches: metrics.batches,
+            fused_batches: metrics.fused_batches,
         };
         println!(
             "{} worker(s): burst {:.1} queries/sec, closed-loop {:.1} queries/sec ({} clients, {} micro-batches)",
@@ -280,6 +301,61 @@ fn main() {
         );
         runs.push(run);
     }
+
+    // Scaling efficiency per worker count: burst throughput relative to a
+    // perfectly linear scale-up of the 1-worker pool. On a box with fewer
+    // cores than workers the extra threads only add contention, so a low
+    // number here is a property of the hardware, not a regression — it is
+    // reported (and warned about) rather than asserted.
+    let one_worker_qps =
+        runs.iter().find(|r| r.workers == 1).map(|r| r.queries_per_sec).expect("WORKER_COUNTS starts at one worker");
+    let scaling_efficiency: Vec<f64> =
+        runs.iter().map(|r| r.queries_per_sec / (r.workers as f64 * one_worker_qps)).collect();
+    for (run, &eff) in runs.iter().zip(scaling_efficiency.iter()) {
+        if run.workers > 1 && eff < 0.5 {
+            println!(
+                "warning: {} workers reach {:.0}% scaling efficiency — adding workers degrades per-worker \
+                 throughput on this host ({} core(s) detected)",
+                run.workers,
+                eff * 100.0,
+                std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+            );
+        }
+    }
+
+    // ---- Fused-batch phase: cross-request fused walks on vs off ----
+    //
+    // Same pool shape, same burst stream; the only difference is
+    // `ServeConfig::fused_batching`. With it on, a drained micro-batch of
+    // plain full-walk requests is answered through one `estimate_batch`
+    // call, so constraint sorting and shared column-prefix forward passes
+    // amortize across the batch. With it off, each request walks alone.
+    // Answers are bit-identical either way; only throughput may differ.
+    let fused_config =
+        ServeConfig::default().with_workers(1).with_queue_capacity(scale.requests.max(64)).with_max_batch(16);
+    let fused_server = Server::start(engine.clone(), fused_config.clone()).expect("valid serve config");
+    let fused_qps = run_burst(&fused_server);
+    let fused_metrics = fused_server.shutdown();
+    assert!(fused_metrics.fused_batches > 0, "a burst through a fused pool must exercise the fused walk");
+
+    let unfused_server =
+        Server::start(engine.clone(), fused_config.with_fused_batching(false)).expect("valid serve config");
+    let unfused_qps = run_burst(&unfused_server);
+    let unfused_metrics = unfused_server.shutdown();
+    assert_eq!(unfused_metrics.fused_batches, 0, "a non-fused pool must never take the fused path");
+
+    println!(
+        "fused batch walks: fused {:.1} queries/sec ({} fused micro-batches) vs unfused {:.1} queries/sec ({:.3}x)",
+        fused_qps,
+        fused_metrics.fused_batches,
+        unfused_qps,
+        fused_qps / unfused_qps
+    );
+    assert!(
+        fused_qps >= unfused_qps,
+        "fused batch walks must not lose to per-request walks on a saturating burst: \
+         {fused_qps:.1} vs {unfused_qps:.1} queries/sec"
+    );
 
     // ---- Skewed phase: tiered pipeline + cache vs tier-2-only ----
     //
@@ -560,18 +636,30 @@ fn main() {
     out.push_str("  \"serve\": [\n");
     for (i, run) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workers\": {}, \"clients\": {}, \"queries_per_sec\": {:.2}, \"closed_loop_queries_per_sec\": {:.2}, \"batches\": {}, \"queue_wait\": {}, \"e2e\": {}}}{}\n",
+            "    {{\"workers\": {}, \"clients\": {}, \"queries_per_sec\": {:.2}, \"closed_loop_queries_per_sec\": {:.2}, \"scaling_efficiency\": {:.3}, \"batches\": {}, \"fused_batches\": {}, \"queue_wait\": {}, \"e2e\": {}}}{}\n",
             run.workers,
             run.clients,
             run.queries_per_sec,
             run.closed_loop_queries_per_sec,
+            scaling_efficiency[i],
             run.batches,
+            run.fused_batches,
             latency_quantiles_json(&run.queue_wait_ms),
             latency_quantiles_json(&run.e2e_ms),
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"fused_batch\": {\n");
+    out.push_str("    \"workers\": 1,\n");
+    out.push_str(&format!("    \"requests\": {},\n", scale.requests));
+    out.push_str(&format!(
+        "    \"fused\": {{\"queries_per_sec\": {fused_qps:.2}, \"fused_batches\": {}}},\n",
+        fused_metrics.fused_batches
+    ));
+    out.push_str(&format!("    \"unfused\": {{\"queries_per_sec\": {unfused_qps:.2}, \"fused_batches\": 0}},\n"));
+    out.push_str(&format!("    \"fused_vs_unfused\": {:.3}\n", fused_qps / unfused_qps));
+    out.push_str("  },\n");
     out.push_str("  \"skewed\": {\n");
     out.push_str(&format!("    \"requests\": {skewed_requests},\n"));
     out.push_str(&format!("    \"distinct_queries\": {},\n", pool.len()));
@@ -586,6 +674,7 @@ fn main() {
         Provenance::Tier0Exact,
         Provenance::Tier1Sketch,
         Provenance::Tier2Model,
+        Provenance::Relaxed,
         Provenance::Degraded,
         Provenance::CacheHit,
     ];

@@ -257,6 +257,7 @@ impl NaruEstimator {
             query,
             num_samples,
             self.seed,
+            crate::Precision::Exact,
             &mut scratch.sampler,
             &mut scratch.constraints,
         )
@@ -295,6 +296,7 @@ impl SelectivityEstimator for NaruEstimator {
                     query,
                     self.num_samples,
                     self.seed,
+                    crate::Precision::Exact,
                     &mut scratch.sampler,
                     &mut scratch.constraints,
                 )
@@ -367,6 +369,7 @@ impl<D: ConditionalDensity> SelectivityEstimator for SamplingEstimator<D> {
             query,
             self.num_samples,
             self.seed,
+            crate::Precision::Exact,
             &mut scratch.sampler,
             &mut scratch.constraints,
         )

@@ -121,7 +121,10 @@ impl ProgressiveSampler {
         constraints: &[ColumnConstraint],
     ) -> SampleEstimate {
         let scratch = &mut *self.scratch.lock().unwrap_or_else(|e| e.into_inner());
-        progressive_walk(density, constraints, self.config.num_samples, self.config.seed, scratch)
+        // The standalone sampler always walks in exact precision; relaxed
+        // mode is selected at the Session layer, which also owns the
+        // Provenance tagging that keeps relaxed answers distinguishable.
+        progressive_walk(density, constraints, self.config.num_samples, self.config.seed, scratch, false)
     }
 }
 
@@ -136,6 +139,7 @@ pub(crate) fn progressive_walk<D: ConditionalDensity + ?Sized>(
     num_samples: usize,
     seed: u64,
     scratch: &mut SamplerScratch,
+    relaxed: bool,
 ) -> SampleEstimate {
     let n = density.num_columns();
     // lint: allow(panic) - documented walk contract: one constraint per column, checked at compile time by callers
@@ -156,6 +160,7 @@ pub(crate) fn progressive_walk<D: ConditionalDensity + ?Sized>(
     };
 
     scratch.infer.reset();
+    scratch.infer.relaxed = relaxed;
     scratch.tuples.clear();
     scratch.tuples.resize(s * n, 0);
     scratch.weights.clear();
@@ -263,6 +268,9 @@ pub(crate) struct PrefixMemo {
     valid: bool,
     num_samples: usize,
     seed: u64,
+    /// Precision mode of the memoized walk: exact and relaxed walks produce
+    /// different per-column states, so snapshots never cross the modes.
+    relaxed: bool,
     /// Compiled constraints of the memoized walk (one per column).
     constraints: Vec<ColumnConstraint>,
     /// `snaps[i]` is the state after walking column `i`; on a fully-dead
@@ -296,6 +304,7 @@ pub(crate) fn progressive_walk_memo<D: ConditionalDensity + ?Sized>(
     seed: u64,
     scratch: &mut SamplerScratch,
     memo: &mut PrefixMemo,
+    relaxed: bool,
 ) -> SampleEstimate {
     let n = density.num_columns();
     // lint: allow(panic) - documented walk contract: one constraint per column, checked at compile time by callers
@@ -317,7 +326,12 @@ pub(crate) fn progressive_walk_memo<D: ConditionalDensity + ?Sized>(
     // the memoized walk, capped by the snapshots we actually have and by
     // the columns this query walks at all.
     let mut shared = 0usize;
-    if memo.valid && memo.num_samples == num_samples && memo.seed == seed && memo.constraints.len() == n {
+    if memo.valid
+        && memo.num_samples == num_samples
+        && memo.seed == seed
+        && memo.relaxed == relaxed
+        && memo.constraints.len() == n
+    {
         while shared < memo.snaps.len() && shared <= last_filtered && memo.constraints[shared] == constraints[shared] {
             shared += 1;
         }
@@ -335,6 +349,7 @@ pub(crate) fn progressive_walk_memo<D: ConditionalDensity + ?Sized>(
     let mut rng;
     let mut live;
     scratch.infer.reset();
+    scratch.infer.relaxed = relaxed;
     if shared > 0 {
         // Resume: restore the checkpoint taken right after the last shared
         // column. The density's scratch was reset, so its first
@@ -360,6 +375,7 @@ pub(crate) fn progressive_walk_memo<D: ConditionalDensity + ?Sized>(
     memo.valid = true;
     memo.num_samples = num_samples;
     memo.seed = seed;
+    memo.relaxed = relaxed;
     memo.constraints.clear();
     memo.constraints.extend_from_slice(constraints);
     memo.snaps.truncate(shared);

@@ -117,6 +117,24 @@ impl TieredSession {
         &mut self.session
     }
 
+    /// The wrapped session's precision mode. Tier-0/tier-1 fast-path
+    /// answers are closed-form and unaffected by precision; only tier-2
+    /// model walks relax.
+    pub fn precision(&self) -> crate::Precision {
+        self.session.precision()
+    }
+
+    /// Changes the precision mode of subsequent tier-2 model walks.
+    pub fn set_precision(&mut self, precision: crate::Precision) {
+        self.session.set_precision(precision);
+    }
+
+    /// Builder form of [`TieredSession::set_precision`].
+    pub fn with_precision(mut self, precision: crate::Precision) -> Self {
+        self.session.set_precision(precision);
+        self
+    }
+
     /// The routing configuration.
     pub fn tier_config(&self) -> &TierConfig {
         &self.config

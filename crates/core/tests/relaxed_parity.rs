@@ -1,0 +1,73 @@
+//! Relaxed-parity tier: `Precision::Relaxed` answers on a seeded table must
+//! stay within a bounded q-error factor of the exact walk, be tagged
+//! [`Provenance::Relaxed`], and leave the exact path bit-identical.
+//!
+//! This is the test-tier counterpart of the in-run assertion in
+//! `bench_infer`'s relaxed phase: same tolerance, smaller scale, so CI
+//! catches a drifting quantized walk without running the benchmark.
+
+use naru_core::{NaruConfig, NaruEstimator, Precision};
+use naru_data::synthetic::dmv_like;
+use naru_query::{generate_workload, Provenance, Query, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mirrors the bench: selectivities are floored before the ratio so two
+/// near-zeros (an all-paths-dead walk vs a quantization-shifted sliver of
+/// mass) don't register as a huge q-error.
+const SELECTIVITY_FLOOR: f64 = 1e-6;
+/// Worst acceptable per-query factor between relaxed and exact answers.
+const RELAXED_Q_ERROR_TOLERANCE: f64 = 2.0;
+
+#[test]
+fn relaxed_walk_stays_within_q_error_tolerance_of_exact() {
+    let table = dmv_like(500, 42);
+    let n = table.num_columns();
+    let mut config = NaruConfig::small().with_samples(120);
+    config.train.epochs = 1;
+    config.train.compute_data_entropy = false;
+    config.train.eval_tuples = 0;
+    let (estimator, _) = NaruEstimator::train(&table, &config);
+    let engine = estimator.into_engine();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let workload = generate_workload(&table, &WorkloadConfig::default(), 12, &mut rng);
+    let queries: Vec<Query> = workload.iter().map(|lq| lq.query.clone()).collect();
+    assert!(n > 0 && !queries.is_empty());
+
+    // Exact reference answers — the default session precision.
+    let mut exact_session = engine.session();
+    assert_eq!(exact_session.precision(), Precision::Exact);
+    let exact: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let est = exact_session.estimate(q).expect("generated workload queries are valid");
+            assert_ne!(est.provenance, Provenance::Relaxed, "exact sessions must never tag Relaxed");
+            est.selectivity
+        })
+        .collect();
+
+    // The same walk under Precision::Relaxed: quantized hidden stack and
+    // output heads, f32 accumulation, tagged provenance.
+    let mut relaxed_session = engine.session().with_precision(Precision::Relaxed);
+    let mut worst = 1.0f64;
+    for (q, &e) in queries.iter().zip(exact.iter()) {
+        let est = relaxed_session.estimate(q).expect("generated workload queries are valid");
+        assert_eq!(est.provenance, Provenance::Relaxed, "relaxed sessions must tag their answers");
+        let (r, e) = (est.selectivity.max(SELECTIVITY_FLOOR), e.max(SELECTIVITY_FLOOR));
+        worst = worst.max(r.max(e) / r.min(e));
+    }
+    assert!(
+        worst < RELAXED_Q_ERROR_TOLERANCE,
+        "relaxed walk drifted beyond the q-error tolerance: {worst:.4} >= {RELAXED_Q_ERROR_TOLERANCE}"
+    );
+
+    // Flipping a session back to Exact restores bit-identical answers: the
+    // quantized mirror's existence must not perturb the exact path.
+    let mut round_trip = relaxed_session;
+    round_trip.set_precision(Precision::Exact);
+    for (q, &e) in queries.iter().zip(exact.iter()) {
+        let est = round_trip.estimate(q).expect("generated workload queries are valid");
+        assert_eq!(est.selectivity.to_bits(), e.to_bits(), "exact answers must be reproducible bit-for-bit");
+    }
+}

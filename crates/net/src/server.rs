@@ -219,9 +219,11 @@ const EMPTY_SNAPSHOT: MetricsSnapshot = MetricsSnapshot {
     shed: 0,
     cancelled: 0,
     batches: 0,
+    fused_batches: 0,
     tier0_served: 0,
     tier1_served: 0,
     tier2_served: 0,
+    relaxed_served: 0,
     degraded_served: 0,
     worker_respawns: 0,
     cache_hits: 0,

@@ -1,0 +1,311 @@
+//! Quantized inference mirrors of [`Linear`] and [`Embedding`].
+//!
+//! The relaxed inference tier (see `naru-core`'s `Precision`) runs forward
+//! passes against per-row i8 weight mirrors ([`naru_tensor::QuantMatrix`])
+//! instead of the trained f32 matrices: 4x less weight traffic per
+//! multiply, f32 accumulation throughout, and a documented bounded error
+//! (see `naru_tensor::quant`). The mirrors are *inference-only* — built
+//! once from a trained layer, never updated by the optimizer — and the
+//! quantized forward fuses bias addition (and optionally ReLU) into the
+//! output loop so the relaxed path touches each output element once.
+//!
+//! Because quantization is symmetric and preserves exact zeros, a masked
+//! [`Linear`]'s autoregressive connectivity survives the mirror unchanged:
+//! masked-out weights quantize to the code 0 and contribute exactly 0.
+//!
+//! # Layout: transposed codes + activation zero-skipping
+//!
+//! [`QuantLinear`] keeps the quantized codes in **both** orientations: the
+//! row-major [`QuantMatrix`] (the canonical mirror the error bound is
+//! stated against) and a transposed copy indexed by *input*. The forward
+//! passes run over the transposed copy in axpy order — for each nonzero
+//! activation `x_i`, accumulate `x_i * codes_column_i` into the output row,
+//! then apply each output's scale (and bias/ReLU) in one final sweep:
+//!
+//! ```text
+//! y[r] = s[r] * sum_i x_i * q[r][i] + b[r]
+//! ```
+//!
+//! The per-row scale factors out of the sum, so this is the same quantity
+//! [`naru_tensor::quant_dot`] computes (modulo f32 summation order, which
+//! the documented bound's slack already absorbs) — but activations that are
+//! exactly `0.0` are skipped entirely. MADE's inputs are concatenated
+//! one-hot/binary encodings and its hidden activations are post-ReLU, so
+//! most of the multiplies simply vanish; this is the relaxed tier's edge
+//! over the dense exact kernels, which must preserve bit-identical f32
+//! results and cannot reorder or skip.
+
+use naru_tensor::{Matrix, QuantMatrix};
+
+use crate::embedding::Embedding;
+use crate::linear::Linear;
+
+/// An i8 inference mirror of a [`Linear`] layer: quantized weights (in both
+/// row-major and transposed orientation — see the module docs) plus the
+/// original f32 bias.
+#[derive(Debug, Clone)]
+pub struct QuantLinear {
+    w: QuantMatrix,
+    /// Transposed codes, `wt[i * out_dim + r] == w[r][i]`: the contiguous
+    /// per-input slice the zero-skipping axpy forward streams.
+    wt: Vec<i8>,
+    b: Vec<f32>,
+}
+
+impl QuantLinear {
+    /// Builds the mirror from a trained layer (weights are captured at call
+    /// time; later optimizer steps do not propagate).
+    pub fn from_linear(layer: &Linear) -> Self {
+        let w = QuantMatrix::quantize(layer.weights());
+        let (out_dim, in_dim) = w.shape();
+        let mut wt = vec![0i8; in_dim * out_dim];
+        for r in 0..out_dim {
+            for (i, &code) in w.row(r).iter().enumerate() {
+                // lint: allow(index) - i < in_dim and r < out_dim by construction of the transposed layout
+                wt[i * out_dim + r] = code;
+            }
+        }
+        Self { w, wt, b: layer.bias().to_vec() }
+    }
+
+    /// The transposed-code slice for input `i`: one code per output unit.
+    // lint: allow_fn(index) - i is bounded by in_dim at every call site; the slice spans exactly out_dim codes
+    #[inline]
+    fn wt_row(&self, i: usize) -> &[i8] {
+        let out = self.w.rows();
+        &self.wt[i * out..(i + 1) * out]
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Bytes of storage for the mirror (codes in both orientations + scales
+    /// + bias).
+    pub fn size_bytes(&self) -> usize {
+        self.w.size_bytes() + self.wt.len() + self.b.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The shared axpy body: accumulates `sum_i x_i * q[rows][i]` into
+    /// `y_row` (already zeroed), skipping activations that are exactly
+    /// zero, then folds in the scales and biases of `rows` (and optionally
+    /// the ReLU clamp) in one final sweep.
+    #[inline]
+    fn axpy_forward_row(&self, x_row: &[f32], rows: &std::ops::Range<usize>, y_row: &mut [f32], relu: bool) {
+        y_row.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &xv) in x_row.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            // lint: allow(index) - rows.end <= out_dim is asserted by every caller; wt_row(i) spans out_dim codes
+            let codes = &self.wt_row(i)[rows.start..rows.end];
+            for (acc, &q) in y_row.iter_mut().zip(codes.iter()) {
+                *acc += xv * q as f32;
+            }
+        }
+        // lint: allow(index) - scales and bias both hold exactly out_dim entries; rows.end <= out_dim is asserted by every caller
+        let scales = &self.w.scales()[rows.start..rows.end];
+        // lint: allow(index) - scales and bias both hold exactly out_dim entries; rows.end <= out_dim is asserted by every caller
+        let bias = &self.b[rows.start..rows.end];
+        for ((acc, &s), &b) in y_row.iter_mut().zip(scales.iter()).zip(bias.iter()) {
+            let v = *acc * s + b;
+            *acc = if relu { v.max(0.0) } else { v };
+        }
+    }
+
+    /// Quantized forward pass: writes `x QW^T + b` into `y`, resizing it in
+    /// place. Runs in transposed axpy order with activation zero-skipping
+    /// (see the module docs), with the per-row scales and the bias folded
+    /// into one final sweep over the output row.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
+        // lint: allow(panic) - documented layer contract: input width must match in_dim, same as Linear::forward_into
+        assert_eq!(x.cols(), self.in_dim(), "input width {} != layer in_dim {}", x.cols(), self.in_dim());
+        // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
+        y.resize(x.rows(), self.out_dim());
+        for r in 0..x.rows() {
+            self.axpy_forward_row(x.row(r), &(0..self.out_dim()), y.row_mut(r), false);
+        }
+    }
+
+    /// Quantized forward pass with bias **and ReLU** fused into the output
+    /// sweep: writes `max(x QW^T + b, 0)` into `y`. The relaxed
+    /// hidden-layer step of the MADE forward pass — the activation rides
+    /// the scale/bias pass instead of a separate full-matrix sweep.
+    pub fn forward_relu_into(&self, x: &Matrix, y: &mut Matrix) {
+        // lint: allow(panic) - documented layer contract: input width must match in_dim, same as Linear::forward_into
+        assert_eq!(x.cols(), self.in_dim(), "input width {} != layer in_dim {}", x.cols(), self.in_dim());
+        // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
+        y.resize(x.rows(), self.out_dim());
+        for r in 0..x.rows() {
+            self.axpy_forward_row(x.row(r), &(0..self.out_dim()), y.row_mut(r), true);
+        }
+    }
+
+    /// Quantized counterpart of [`Linear::forward_block_into`]: computes
+    /// only output units `rows`, with the matching scale and bias slices
+    /// applied in the same output sweep.
+    pub fn forward_block_into(&self, x: &Matrix, rows: std::ops::Range<usize>, y: &mut Matrix) {
+        // lint: allow(panic) - documented layer contract: input width must match in_dim, same as Linear::forward_block_into
+        assert_eq!(x.cols(), self.in_dim(), "input width {} != layer in_dim {}", x.cols(), self.in_dim());
+        // lint: allow(panic) - documented layer contract: the requested block must fit the layer, same as Linear::forward_block_into
+        assert!(rows.end <= self.out_dim(), "output block {rows:?} exceeds out_dim {}", self.out_dim());
+        // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
+        y.resize(x.rows(), rows.len());
+        for r in 0..x.rows() {
+            self.axpy_forward_row(x.row(r), &rows, y.row_mut(r), false);
+        }
+    }
+}
+
+/// An i8 inference mirror of an [`Embedding`] used for "embedding reuse"
+/// output decoding (the `batch x vocab` logits matmul — the widest matrix
+/// product in the MADE forward pass, and the one that profits most from
+/// 4x smaller weight rows).
+#[derive(Debug, Clone)]
+pub struct QuantDecoder {
+    table: QuantMatrix,
+}
+
+impl QuantDecoder {
+    /// Builds the mirror from a trained embedding table.
+    pub fn from_embedding(embedding: &Embedding) -> Self {
+        Self { table: QuantMatrix::quantize(embedding.table()) }
+    }
+
+    /// Vocabulary size (logit width).
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding dimensionality (feature width).
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Bytes of storage for the mirror.
+    pub fn size_bytes(&self) -> usize {
+        self.table.size_bytes()
+    }
+
+    /// Quantized counterpart of [`Embedding::decode_logits_into`]: writes
+    /// the `batch x vocab` logits `F QE^T` into `out`.
+    pub fn decode_logits_into(&self, features: &Matrix, out: &mut Matrix) {
+        // lint: allow(panic) - documented layer contract: feature width must match dim, same as Embedding::decode_logits_into
+        assert_eq!(features.cols(), self.dim(), "feature dim mismatch in decode_logits");
+        naru_tensor::matmul_a_qbt_into(features, &self.table, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naru_tensor::quant_dot_error_bound;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn max_quant_bound(q: &QuantLinear, x_row: &[f32]) -> f32 {
+        (0..q.out_dim()).map(|j| quant_dot_error_bound(x_row, q.w.scale(j))).fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn quant_forward_tracks_exact_within_bound() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let layer = Linear::new(&mut rng, 24, 16);
+        let q = QuantLinear::from_linear(&layer);
+        assert_eq!((q.in_dim(), q.out_dim()), (24, 16));
+        let x = Matrix::from_fn(5, 24, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.4 - 1.0);
+        let exact = layer.forward(&x);
+        let mut approx = Matrix::zeros(0, 0);
+        q.forward_into(&x, &mut approx);
+        assert_eq!(approx.shape(), exact.shape());
+        for r in 0..x.rows() {
+            let bound = max_quant_bound(&q, x.row(r)) * 1.01 + 1e-5;
+            for (a, e) in approx.row(r).iter().zip(exact.row(r).iter()) {
+                assert!((a - e).abs() <= bound, "row {r}: {a} vs {e} (bound {bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_relu_matches_forward_then_clamp() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(&mut rng, 10, 8);
+        let q = QuantLinear::from_linear(&layer);
+        let x = Matrix::from_fn(4, 10, |r, c| ((r + c * 2) % 5) as f32 * 0.3 - 0.6);
+        let mut plain = Matrix::zeros(0, 0);
+        q.forward_into(&x, &mut plain);
+        let mut fused = Matrix::full(1, 1, 9.0);
+        q.forward_relu_into(&x, &mut fused);
+        assert_eq!(fused.shape(), plain.shape());
+        for (f, p) in fused.data().iter().zip(plain.data().iter()) {
+            assert_eq!(*f, p.max(0.0));
+        }
+    }
+
+    #[test]
+    fn block_forward_matches_full_slice() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let layer = Linear::new(&mut rng, 12, 10);
+        let q = QuantLinear::from_linear(&layer);
+        let x = Matrix::from_fn(3, 12, |r, c| ((r * 7 + c) % 9) as f32 * 0.25 - 1.0);
+        let mut full = Matrix::zeros(0, 0);
+        q.forward_into(&x, &mut full);
+        let mut block = Matrix::zeros(0, 0);
+        q.forward_block_into(&x, 4..9, &mut block);
+        assert_eq!(block.shape(), (3, 5));
+        for r in 0..3 {
+            for (j, &v) in block.row(r).iter().enumerate() {
+                assert_eq!(v, full.get(r, 4 + j));
+            }
+        }
+    }
+
+    #[test]
+    fn masked_connectivity_survives_quantization() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mask = Matrix::from_fn(6, 8, |r, c| if c <= r { 1.0 } else { 0.0 });
+        let layer = Linear::new_masked(&mut rng, 8, 6, mask.clone());
+        let q = QuantLinear::from_linear(&layer);
+        // A masked-out input must have zero influence on the quantized
+        // output: flip it and compare.
+        let mut x = Matrix::from_fn(1, 8, |_, c| c as f32 * 0.2 - 0.5);
+        let mut base = Matrix::zeros(0, 0);
+        q.forward_into(&x, &mut base);
+        x.set(0, 7, 100.0); // input 7 is masked out of outputs 0..7
+        let mut flipped = Matrix::zeros(0, 0);
+        q.forward_into(&x, &mut flipped);
+        for j in 0..6 {
+            if mask.get(j, 7) == 0.0 {
+                assert_eq!(base.get(0, j), flipped.get(0, j), "masked weight leaked at output {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_decoder_matches_dequantized_decode() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let emb = Embedding::new(&mut rng, 40, 6);
+        let qd = QuantDecoder::from_embedding(&emb);
+        assert_eq!((qd.vocab(), qd.dim()), (40, 6));
+        assert!(qd.size_bytes() < emb.param_count() * std::mem::size_of::<f32>());
+        let features = Matrix::from_fn(3, 6, |r, c| (r as f32 * 0.4 - c as f32) * 0.2);
+        let mut logits = Matrix::zeros(0, 0);
+        qd.decode_logits_into(&features, &mut logits);
+        assert_eq!(logits.shape(), (3, 40));
+        // Against the exact decode the error stays within the documented
+        // per-row dot bound.
+        let exact = emb.decode_logits(&features);
+        for r in 0..3 {
+            let worst = (0..40).map(|j| quant_dot_error_bound(features.row(r), qd.table.scale(j))).fold(0.0, f32::max);
+            for (a, e) in logits.row(r).iter().zip(exact.row(r).iter()) {
+                assert!((a - e).abs() <= worst * 1.01 + 1e-5);
+            }
+        }
+    }
+}

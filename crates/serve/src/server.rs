@@ -62,6 +62,15 @@ pub struct ServeConfig {
     /// (opportunistic micro-batching). Must be at least 1; 1 disables
     /// batching.
     pub max_batch: usize,
+    /// Whether a drained micro-batch of full-quality, deadline-less
+    /// requests is answered through one cross-request fused
+    /// `estimate_batch` walk (constraints compiled and sorted across the
+    /// whole batch so shared column-prefix forward passes execute once per
+    /// batch). On by default; turning it off forces every request through
+    /// the individual path — same answers, bit for bit, since the fused
+    /// walk re-seeds per query. Exists so the fused win is measurable
+    /// in-run (`bench_serve` reports both) and as an escape hatch.
+    pub fused_batching: bool,
     /// Total entries in the predicate-keyed estimate cache consulted before
     /// enqueueing. `0` (the default) disables the cache entirely: every
     /// request goes through admission control and a worker.
@@ -91,6 +100,7 @@ impl Default for ServeConfig {
             num_workers: workers,
             queue_capacity: 256,
             max_batch: 16,
+            fused_batching: true,
             cache_capacity: 0,
             cache_shards: 8,
             batch_queue_share: 1.0,
@@ -117,6 +127,12 @@ impl ServeConfig {
     /// Sets the micro-batch limit.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Enables or disables the cross-request fused batch walk.
+    pub fn with_fused_batching(mut self, fused_batching: bool) -> Self {
+        self.fused_batching = fused_batching;
         self
     }
 
@@ -358,6 +374,7 @@ struct WorkerShared {
     metrics: Metrics,
     cache: Option<EstimateCache>,
     max_batch: usize,
+    fused_batching: bool,
     degrade: Option<DegradePolicy>,
     faults: FaultInjection,
 }
@@ -401,6 +418,7 @@ impl Server {
             metrics: Metrics::default(),
             cache,
             max_batch: config.max_batch,
+            fused_batching: config.fused_batching,
             degrade: config.degrade.clone(),
             faults: config.faults.clone(),
         });
@@ -724,13 +742,17 @@ fn deliver(
                     Provenance::Tier0Exact => &metrics.tier0_served,
                     Provenance::Tier1Sketch => &metrics.tier1_served,
                     Provenance::Tier2Model | Provenance::CacheHit => &metrics.tier2_served,
+                    Provenance::Relaxed => &metrics.relaxed_served,
                     Provenance::Degraded => &metrics.degraded_served,
                 };
                 tier_counter.fetch_add(1, Ordering::Relaxed);
                 // Degraded answers are deliberately not cached: they would
                 // otherwise keep answering full-quality requests long after
-                // the pressure that justified them has passed.
-                if estimate.provenance != Provenance::Degraded {
+                // the pressure that justified them has passed. Relaxed
+                // answers are not cached either — the cache key carries no
+                // precision, so a cached relaxed answer would later serve
+                // exact-precision submitters as a CacheHit.
+                if estimate.provenance != Provenance::Degraded && estimate.provenance != Provenance::Relaxed {
                     if let (Some(cache), Some(key)) = (shared.cache.as_ref(), pending.key) {
                         cache.insert(key, estimate.clone());
                     }
@@ -820,13 +842,16 @@ fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, share
             }
         }
 
-        // Fast path: full-quality, deadline-less, uncancelled requests go
-        // through one prefix-memoizing `estimate_batch` call (bit-identical
-        // to sequential estimates). Per-request faults force the slow path
-        // so injection sites stay per-request.
+        // Fused fast path: full-quality, deadline-less, uncancelled
+        // requests go through one prefix-memoizing `estimate_batch` call
+        // (bit-identical to sequential estimates) that sorts constraints
+        // across the whole batch so shared column prefixes execute once.
+        // Per-request faults force the slow path so injection sites stay
+        // per-request; `fused_batching: false` forces it for everything.
         let batchable: Vec<usize> = (0..batch_size)
             .filter(|&i| {
-                rng.is_none()
+                shared.fused_batching
+                    && rng.is_none()
                     && routes[i] == Route::Full
                     && guard.slots[i]
                         .as_ref()
@@ -847,6 +872,7 @@ fn worker_loop(worker: usize, generation: u64, mut session: TieredSession, share
                 &subset
             };
             if let Ok(results) = catch_unwind(AssertUnwindSafe(|| session.estimate_batch(batch_queries))) {
+                metrics.fused_batches.fetch_add(1, Ordering::Relaxed);
                 for (&i, result) in batchable.iter().zip(results) {
                     if let Some(pending) = guard.take(i) {
                         deliver(
@@ -1019,10 +1045,38 @@ mod tests {
         }
         let metrics = server.shutdown();
         assert_eq!(metrics.served, 3);
-        assert_eq!(metrics.tier0_served + metrics.tier1_served + metrics.tier2_served + metrics.degraded_served, 3);
-        // A stats-less engine without pressure serves through the model tier.
+        assert_eq!(
+            metrics.tier0_served
+                + metrics.tier1_served
+                + metrics.tier2_served
+                + metrics.relaxed_served
+                + metrics.degraded_served,
+            3
+        );
+        // A stats-less engine without pressure serves through the model
+        // tier, in exact precision.
         assert_eq!(metrics.tier2_served, 3);
+        assert_eq!(metrics.relaxed_served, 0);
         assert_eq!(metrics.cache_hits, 0);
+    }
+
+    #[test]
+    fn disabling_fused_batching_preserves_answers_and_zeroes_the_counter() {
+        let q = Query::new(vec![Predicate::le(0, 3), Predicate::ge(1, 1)]);
+        let fused = start(ServeConfig::default().with_workers(1).with_max_batch(8));
+        let fused_answer = fused.estimate(&q).unwrap();
+        let fused_metrics = fused.shutdown();
+        assert!(fused_metrics.fused_batches >= 1, "default config answers through the fused path");
+
+        let individual = start(ServeConfig::default().with_workers(1).with_max_batch(8).with_fused_batching(false));
+        let individual_answer = individual.estimate(&q).unwrap();
+        let individual_metrics = individual.shutdown();
+        assert_eq!(individual_metrics.fused_batches, 0, "disabled fused path must never run");
+        assert_eq!(individual_metrics.served, 1);
+        // Same engine knobs, same per-query re-seeding: the two paths agree
+        // bit for bit.
+        assert_eq!(individual_answer.estimate.selectivity, fused_answer.estimate.selectivity);
+        assert_eq!(individual_answer.estimate.live_paths, fused_answer.estimate.live_paths);
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub enum KernelPolicy {
     /// hardware that reports a single core — the parity tests use it to
     /// exercise multi-threaded row partitioning everywhere.
     Parallel,
+    /// Opt into the relaxed quantized tier: layers that carry per-row i8
+    /// weight mirrors (see [`crate::quant`] and `naru-nn`) route their
+    /// forward passes through them. The plain f32 entry points in this
+    /// module have no quantized implementation and fall back to the
+    /// blocked kernels; the policy only changes behavior where a mirror
+    /// exists, and results there are approximate (bounded error), so
+    /// estimates computed under it are tagged `Provenance::Relaxed`.
+    Quantized,
 }
 
 static KERNEL_POLICY: AtomicU8 = AtomicU8::new(2);
@@ -68,6 +76,7 @@ pub fn kernel_policy() -> KernelPolicy {
         0 => KernelPolicy::Naive,
         1 => KernelPolicy::Blocked,
         3 => KernelPolicy::Parallel,
+        4 => KernelPolicy::Quantized,
         _ => KernelPolicy::Auto,
     }
 }
@@ -209,7 +218,76 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     for (xv, yv) in x_tail.iter().zip(y_tail.iter()) {
         tail += xv * yv;
     }
-    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+    reduce_lanes(&acc) + tail
+}
+
+/// The fixed lane-reduction order shared by [`dot`] and [`dot4`]. Keeping it
+/// in one place guarantees the two kernels produce bit-identical sums for
+/// the same inputs.
+#[inline]
+fn reduce_lanes(acc: &[f32; 8]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))
+}
+
+/// Four dot products of `x` against `y0..y3` in a single pass over `x`.
+///
+/// This is the register-blocked micro-kernel behind the `A * B^T`
+/// orientation: each output column keeps its own eight-lane accumulator
+/// array and its own tail sum, updated in exactly the same order as a
+/// standalone [`dot`] call — so `dot4(x, y0, y1, y2, y3)` is **bit-identical**
+/// to `[dot(x, y0), dot(x, y1), dot(x, y2), dot(x, y3)]` — while every
+/// loaded lane of `x` is reused four times instead of once. The per-column
+/// accumulators are independent contiguous arrays the compiler can keep in
+/// vector registers, and the shared iterator-chunked body auto-vectorizes
+/// the same way [`dot`]'s does.
+///
+/// # Panics
+/// Panics (in debug builds) if any slice differs in length from `x`.
+#[inline]
+pub fn dot4(x: &[f32], y0: &[f32], y1: &[f32], y2: &[f32], y3: &[f32]) -> [f32; 4] {
+    debug_assert!(
+        y0.len() == x.len() && y1.len() == x.len() && y2.len() == x.len() && y3.len() == x.len(),
+        "dot4 length mismatch"
+    );
+    const LANES: usize = 8;
+    let split = (x.len() / LANES) * LANES;
+    let (x_main, x_tail) = x.split_at(split);
+    let (y0_main, y0_tail) = y0.split_at(split);
+    let (y1_main, y1_tail) = y1.split_at(split);
+    let (y2_main, y2_tail) = y2.split_at(split);
+    let (y3_main, y3_tail) = y3.split_at(split);
+    let mut a0 = [0.0f32; LANES];
+    let mut a1 = [0.0f32; LANES];
+    let mut a2 = [0.0f32; LANES];
+    let mut a3 = [0.0f32; LANES];
+    let chunks = x_main
+        .chunks_exact(LANES)
+        .zip(y0_main.chunks_exact(LANES))
+        .zip(y1_main.chunks_exact(LANES))
+        .zip(y2_main.chunks_exact(LANES))
+        .zip(y3_main.chunks_exact(LANES));
+    for ((((xc, c0), c1), c2), c3) in chunks {
+        for l in 0..LANES {
+            let xv = xc[l];
+            a0[l] += xv * c0[l];
+            a1[l] += xv * c1[l];
+            a2[l] += xv * c2[l];
+            a3[l] += xv * c3[l];
+        }
+    }
+    let mut t0 = 0.0f32;
+    let mut t1 = 0.0f32;
+    let mut t2 = 0.0f32;
+    let mut t3 = 0.0f32;
+    for ((((xv, v0), v1), v2), v3) in
+        x_tail.iter().zip(y0_tail.iter()).zip(y1_tail.iter()).zip(y2_tail.iter()).zip(y3_tail.iter())
+    {
+        t0 += xv * v0;
+        t1 += xv * v1;
+        t2 += xv * v2;
+        t3 += xv * v3;
+    }
+    [reduce_lanes(&a0) + t0, reduce_lanes(&a1) + t1, reduce_lanes(&a2) + t2, reduce_lanes(&a3) + t3]
 }
 
 /// `out[j] += s * x[j]` with a contiguous streaming inner loop.
@@ -258,8 +336,18 @@ fn matmul_a_bt_rows(a: &Matrix, b: &Matrix, c_rows: &mut [f32], lo: usize, hi: u
             for i in ib..ib_hi {
                 let a_row = a.row(i);
                 let c_row = &mut c_rows[(i - lo) * n..(i - lo + 1) * n];
-                for (j, out) in c_row[jb..jb_hi].iter_mut().enumerate() {
-                    *out = dot(a_row, b.row(jb + j));
+                let c_tile = &mut c_row[jb..jb_hi];
+                // Register-blocked body: four output columns per pass over
+                // `a_row` via `dot4` (bit-identical to four `dot` calls),
+                // then the per-element kernel for the ragged remainder.
+                let mut j = 0usize;
+                while j + 4 <= c_tile.len() {
+                    let out = dot4(a_row, b.row(jb + j), b.row(jb + j + 1), b.row(jb + j + 2), b.row(jb + j + 3));
+                    c_tile[j..j + 4].copy_from_slice(&out);
+                    j += 4;
+                }
+                for (jj, out) in c_tile[j..].iter_mut().enumerate() {
+                    *out = dot(a_row, b.row(jb + j + jj));
                 }
             }
         }
@@ -421,7 +509,10 @@ enum Impl {
 fn effective_policy(m: usize, n: usize, k: usize) -> Impl {
     match kernel_policy() {
         KernelPolicy::Naive => Impl::Naive,
-        KernelPolicy::Blocked => Impl::Blocked,
+        // The f32 entry points have no quantized implementation; under the
+        // quantized policy they run the blocked kernels and only layers
+        // holding i8 mirrors (in `naru-nn`) take the quantized path.
+        KernelPolicy::Blocked | KernelPolicy::Quantized => Impl::Blocked,
         KernelPolicy::Parallel => Impl::Parallel,
         KernelPolicy::Auto => {
             if m.saturating_mul(n).saturating_mul(k) >= PARALLEL_FLOPS_THRESHOLD && m >= 2 * MIN_ROWS_PER_THREAD {
@@ -650,9 +741,41 @@ mod tests {
         assert_eq!(kernel_policy(), KernelPolicy::Blocked);
         set_kernel_policy(KernelPolicy::Parallel);
         assert_eq!(kernel_policy(), KernelPolicy::Parallel);
+        set_kernel_policy(KernelPolicy::Quantized);
+        assert_eq!(kernel_policy(), KernelPolicy::Quantized);
         set_kernel_policy(KernelPolicy::Auto);
         assert_eq!(kernel_policy(), KernelPolicy::Auto);
         set_kernel_policy(original);
+    }
+
+    #[test]
+    fn dot4_is_bit_identical_to_four_dots() {
+        // The register-blocked micro-kernel must preserve each output's
+        // accumulation order exactly — exact-mode estimates are asserted
+        // bit-identical across releases, so this is not an approx check.
+        for len in [0usize, 1, 5, 7, 8, 9, 16, 31, 63, 64, 65, 100, 130] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).sin()).collect();
+            let ys: Vec<Vec<f32>> =
+                (0..4).map(|k| (0..len).map(|i| ((i + 13 * k) as f32 * 0.3).cos() * 0.8).collect()).collect();
+            let got = dot4(&x, &ys[0], &ys[1], &ys[2], &ys[3]);
+            for k in 0..4 {
+                let expected = dot(&x, &ys[k]);
+                assert!(got[k].to_bits() == expected.to_bits(), "len {len} col {k}: {} vs {expected}", got[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_policy_runs_f32_entry_points_on_blocked_kernels() {
+        let original = kernel_policy();
+        let a = Matrix::from_fn(9, 21, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.4 - 1.0);
+        let b = Matrix::from_fn(13, 21, |r, c| ((r * 3 + c) % 5) as f32 * 0.2 - 0.5);
+        set_kernel_policy(KernelPolicy::Blocked);
+        let blocked = matmul_a_bt(&a, &b);
+        set_kernel_policy(KernelPolicy::Quantized);
+        let quantized_policy = matmul_a_bt(&a, &b);
+        set_kernel_policy(original);
+        assert_eq!(blocked.data(), quantized_policy.data());
     }
 
     #[test]

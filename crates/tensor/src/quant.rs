@@ -1,0 +1,383 @@
+//! Per-row symmetric i8 weight quantization for the relaxed inference tier.
+//!
+//! A [`QuantMatrix`] mirrors an f32 weight [`Matrix`] with one `i8` per
+//! weight plus one f32 scale per row: row `r` of the original matrix is
+//! approximated as `scales[r] * data[r]`. Quantization is *symmetric*
+//! (no zero-point), with the per-row scale chosen as `max_abs / 127`, so:
+//!
+//! * exact zeros stay exactly zero — MADE's masked-weight invariant (masked
+//!   connections carry no information) survives quantization unchanged;
+//! * every weight `w` round-trips to within half a quantization step:
+//!   `|w - scale * q| <= scale / 2` (no clamping error: `|w| / scale <= 127`
+//!   by construction, and `round(127.0) == 127`).
+//!
+//! That per-weight bound gives the documented **dot-product error bound**
+//! checked by the property tests in `crates/tensor/tests/quant_proptests.rs`:
+//! for an activation vector `x` and a weight row with scale `s`,
+//!
+//! ```text
+//! |dot(x, w) - quant_dot(x, q, s)|  <=  (s / 2) * sum_i |x_i|
+//! ```
+//!
+//! (plus f32 accumulation noise, which the tests absorb with a small
+//! relative slack). [`quant_dot_error_bound`] computes the right-hand side.
+//!
+//! Accumulation happens in f32 — the quantized path trades weight precision
+//! (and 4x the weight memory traffic) for speed, never accumulator
+//! precision. It is selected at a higher level: `naru-nn` layers carry
+//! optional `QuantMatrix` mirrors and the relaxed-precision inference mode
+//! in `naru-core` routes forward passes through them.
+
+use crate::matrix::Matrix;
+
+/// A per-row symmetric i8 quantization of an f32 matrix.
+///
+/// Stored row-major like [`Matrix`]: `data[r * cols + c]` is the quantized
+/// element `(r, c)` and `scales[r]` its dequantization factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantizes `m` row by row with symmetric per-row scales.
+    ///
+    /// An all-zero row gets scale `0.0` and all-zero codes, so it
+    /// dequantizes exactly.
+    pub fn quantize(m: &Matrix) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        // Indexed rather than `rows_iter()`: the iterator yields nothing for
+        // zero-width matrices, but every row still needs a scale entry.
+        for r in 0..rows {
+            let row = m.row(r);
+            let max_abs = row.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+            if max_abs == 0.0 {
+                scales.push(0.0);
+                data.extend(std::iter::repeat_n(0i8, cols));
+                continue;
+            }
+            let scale = max_abs / 127.0;
+            let inv = 127.0 / max_abs;
+            scales.push(scale);
+            data.extend(row.iter().map(|&w| (w * inv).round().clamp(-127.0, 127.0) as i8));
+        }
+        Self { rows, cols, data, scales }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Quantized row `r` as a contiguous slice.
+    // lint: allow_fn(index) - row-major addressing mirrors Matrix::row; r is bounded by rows() at every call site
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Dequantization scale of row `r`.
+    // lint: allow_fn(index) - scales has exactly one entry per row; r is bounded by rows() at every call site
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// All per-row dequantization scales, one per row.
+    #[inline]
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the f32 approximation `scales[r] * data[r]` row by row.
+    // lint: allow_fn(index) - the loop bound is rows(), the invariant row()/scale() are indexed by
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let scale = self.scales[r];
+            for (o, &q) in out.row_mut(r).iter_mut().zip(self.row(r).iter()) {
+                *o = scale * q as f32;
+            }
+        }
+        out
+    }
+
+    /// Bytes of storage: one `i8` per element plus one f32 scale per row.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Quantized dot product `scale * sum_i x[i] * q[i]` with f32 accumulation,
+/// unrolled into eight independent lanes like [`crate::dot`] so the
+/// compiler can vectorize the `i8 -> f32` widening multiply-adds.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices differ in length.
+// lint: allow_fn(index) - lane indices are constant 0..8 over chunks_exact(8) slices; tails are zipped
+#[inline]
+pub fn quant_dot(x: &[f32], q: &[i8], scale: f32) -> f32 {
+    debug_assert_eq!(x.len(), q.len(), "quant_dot length mismatch");
+    const LANES: usize = 8;
+    let split = (x.len() / LANES) * LANES;
+    let (x_main, x_tail) = x.split_at(split);
+    let (q_main, q_tail) = q.split_at(split);
+    let mut acc = [0.0f32; LANES];
+    for (xc, qc) in x_main.chunks_exact(LANES).zip(q_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += xc[l] * qc[l] as f32;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (xv, qv) in x_tail.iter().zip(q_tail.iter()) {
+        tail += xv * *qv as f32;
+    }
+    scale * (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail)
+}
+
+/// Four quantized dot products of `x` against rows `q0..q3` in a single
+/// pass over `x` — the quantized counterpart of [`crate::dot4`]. Each row
+/// keeps its own eight-lane accumulator array and tail sum, updated in
+/// exactly the same order as a standalone [`quant_dot`] call, so the result
+/// is **bit-identical** to four `quant_dot` calls while every loaded lane
+/// of `x` is reused four times instead of once.
+///
+/// # Panics
+/// Panics (in debug builds) if any row differs in length from `x`.
+// lint: allow_fn(index) - lane indices are constant 0..8 over chunks_exact(8) slices; tails are zipped
+#[inline]
+pub fn quant_dot4(x: &[f32], q0: &[i8], q1: &[i8], q2: &[i8], q3: &[i8], scales: [f32; 4]) -> [f32; 4] {
+    debug_assert!(
+        q0.len() == x.len() && q1.len() == x.len() && q2.len() == x.len() && q3.len() == x.len(),
+        "quant_dot4 length mismatch"
+    );
+    const LANES: usize = 8;
+    let split = (x.len() / LANES) * LANES;
+    let (x_main, x_tail) = x.split_at(split);
+    let (q0_main, q0_tail) = q0.split_at(split);
+    let (q1_main, q1_tail) = q1.split_at(split);
+    let (q2_main, q2_tail) = q2.split_at(split);
+    let (q3_main, q3_tail) = q3.split_at(split);
+    let mut a0 = [0.0f32; LANES];
+    let mut a1 = [0.0f32; LANES];
+    let mut a2 = [0.0f32; LANES];
+    let mut a3 = [0.0f32; LANES];
+    let chunks = x_main
+        .chunks_exact(LANES)
+        .zip(q0_main.chunks_exact(LANES))
+        .zip(q1_main.chunks_exact(LANES))
+        .zip(q2_main.chunks_exact(LANES))
+        .zip(q3_main.chunks_exact(LANES));
+    for ((((xc, c0), c1), c2), c3) in chunks {
+        for l in 0..LANES {
+            let xv = xc[l];
+            a0[l] += xv * c0[l] as f32;
+            a1[l] += xv * c1[l] as f32;
+            a2[l] += xv * c2[l] as f32;
+            a3[l] += xv * c3[l] as f32;
+        }
+    }
+    let mut t0 = 0.0f32;
+    let mut t1 = 0.0f32;
+    let mut t2 = 0.0f32;
+    let mut t3 = 0.0f32;
+    for ((((xv, v0), v1), v2), v3) in
+        x_tail.iter().zip(q0_tail.iter()).zip(q1_tail.iter()).zip(q2_tail.iter()).zip(q3_tail.iter())
+    {
+        t0 += xv * *v0 as f32;
+        t1 += xv * *v1 as f32;
+        t2 += xv * *v2 as f32;
+        t3 += xv * *v3 as f32;
+    }
+    let reduce = |a: &[f32; LANES]| ((a[0] + a[4]) + (a[1] + a[5])) + ((a[2] + a[6]) + (a[3] + a[7]));
+    [
+        scales[0] * (reduce(&a0) + t0),
+        scales[1] * (reduce(&a1) + t1),
+        scales[2] * (reduce(&a2) + t2),
+        scales[3] * (reduce(&a3) + t3),
+    ]
+}
+
+/// Computes `out[j] = quant_dot(x, qb.row(rows.start + j), ...)` for every
+/// row in `rows`, register-blocked four output rows at a time via
+/// [`quant_dot4`] with a [`quant_dot`] remainder — the shared matvec body
+/// behind [`matmul_a_qbt_into`] and the quantized layer forwards in
+/// `naru-nn`. `out` must already hold exactly `rows.len()` elements.
+///
+/// # Panics
+/// Panics if `rows` is out of bounds or `out` has the wrong length.
+// lint: allow_fn(index) - row indices are bounded by the asserted range; out chunks mirror the row blocks
+pub fn quant_rows_dot_into(x: &[f32], qb: &QuantMatrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+    // lint: allow(panic) - documented kernel contract, same as every matmul entry point
+    assert!(rows.end <= qb.rows(), "quant_rows_dot_into row range {rows:?} out of bounds for {} rows", qb.rows());
+    // lint: allow(panic) - documented kernel contract, same as every matmul entry point
+    assert_eq!(out.len(), rows.len(), "quant_rows_dot_into output length mismatch");
+    let base = rows.start;
+    let blocks = rows.len() / 4;
+    for b in 0..blocks {
+        let r = base + b * 4;
+        let vals = quant_dot4(
+            x,
+            qb.row(r),
+            qb.row(r + 1),
+            qb.row(r + 2),
+            qb.row(r + 3),
+            [qb.scale(r), qb.scale(r + 1), qb.scale(r + 2), qb.scale(r + 3)],
+        );
+        out[b * 4..b * 4 + 4].copy_from_slice(&vals);
+    }
+    for (j, slot) in out.iter_mut().enumerate().skip(blocks * 4) {
+        *slot = quant_dot(x, qb.row(base + j), qb.scale(base + j));
+    }
+}
+
+/// The documented worst-case quantization error of
+/// [`quant_dot`] against the exact `dot(x, w)` it approximates:
+/// `(scale / 2) * sum_i |x_i|`. Float accumulation noise comes on top;
+/// callers comparing against this bound should allow a small slack.
+pub fn quant_dot_error_bound(x: &[f32], scale: f32) -> f32 {
+    0.5 * scale * x.iter().map(|v| v.abs()).sum::<f32>()
+}
+
+/// `C = A * QB^T`: the quantized counterpart of
+/// [`crate::matmul_a_bt_into`], with every output row computed by the
+/// register-blocked [`quant_rows_dot_into`] against the quantized rows of
+/// `qb`. Writes into `c`, resizing it in place.
+pub fn matmul_a_qbt_into(a: &Matrix, qb: &QuantMatrix, c: &mut Matrix) {
+    // lint: allow(panic) - documented kernel contract: inner dimensions must agree, same as every matmul entry point
+    assert_eq!(a.cols(), qb.cols(), "matmul_a_qbt inner dimension mismatch: {:?} * {:?}^T", a.shape(), qb.shape());
+    let m = a.rows();
+    let n = qb.rows();
+    // lint: allow(no_alloc) - resize on a caller-retained buffer: allocates only on first use or growth, amortized to zero in the steady state
+    c.resize(m, n);
+    for i in 0..m {
+        quant_rows_dot_into(a.row(i), qb, 0..n, c.row_mut(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_masked_weights_survive_quantization_exactly() {
+        let m = Matrix::from_vec(2, 4, vec![0.5, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let q = QuantMatrix::quantize(&m);
+        let deq = q.dequantize();
+        // Exact zeros stay exactly zero (the MADE mask invariant).
+        assert_eq!(deq.get(0, 1), 0.0);
+        assert_eq!(deq.get(0, 3), 0.0);
+        // An all-zero row round-trips exactly with scale 0.
+        assert_eq!(q.scale(1), 0.0);
+        assert_eq!(deq.row(1), &[0.0; 4]);
+        // Extremes hit +-127 codes and round-trip exactly.
+        assert_eq!(q.row(0)[2], -127);
+        assert!((deq.get(0, 2) - (-1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dequantize_stays_within_half_a_step() {
+        let m = Matrix::from_fn(5, 37, |r, c| ((r * 31 + c * 17) % 23) as f32 * 0.173 - 1.9);
+        let q = QuantMatrix::quantize(&m);
+        let deq = q.dequantize();
+        for r in 0..m.rows() {
+            let half_step = q.scale(r) * 0.5;
+            for (orig, rec) in m.row(r).iter().zip(deq.row(r).iter()) {
+                assert!((orig - rec).abs() <= half_step + 1e-6, "row {r}: {orig} vs {rec}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_dot_matches_dot_on_dequantized_weights() {
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).sin()).collect();
+            let w: Vec<f32> = (0..len).map(|i| (i as f32 * 0.3).cos() * 0.8).collect();
+            let m = Matrix::from_vec(1, len, w.clone());
+            let q = QuantMatrix::quantize(&m);
+            let exact: f32 = x.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            let approx = quant_dot(&x, q.row(0), q.scale(0));
+            let bound = quant_dot_error_bound(&x, q.scale(0));
+            assert!((exact - approx).abs() <= bound * 1.01 + 1e-5, "len {len}: {exact} vs {approx} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn matmul_a_qbt_matches_dequantized_matmul() {
+        let a = Matrix::from_fn(6, 19, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.21 - 0.9);
+        let b = Matrix::from_fn(9, 19, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.37 - 1.7);
+        let qb = QuantMatrix::quantize(&b);
+        let mut c = Matrix::full(2, 2, 9.0);
+        matmul_a_qbt_into(&a, &qb, &mut c);
+        assert_eq!(c.shape(), (6, 9));
+        let reference = crate::ops::naive::matmul_a_bt(&a, &qb.dequantize());
+        for i in 0..c.len() {
+            assert!((c.data()[i] - reference.data()[i]).abs() < 1e-3, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn quant_dot4_is_bit_identical_to_four_quant_dots() {
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b = Matrix::from_fn(4, len, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.37 - 1.7);
+            let qb = QuantMatrix::quantize(&b);
+            let vals = quant_dot4(
+                &x,
+                qb.row(0),
+                qb.row(1),
+                qb.row(2),
+                qb.row(3),
+                [qb.scale(0), qb.scale(1), qb.scale(2), qb.scale(3)],
+            );
+            for (j, v) in vals.iter().enumerate() {
+                let single = quant_dot(&x, qb.row(j), qb.scale(j));
+                assert_eq!(v.to_bits(), single.to_bits(), "len {len} row {j}: {v} vs {single}");
+            }
+        }
+    }
+
+    #[test]
+    fn quant_rows_dot_into_matches_per_row_quant_dot() {
+        let x: Vec<f32> = (0..23).map(|i| (i as f32 * 0.41).cos()).collect();
+        let b = Matrix::from_fn(11, 23, |r, c| ((r * 7 + c * 5) % 17) as f32 * 0.29 - 1.2);
+        let qb = QuantMatrix::quantize(&b);
+        // Full range and an offset sub-range, both with a non-multiple-of-4
+        // remainder.
+        for rows in [0..11usize, 3..10] {
+            let mut out = vec![0.0f32; rows.len()];
+            quant_rows_dot_into(&x, &qb, rows.clone(), &mut out);
+            for (j, v) in out.iter().enumerate() {
+                let r = rows.start + j;
+                assert_eq!(v.to_bits(), quant_dot(&x, qb.row(r), qb.scale(r)).to_bits(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_bytes_counts_codes_and_scales() {
+        let q = QuantMatrix::quantize(&Matrix::zeros(4, 10));
+        assert_eq!(q.size_bytes(), 40 + 16);
+        assert_eq!(q.shape(), (4, 10));
+    }
+}

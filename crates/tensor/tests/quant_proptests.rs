@@ -1,0 +1,142 @@
+//! Property-based tests for the quantized kernels: the documented error
+//! bound of `quant_dot` / `matmul_a_qbt_into` against their exact f32
+//! counterparts, the half-step round-trip guarantee of `QuantMatrix`, and
+//! the bit-identity contracts between the register-blocked variants and
+//! their scalar references — all across random shapes and values.
+
+use naru_tensor::ops::naive;
+use naru_tensor::{
+    matmul_a_qbt_into, quant_dot, quant_dot4, quant_dot_error_bound, quant_rows_dot_into, Matrix, QuantMatrix,
+};
+use proptest::prelude::*;
+
+/// Random activation/weight pair of one shared length. Activations span a
+/// wider range than weights, like one-hot scaled inputs vs trained layers.
+fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (0..=max_len).prop_flat_map(|len| {
+        (proptest::collection::vec(-4.0f32..4.0, len), proptest::collection::vec(-2.0f32..2.0, len))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every weight round-trips through quantization to within half a
+    /// quantization step of its row: `|w - scale * q| <= scale / 2`.
+    #[test]
+    fn quantize_round_trips_within_half_a_step(
+        dims in (1usize..12, 0usize..48),
+        seed in 0u64..1000,
+    ) {
+        let (rows, cols) = dims;
+        let m = Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 17 + seed as usize * 13) % 41) as f32 * 0.31 - 6.2).sin() * 2.0
+        });
+        let q = QuantMatrix::quantize(&m);
+        let deq = q.dequantize();
+        for r in 0..rows {
+            let half_step = q.scale(r) * 0.5;
+            for (orig, rec) in m.row(r).iter().zip(deq.row(r).iter()) {
+                prop_assert!((orig - rec).abs() <= half_step + 1e-6, "row {}: {} vs {}", r, orig, rec);
+            }
+            // Exact zeros must stay exactly zero (the MADE mask invariant).
+            for (orig, rec) in m.row(r).iter().zip(deq.row(r).iter()) {
+                if *orig == 0.0 {
+                    prop_assert_eq!(*rec, 0.0);
+                }
+            }
+        }
+    }
+
+    /// `quant_dot` lands within the documented bound
+    /// `(scale / 2) * sum_i |x_i|` of the exact f32 dot product, plus a
+    /// small slack for f32 accumulation noise.
+    #[test]
+    fn quant_dot_within_documented_error_bound(xw in vec_pair(96)) {
+        let (x, w) = xw;
+        let exact: f32 = x.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+        let m = Matrix::from_vec(1, w.len(), w);
+        let q = QuantMatrix::quantize(&m);
+        let approx = quant_dot(&x, q.row(0), q.scale(0));
+        let bound = quant_dot_error_bound(&x, q.scale(0));
+        prop_assert!(
+            (exact - approx).abs() <= bound * 1.01 + 1e-3,
+            "{} vs {} (bound {})", exact, approx, bound
+        );
+    }
+
+    /// Every element of `A * QB^T` lands within the per-row documented
+    /// bound of the exact `A * B^T` across random shapes.
+    #[test]
+    fn quant_matmul_within_documented_error_bound(
+        dims in (1usize..10, 0usize..40, 1usize..14),
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |r, c| {
+            (((r * 29 + c * 23 + seed as usize * 7) % 43) as f32 * 0.29 - 6.0).sin() * 4.0
+        });
+        let b = Matrix::from_fn(n, k, |r, c| {
+            (((r * 13 + c * 19 + seed as usize * 5) % 37) as f32 * 0.41 - 7.3).cos() * 2.0
+        });
+        let qb = QuantMatrix::quantize(&b);
+        let reference = naive::matmul_a_bt(&a, &b);
+        let mut c = Matrix::default();
+        matmul_a_qbt_into(&a, &qb, &mut c);
+        prop_assert_eq!(c.shape(), reference.shape());
+        for i in 0..m {
+            for j in 0..n {
+                let bound = quant_dot_error_bound(a.row(i), qb.scale(j));
+                prop_assert!(
+                    (c.get(i, j) - reference.get(i, j)).abs() <= bound * 1.01 + 1e-3,
+                    "elem ({}, {}): {} vs {} (bound {})", i, j, c.get(i, j), reference.get(i, j), bound
+                );
+            }
+        }
+    }
+
+    /// The register-blocked `quant_dot4` is bit-identical to four
+    /// standalone `quant_dot` calls on arbitrary lengths and values.
+    #[test]
+    fn quant_dot4_bit_identical_to_quant_dot(xw in vec_pair(80), seed in 0u64..1000) {
+        let x = xw.0;
+        let b = Matrix::from_fn(4, x.len(), |r, c| {
+            (((r * 11 + c * 3 + seed as usize) % 31) as f32 * 0.37 - 4.9).sin() * 1.5
+        });
+        let qb = QuantMatrix::quantize(&b);
+        let vals = quant_dot4(
+            &x,
+            qb.row(0), qb.row(1), qb.row(2), qb.row(3),
+            [qb.scale(0), qb.scale(1), qb.scale(2), qb.scale(3)],
+        );
+        for (j, v) in vals.iter().enumerate() {
+            let single = quant_dot(&x, qb.row(j), qb.scale(j));
+            prop_assert!(v.to_bits() == single.to_bits(), "row {}: {} vs {}", j, v, single);
+        }
+    }
+
+    /// `quant_rows_dot_into` over an arbitrary sub-range is bit-identical
+    /// to one `quant_dot` per row.
+    #[test]
+    fn quant_rows_dot_into_bit_identical_per_row(
+        xw in vec_pair(48),
+        rows in 1usize..14,
+        start_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let x = xw.0;
+        let b = Matrix::from_fn(rows, x.len(), |r, c| {
+            (((r * 17 + c * 7 + seed as usize * 3) % 29) as f32 * 0.43 - 5.1).cos() * 1.8
+        });
+        let qb = QuantMatrix::quantize(&b);
+        let start = ((rows as f64) * start_frac) as usize;
+        let range = start..rows;
+        let mut out = vec![0.0f32; range.len()];
+        quant_rows_dot_into(&x, &qb, range.clone(), &mut out);
+        for (j, v) in out.iter().enumerate() {
+            let r = range.start + j;
+            let single = quant_dot(&x, qb.row(r), qb.scale(r));
+            prop_assert!(v.to_bits() == single.to_bits(), "row {}: {} vs {}", r, v, single);
+        }
+    }
+}

@@ -152,7 +152,7 @@ pub use naru_tensor as tensor;
 
 /// Commonly used types, importable with `use naru::prelude::*`.
 pub mod prelude {
-    pub use naru_core::{Engine, NaruConfig, NaruEstimator, Session, TableStats, TierConfig, TieredSession};
+    pub use naru_core::{Engine, NaruConfig, NaruEstimator, Precision, Session, TableStats, TierConfig, TieredSession};
     pub use naru_data::{Column, Table, Value};
     pub use naru_net::{NetConfig, NetServer};
     pub use naru_query::{Estimate, EstimateError, Predicate, Provenance, Query, QueryKey, SelectivityEstimator};
